@@ -1,0 +1,56 @@
+//! Measurements from a baseline-engine run.
+
+use grouting_metrics::Histogram;
+
+/// The metrics a baseline run reports (matching [`crate::bsp`] and
+/// [`crate::gas`] against `grouting-sim`'s numbers for Figure 7).
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Per-query latency distribution (nanoseconds).
+    pub latency: Histogram,
+    /// Virtual makespan of the run.
+    pub makespan_ns: u64,
+    /// Total synchronisation rounds executed (supersteps / GAS iterations).
+    pub rounds: u64,
+    /// Messages exchanged across machines.
+    pub messages: u64,
+    /// Wall-clock time spent partitioning the graph, in nanoseconds
+    /// (SEDGE's "expensive partitioning" cost, reported alongside Figure 7).
+    pub partition_ns: u64,
+}
+
+impl BaselineReport {
+    /// Mean per-query latency in milliseconds.
+    pub fn mean_response_ms(&self) -> f64 {
+        self.latency.mean().unwrap_or(0.0) / 1e6
+    }
+
+    /// Queries per second over the makespan.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        self.latency.count() as f64 / (self.makespan_ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut h = Histogram::new();
+        h.record(10_000_000u64);
+        h.record(30_000_000u64);
+        let r = BaselineReport {
+            latency: h,
+            makespan_ns: 40_000_000,
+            rounds: 4,
+            messages: 100,
+            partition_ns: 1_000_000,
+        };
+        assert!((r.mean_response_ms() - 20.0).abs() < 1e-9);
+        assert!((r.throughput_qps() - 50.0).abs() < 1e-9);
+    }
+}

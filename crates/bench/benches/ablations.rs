@@ -1,0 +1,89 @@
+//! Ablations beyond the paper's figures (DESIGN.md §4).
+//!
+//! 1. Cache policy: the paper chose LRU "because of its simplicity … it
+//!    favors recent queries"; FIFO and LFU quantify that choice.
+//! 2. Query stealing on/off under a skewed workload (Requirement 2).
+//! 3. Admission window depth: how much lookahead the router needs before
+//!    smart routing pays off.
+
+use grouting_bench::{bench_assets, default_cache_bytes, paper_workload, PAPER_PROCESSORS};
+use grouting_core::cache::Policy;
+use grouting_core::gen::ProfileName;
+use grouting_core::metrics::TableReport;
+use grouting_core::prelude::*;
+use grouting_core::sim::{simulate, SimConfig};
+
+fn main() {
+    let assets = bench_assets(ProfileName::WebGraph);
+    let queries = paper_workload(&assets, 2, 2);
+    let cache = default_cache_bytes(&assets);
+
+    let mut a = TableReport::new(
+        "Ablation: cache eviction policy (embed routing, WebGraph)",
+        &["policy", "response_ms", "hit_rate_%", "evictions"],
+    );
+    for policy in [Policy::Lru, Policy::Fifo, Policy::Lfu] {
+        let cfg = SimConfig {
+            cache_capacity: cache,
+            cache_policy: policy,
+            ..SimConfig::paper_default(PAPER_PROCESSORS, RoutingKind::Embed)
+        };
+        let r = simulate(&assets, &queries, &cfg);
+        a.row(vec![
+            policy.to_string().into(),
+            r.mean_response_ms().into(),
+            (r.hit_rate() * 100.0).into(),
+            r.evictions.into(),
+        ]);
+    }
+    a.print();
+
+    let mut b = TableReport::new(
+        "Ablation: query stealing (hash routing, all queries on one hotspot)",
+        &["stealing", "throughput_qps", "load_imbalance_cv", "stolen"],
+    );
+    // Worst-case skew: every query anchored at the same node.
+    let anchor = assets.graph.nodes_by_degree_desc()[0];
+    let skewed: Vec<_> = (0..200)
+        .map(|_| grouting_core::query::Query::NeighborAggregation {
+            node: anchor,
+            hops: 2,
+            label: None,
+        })
+        .collect();
+    for stealing in [true, false] {
+        let cfg = SimConfig {
+            cache_capacity: cache,
+            stealing,
+            ..SimConfig::paper_default(PAPER_PROCESSORS, RoutingKind::Hash)
+        };
+        let r = simulate(&assets, &skewed, &cfg);
+        b.row(vec![
+            if stealing { "on" } else { "off" }.into(),
+            r.throughput_qps().into(),
+            r.load_imbalance().into(),
+            r.stolen.into(),
+        ]);
+    }
+    b.print();
+
+    let mut c = TableReport::new(
+        "Ablation: admission window depth (embed routing, WebGraph)",
+        &["window", "throughput_qps", "hit_rate_%", "stolen"],
+    );
+    for mult in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = SimConfig {
+            cache_capacity: cache,
+            admission_window: mult * PAPER_PROCESSORS,
+            ..SimConfig::paper_default(PAPER_PROCESSORS, RoutingKind::Embed)
+        };
+        let r = simulate(&assets, &queries, &cfg);
+        c.row(vec![
+            format!("{mult}xP").into(),
+            r.throughput_qps().into(),
+            (r.hit_rate() * 100.0).into(),
+            r.stolen.into(),
+        ]);
+    }
+    c.print();
+}

@@ -1,0 +1,63 @@
+//! Figure 11: load factor and smoothing parameter sensitivity.
+//!
+//! (a) throughput vs load factor (0.01–10⁴): small values drown the smart
+//!     distance in load balancing, huge values disable load balancing; the
+//!     paper finds the peak at 10–20.
+//! (b) response time vs α for embed routing (0–1), against the hash
+//!     baseline.
+
+use grouting_bench::{bench_assets, default_cache_bytes, paper_workload, PAPER_PROCESSORS};
+use grouting_core::gen::ProfileName;
+use grouting_core::metrics::TableReport;
+use grouting_core::prelude::*;
+use grouting_core::sim::{simulate, SimConfig};
+
+fn main() {
+    let assets = bench_assets(ProfileName::WebGraph);
+    let queries = paper_workload(&assets, 2, 2);
+    let cache = default_cache_bytes(&assets);
+
+    let mut a = TableReport::new(
+        "Figure 11(a): throughput vs load factor (WebGraph)",
+        &["load_factor", "routing", "throughput_qps"],
+    );
+    for lf in [0.01, 0.1, 1.0, 10.0, 20.0, 100.0, 1_000.0, 10_000.0] {
+        for routing in [RoutingKind::Hash, RoutingKind::Landmark, RoutingKind::Embed] {
+            let cfg = SimConfig {
+                cache_capacity: cache,
+                load_factor: lf,
+                ..SimConfig::paper_default(PAPER_PROCESSORS, routing)
+            };
+            let r = simulate(&assets, &queries, &cfg);
+            a.row(vec![
+                lf.into(),
+                routing.to_string().into(),
+                r.throughput_qps().into(),
+            ]);
+        }
+    }
+    a.print();
+
+    let mut b = TableReport::new(
+        "Figure 11(b): response time vs smoothing parameter alpha (WebGraph)",
+        &["alpha", "routing", "response_ms"],
+    );
+    for alpha in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        for routing in [RoutingKind::Embed, RoutingKind::Hash] {
+            let cfg = SimConfig {
+                cache_capacity: cache,
+                alpha,
+                ..SimConfig::paper_default(PAPER_PROCESSORS, routing)
+            };
+            let r = simulate(&assets, &queries, &cfg);
+            b.row(vec![
+                alpha.into(),
+                routing.to_string().into(),
+                r.mean_response_ms().into(),
+            ]);
+        }
+    }
+    b.print();
+    println!("(this implementation's optimum sits at high alpha — slow-moving");
+    println!(" means — because scaled-down hotspot runs are short; see EXPERIMENTS.md)");
+}

@@ -1,0 +1,85 @@
+//! Figure 12: impact of embedding dimensionality.
+//!
+//! (a) mean relative distance error (Eq. 4) over 2-hop hotspot pairs vs D;
+//! (b) embed-routing response time vs D against the hash baseline.
+//!
+//! Paper shape: error falls with D and saturates around D = 10; response
+//! time is minimised near D = 10 (better routing) and creeps up at high D
+//! (router decision cost grows with D).
+
+use std::sync::Arc;
+
+use grouting_bench::{bench_assets, default_cache_bytes, paper_workload, PAPER_PROCESSORS};
+use grouting_core::embed::embedding::{Embedding, EmbeddingConfig};
+use grouting_core::embed::error::{hotspot_pairs, mean_relative_error};
+use grouting_core::gen::ProfileName;
+use grouting_core::metrics::TableReport;
+use grouting_core::prelude::*;
+use grouting_core::sim::{simulate, SimAssets, SimConfig};
+
+fn main() {
+    let assets = bench_assets(ProfileName::WebGraph);
+    let queries = paper_workload(&assets, 2, 2);
+    let cache = default_cache_bytes(&assets);
+
+    // The evaluation pairs of Figure 12(a): nodes within 2 hops of hotspot
+    // centres, with exact hop distances.
+    let centers: Vec<_> = (0..50)
+        .map(|i| grouting_core::graph::NodeId::new((i * assets.graph.node_count() / 50) as u32))
+        .collect();
+    let pairs = hotspot_pairs(&assets.graph, &centers, 2, 20);
+
+    let mut a = TableReport::new(
+        "Figure 12(a): relative error vs dimensions (2-hop hotspot pairs)",
+        &["dimensions", "relative_error"],
+    );
+    let mut b = TableReport::new(
+        "Figure 12(b): response time vs dimensions (WebGraph)",
+        &["dimensions", "routing", "response_ms"],
+    );
+
+    // Hash reference line (dimension-independent).
+    let hash = simulate(
+        &assets,
+        &queries,
+        &SimConfig {
+            cache_capacity: cache,
+            ..SimConfig::paper_default(PAPER_PROCESSORS, RoutingKind::Hash)
+        },
+    );
+
+    for d in [2usize, 5, 10, 15, 20, 30] {
+        let embedding = Embedding::build(
+            &assets.landmarks,
+            &EmbeddingConfig {
+                dimensions: d,
+                ..EmbeddingConfig::default()
+            },
+        );
+        a.row(vec![
+            d.into(),
+            mean_relative_error(&embedding, &pairs).into(),
+        ]);
+
+        let d_assets = SimAssets {
+            embedding: Arc::new(embedding),
+            ..assets.clone()
+        };
+        // Router decision time grows with D: fold it into the cost model
+        // the same way the real router pays O(P·D) per decision.
+        let mut cfg = SimConfig {
+            cache_capacity: cache,
+            ..SimConfig::paper_default(PAPER_PROCESSORS, RoutingKind::Embed)
+        };
+        cfg.cost.router_decision_ns += (d as u64) * 60;
+        let r = simulate(&d_assets, &queries, &cfg);
+        b.row(vec![d.into(), "Embed".into(), r.mean_response_ms().into()]);
+        b.row(vec![
+            d.into(),
+            "Hash".into(),
+            hash.mean_response_ms().into(),
+        ]);
+    }
+    a.print();
+    b.print();
+}

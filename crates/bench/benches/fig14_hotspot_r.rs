@@ -1,0 +1,47 @@
+//! Figure 14: r-hop hotspot, 2-hop traversal workloads (r = 1, 2).
+//!
+//! (a) response time per routing scheme; (b,c) cache hits and misses.
+//! Paper shape: smart routing beats the baselines at both radii because it
+//! captures topology-aware locality — more hits, lower response times.
+
+use grouting_bench::{bench_assets, default_cache_bytes, paper_workload, PAPER_PROCESSORS};
+use grouting_core::gen::ProfileName;
+use grouting_core::metrics::TableReport;
+use grouting_core::prelude::*;
+use grouting_core::sim::{simulate, SimConfig};
+
+fn main() {
+    let assets = bench_assets(ProfileName::WebGraph);
+    let cache = default_cache_bytes(&assets);
+
+    let mut t = TableReport::new(
+        "Figure 14: r-hop hotspot, 2-hop traversal (WebGraph)",
+        &[
+            "r",
+            "routing",
+            "response_ms",
+            "cache_hits",
+            "cache_misses",
+            "hit_rate_%",
+        ],
+    );
+    for r in [1u32, 2] {
+        let queries = paper_workload(&assets, r, 2);
+        for routing in RoutingKind::ALL {
+            let cfg = SimConfig {
+                cache_capacity: cache,
+                ..SimConfig::paper_default(PAPER_PROCESSORS, routing)
+            };
+            let rep = simulate(&assets, &queries, &cfg);
+            t.row(vec![
+                (r as usize).into(),
+                routing.to_string().into(),
+                rep.mean_response_ms().into(),
+                rep.cache_hits.into(),
+                rep.cache_misses.into(),
+                (rep.hit_rate() * 100.0).into(),
+            ]);
+        }
+    }
+    t.print();
+}

@@ -1,0 +1,54 @@
+//! Figure 15: 2-hop hotspot, h-hop traversal workloads (h = 1, 2, 3).
+//!
+//! Paper shape: smart routing wins at every h, but the margin narrows at
+//! h = 3 — deeper traversals touch so much data that computation dominates
+//! the response time and cache hits matter relatively less.
+
+use grouting_bench::{bench_assets, default_cache_bytes, paper_workload, PAPER_PROCESSORS};
+use grouting_core::gen::ProfileName;
+use grouting_core::metrics::TableReport;
+use grouting_core::prelude::*;
+use grouting_core::sim::{simulate, SimConfig};
+
+fn main() {
+    let assets = bench_assets(ProfileName::WebGraph);
+    let cache = default_cache_bytes(&assets);
+
+    let mut t = TableReport::new(
+        "Figure 15: 2-hop hotspot, h-hop traversal (WebGraph)",
+        &[
+            "h",
+            "routing",
+            "response_ms",
+            "hit_rate_%",
+            "smart_vs_hash_%",
+        ],
+    );
+    for h in [1u32, 2, 3] {
+        let queries = paper_workload(&assets, 2, h);
+        let mut hash_ms = 0.0;
+        for routing in RoutingKind::ALL {
+            let cfg = SimConfig {
+                cache_capacity: cache,
+                ..SimConfig::paper_default(PAPER_PROCESSORS, routing)
+            };
+            let rep = simulate(&assets, &queries, &cfg);
+            if routing == RoutingKind::Hash {
+                hash_ms = rep.mean_response_ms();
+            }
+            let gain = if hash_ms > 0.0 && routing.is_smart() {
+                100.0 * (hash_ms - rep.mean_response_ms()) / hash_ms
+            } else {
+                0.0
+            };
+            t.row(vec![
+                (h as usize).into(),
+                routing.to_string().into(),
+                rep.mean_response_ms().into(),
+                (rep.hit_rate() * 100.0).into(),
+                gain.into(),
+            ]);
+        }
+    }
+    t.print();
+}

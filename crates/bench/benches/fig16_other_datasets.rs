@@ -1,0 +1,39 @@
+//! Figure 16: efficiency on Memetracker and Friendster.
+//!
+//! 2-hop hotspot, 2-hop traversal on the two remaining datasets. Paper
+//! shape: Memetracker behaves like WebGraph (baselines cut ~30 % off
+//! no-cache, smart routing another ~10 %); on Friendster all gains shrink
+//! because 2-hop neighbourhoods are much larger (computation dominates)
+//! and hotspot neighbourhoods overlap less.
+
+use grouting_bench::{bench_assets, default_cache_bytes, paper_workload, PAPER_PROCESSORS};
+use grouting_core::gen::ProfileName;
+use grouting_core::metrics::TableReport;
+use grouting_core::prelude::*;
+use grouting_core::sim::{simulate, SimConfig};
+
+fn main() {
+    let mut t = TableReport::new(
+        "Figure 16: response time on Memetracker and Friendster (r=2, h=2)",
+        &["dataset", "routing", "response_ms", "hit_rate_%"],
+    );
+    for name in [ProfileName::Memetracker, ProfileName::Friendster] {
+        let assets = bench_assets(name);
+        let queries = paper_workload(&assets, 2, 2);
+        let cache = default_cache_bytes(&assets);
+        for routing in RoutingKind::ALL {
+            let cfg = SimConfig {
+                cache_capacity: cache,
+                ..SimConfig::paper_default(PAPER_PROCESSORS, routing)
+            };
+            let rep = simulate(&assets, &queries, &cfg);
+            t.row(vec![
+                name.as_str().into(),
+                routing.to_string().into(),
+                rep.mean_response_ms().into(),
+                (rep.hit_rate() * 100.0).into(),
+            ]);
+        }
+    }
+    t.print();
+}

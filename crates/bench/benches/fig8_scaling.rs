@@ -1,0 +1,64 @@
+//! Figure 8: scalability and deployment flexibility.
+//!
+//! (a) throughput vs number of query processors (1–7, 4 storage servers);
+//! (b) cache hits vs number of query processors (ample cache, as §4.3);
+//! (c) throughput vs number of storage servers (1–7, 4 processors).
+//!
+//! Paper shape: smart routing sustains its cache-hit level as processors
+//! are added (so throughput keeps rising), while the baselines' hits decay
+//! and their throughput saturates at 3–5 processors; storage-tier
+//! throughput saturates once it outruns 4 processors' demand.
+
+use grouting_bench::{ample_cache_config, bench_assets, paper_workload};
+use grouting_core::gen::ProfileName;
+use grouting_core::metrics::TableReport;
+use grouting_core::prelude::*;
+use grouting_core::sim::simulate;
+
+fn main() {
+    let assets = bench_assets(ProfileName::WebGraph);
+    let queries = paper_workload(&assets, 2, 2);
+
+    let mut a = TableReport::new(
+        "Figure 8(a,b): throughput and cache hits vs query processors (WebGraph)",
+        &[
+            "processors",
+            "routing",
+            "throughput_qps",
+            "cache_hits",
+            "hit_rate_%",
+        ],
+    );
+    for p in 1..=7 {
+        for routing in RoutingKind::ALL {
+            let cfg = ample_cache_config(&assets, p, routing);
+            let r = simulate(&assets, &queries, &cfg);
+            a.row(vec![
+                p.into(),
+                routing.to_string().into(),
+                r.throughput_qps().into(),
+                r.cache_hits.into(),
+                (r.hit_rate() * 100.0).into(),
+            ]);
+        }
+    }
+    a.print();
+
+    let mut c = TableReport::new(
+        "Figure 8(c): throughput vs storage servers (4 processors, WebGraph)",
+        &["storage_servers", "routing", "throughput_qps"],
+    );
+    for s in 1..=7 {
+        let scaled = assets.with_storage_servers(s);
+        for routing in [RoutingKind::NoCache, RoutingKind::Embed] {
+            let cfg = ample_cache_config(&scaled, 4, routing);
+            let r = simulate(&scaled, &queries, &cfg);
+            c.row(vec![
+                s.into(),
+                routing.to_string().into(),
+                r.throughput_qps().into(),
+            ]);
+        }
+    }
+    c.print();
+}

@@ -1,0 +1,99 @@
+//! Figure 9: impact of cache sizes.
+//!
+//! (a) response time vs per-processor cache capacity;
+//! (b) cache hits vs capacity;
+//! (c) the minimum cache at which each routing scheme beats the no-cache
+//!     response time (the break-even for "is a cache worth having").
+//!
+//! Paper shape: below a threshold the cache is pure overhead (worse than
+//! no-cache); past it response time falls steeply then flattens once
+//! nothing is evicted; smart routing reaches break-even with far less
+//! cache than the baselines.
+
+use grouting_bench::{bench_assets, paper_workload, PAPER_PROCESSORS};
+use grouting_core::gen::ProfileName;
+use grouting_core::metrics::TableReport;
+use grouting_core::prelude::*;
+use grouting_core::sim::{simulate, SimConfig};
+
+fn capacities() -> Vec<usize> {
+    // 1/64 MiB-equivalents scaled to the bench graph: sweep from "useless"
+    // to "holds everything".
+    vec![
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,
+        4 << 20,
+        16 << 20,
+        64 << 20,
+    ]
+}
+
+fn main() {
+    let assets = bench_assets(ProfileName::WebGraph);
+    let queries = paper_workload(&assets, 2, 2);
+
+    // The no-cache break-even line.
+    let nc = simulate(
+        &assets,
+        &queries,
+        &SimConfig::paper_default(PAPER_PROCESSORS, RoutingKind::NoCache),
+    );
+    let no_cache_ms = nc.mean_response_ms();
+    println!("no-cache response time: {no_cache_ms:.2} ms (the break-even line)\n");
+
+    let mut a = TableReport::new(
+        "Figure 9(a,b): response time and cache hits vs cache capacity (WebGraph)",
+        &[
+            "capacity",
+            "routing",
+            "response_ms",
+            "cache_hits",
+            "evictions",
+        ],
+    );
+    let mut break_even: Vec<(RoutingKind, Option<usize>)> = Vec::new();
+    for routing in [
+        RoutingKind::NextReady,
+        RoutingKind::Hash,
+        RoutingKind::Landmark,
+        RoutingKind::Embed,
+    ] {
+        let mut first_win: Option<usize> = None;
+        for cap in capacities() {
+            let cfg = SimConfig {
+                cache_capacity: cap,
+                ..SimConfig::paper_default(PAPER_PROCESSORS, routing)
+            };
+            let r = simulate(&assets, &queries, &cfg);
+            if first_win.is_none() && r.mean_response_ms() <= no_cache_ms {
+                first_win = Some(cap);
+            }
+            a.row(vec![
+                grouting_bench::human_bytes(cap as u64).into(),
+                routing.to_string().into(),
+                r.mean_response_ms().into(),
+                r.cache_hits.into(),
+                r.evictions.into(),
+            ]);
+        }
+        break_even.push((routing, first_win));
+    }
+    a.print();
+
+    let mut c = TableReport::new(
+        "Figure 9(c): min cache capacity to reach the no-cache response time",
+        &["routing", "min_capacity"],
+    );
+    for (routing, cap) in break_even {
+        c.row(vec![
+            routing.to_string().into(),
+            match cap {
+                Some(b) => grouting_bench::human_bytes(b as u64).into(),
+                None => "not reached".into(),
+            },
+        ]);
+    }
+    c.print();
+}

@@ -1,0 +1,175 @@
+//! Criterion micro-benchmarks of the performance-critical primitives:
+//! MurmurHash3, LRU operations, BFS traversal, per-strategy routing
+//! decisions, and the Simplex-Downhill minimiser.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use grouting_core::cache::{Cache, LruCache};
+use grouting_core::embed::landmarks::{LandmarkConfig, Landmarks};
+use grouting_core::embed::simplex::{minimize, SimplexOptions};
+use grouting_core::embed::{EmbeddingConfig, ProcessorDistanceTable};
+use grouting_core::gen::community::{generate, CommunityConfig};
+use grouting_core::graph::traversal::{bfs_distances, Direction};
+use grouting_core::graph::NodeId;
+use grouting_core::partition::murmur3::{hash_node, murmur3_x64_128};
+use grouting_core::partition::{HashPartitioner, Partitioner};
+use grouting_core::query::Query;
+use grouting_core::route::{EmbedRouter, Strategy};
+
+fn bench_graph() -> grouting_core::graph::CsrGraph {
+    generate(
+        &CommunityConfig {
+            nodes: 20_000,
+            community_size: 200,
+            edges: 200_000,
+            cross_fraction: 0.05,
+            shortcut_fraction: 0.01,
+        },
+        7,
+    )
+}
+
+fn murmur(c: &mut Criterion) {
+    let mut g = c.benchmark_group("murmur3");
+    g.bench_function("x86_32_node_id", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            std::hint::black_box(hash_node(i, 0x9747_b28c))
+        })
+    });
+    g.bench_function("x64_128_64B", |b| {
+        let data = [0xABu8; 64];
+        b.iter(|| std::hint::black_box(murmur3_x64_128(&data, 1)))
+    });
+    g.finish();
+}
+
+fn lru(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru");
+    g.bench_function("insert_evict", |b| {
+        b.iter_batched(
+            || LruCache::<u32, u64>::new(64 * 100),
+            |mut cache| {
+                for i in 0..1000u32 {
+                    cache.insert(i, i as u64, 64);
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("hit_get", |b| {
+        let mut cache = LruCache::<u32, u64>::new(1 << 20);
+        for i in 0..1000u32 {
+            cache.insert(i, i as u64, 64);
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 1000;
+            std::hint::black_box(cache.get(&i).copied())
+        })
+    });
+    g.finish();
+}
+
+fn bfs(c: &mut Criterion) {
+    let graph = bench_graph();
+    let mut g = c.benchmark_group("bfs");
+    g.sample_size(20);
+    g.bench_function("full_bfs_20k_nodes", |b| {
+        b.iter(|| std::hint::black_box(bfs_distances(&graph, NodeId::new(0), Direction::Both)))
+    });
+    g.finish();
+}
+
+fn routing_decision(c: &mut Criterion) {
+    let graph = bench_graph();
+    let landmarks = Landmarks::build(
+        &graph,
+        &LandmarkConfig {
+            count: 32,
+            min_separation: 3,
+        },
+    );
+    let table = ProcessorDistanceTable::build(&landmarks, 7);
+    let embedding = std::sync::Arc::new(grouting_core::embed::embedding::Embedding::build(
+        &landmarks,
+        &EmbeddingConfig {
+            dimensions: 10,
+            landmark_sweeps: 1,
+            landmark_iters: 100,
+            node_iters: 30,
+            nearest_landmarks: 8,
+            seed: 1,
+        },
+    ));
+    let loads = vec![3usize, 1, 4, 1, 5, 9, 2];
+    let up = vec![true; 7];
+    let strategies: Vec<(&str, Strategy)> = vec![
+        ("hash", Strategy::Hash),
+        ("landmark", Strategy::Landmark(table)),
+        (
+            "embed",
+            Strategy::Embed(EmbedRouter::new(embedding, 7, 0.9, 1)),
+        ),
+    ];
+    let mut g = c.benchmark_group("routing_decision");
+    for (name, strategy) in &strategies {
+        g.bench_function(*name, |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 1) % 20_000;
+                let q = Query::NeighborAggregation {
+                    node: NodeId::new(i),
+                    hops: 2,
+                    label: None,
+                };
+                std::hint::black_box(strategy.preferred(&q, &loads, &up, 20.0))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn partitioning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition");
+    g.bench_function("hash_assign", |b| {
+        let p = HashPartitioner::new(4);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            std::hint::black_box(p.assign(NodeId::new(i)))
+        })
+    });
+    g.finish();
+}
+
+fn simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex");
+    g.bench_function("rosenbrock_2d", |b| {
+        b.iter(|| {
+            minimize(
+                |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+                &[-1.2, 1.0],
+                &SimplexOptions {
+                    max_iters: 200,
+                    tolerance: 1e-9,
+                    initial_step: 0.5,
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    murmur,
+    lru,
+    bfs,
+    routing_decision,
+    partitioning,
+    simplex
+);
+criterion_main!(benches);

@@ -1,0 +1,559 @@
+//! Graph embedding into a low-dimensional Euclidean space (§3.4.2).
+//!
+//! "We embed a graph into a lower dimensional Euclidean space such that the
+//! hop-count distance between graph nodes are approximately preserved via
+//! their Euclidean distance."
+//!
+//! The pipeline mirrors the paper (and Orion [36], which it builds on):
+//!
+//! 1. landmarks are embedded first, minimising the pairwise *relative*
+//!    distance error (Eq. 4) with Simplex Downhill — incrementally (each
+//!    landmark against those already placed) plus full refinement sweeps;
+//! 2. every other node is embedded independently (parallelisable) against
+//!    its nearest landmarks, again with Simplex Downhill;
+//! 3. coordinates are stored as `f32` — 4 bytes × D per node, which at
+//!    D = 10 reproduces Table 3's 4 GB for the 106 M-node WebGraph.
+
+use grouting_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::landmarks::Landmarks;
+use crate::simplex::{minimize, SimplexOptions};
+use crate::UNREACHED_U16;
+
+/// Tuning for the embedding pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct EmbeddingConfig {
+    /// Euclidean dimensionality D (the paper settles on 10).
+    pub dimensions: usize,
+    /// Full re-embedding sweeps over the landmark set after the incremental
+    /// placement pass.
+    pub landmark_sweeps: usize,
+    /// Simplex iterations per landmark placement.
+    pub landmark_iters: usize,
+    /// Simplex iterations per node placement.
+    pub node_iters: usize,
+    /// Each node's objective uses its closest `k` landmarks (Orion-style),
+    /// keeping per-node cost independent of |L|.
+    pub nearest_landmarks: usize,
+    /// Seed for initial coordinates.
+    pub seed: u64,
+}
+
+impl Default for EmbeddingConfig {
+    fn default() -> Self {
+        Self {
+            dimensions: 10,
+            landmark_sweeps: 3,
+            landmark_iters: 400,
+            node_iters: 60,
+            nearest_landmarks: 16,
+            seed: 0x0410,
+        }
+    }
+}
+
+/// Node coordinates in the embedded space.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    dim: usize,
+    /// Row-major `coords[v * dim ..][..dim]`, `f32` per Table 3.
+    coords: Vec<f32>,
+    nodes: usize,
+    /// Landmark ids in the order their coordinates appear below.
+    landmark_ids: Vec<NodeId>,
+    /// Landmark coordinates kept at `f64` for re-embedding new nodes.
+    landmark_coords: Vec<f64>,
+}
+
+/// The relative-error term of Eq. 4 for one (graph-distance, point) pair.
+#[inline]
+fn relative_error_term(graph_d: f64, euclid_d: f64) -> f64 {
+    (graph_d - euclid_d).abs() / graph_d.max(1.0)
+}
+
+fn euclid(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+impl Embedding {
+    /// Embeds every node of the graph underlying `landmarks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `landmarks` is empty or `config.dimensions == 0`.
+    pub fn build(landmarks: &Landmarks, config: &EmbeddingConfig) -> Self {
+        assert!(!landmarks.is_empty(), "cannot embed without landmarks");
+        assert!(config.dimensions > 0, "zero dimensions");
+        let d = config.dimensions;
+        let n = landmarks.dist[0].len();
+
+        let landmark_coords = embed_landmarks(landmarks, config);
+
+        // Per-node embedding, parallel over chunks of nodes.
+        let mut coords = vec![0f32; n * d];
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        let landmark_lookup: std::collections::HashMap<NodeId, usize> = landmarks
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+
+        {
+            let chunk = n.div_ceil(threads).max(1);
+            let lc = &landmark_coords;
+            let lk = &landmark_lookup;
+            let chunks: Vec<(usize, &mut [f32])> = coords
+                .chunks_mut(chunk * d)
+                .enumerate()
+                .map(|(i, c)| (i * chunk, c))
+                .collect();
+            std::thread::scope(|scope| {
+                for (start, slice) in chunks {
+                    scope.spawn(move || {
+                        for (row, out) in slice.chunks_mut(d).enumerate() {
+                            let v = NodeId::new((start + row) as u32);
+                            let point = if let Some(&li) = lk.get(&v) {
+                                lc[li * d..(li + 1) * d].to_vec()
+                            } else {
+                                embed_node(landmarks, lc, v, config)
+                            };
+                            for (o, p) in out.iter_mut().zip(&point) {
+                                *o = *p as f32;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        Self {
+            dim: d,
+            coords,
+            nodes: n,
+            landmark_ids: landmarks.nodes.clone(),
+            landmark_coords,
+        }
+    }
+
+    /// Dimensionality D.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of embedded nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Coordinates of `node`.
+    #[inline]
+    pub fn coords(&self, node: NodeId) -> &[f32] {
+        let start = node.index() * self.dim;
+        &self.coords[start..start + self.dim]
+    }
+
+    /// Euclidean distance between two embedded nodes.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        self.coords(u)
+            .iter()
+            .zip(self.coords(v))
+            .map(|(a, b)| (*a as f64 - *b as f64).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// The landmark ids used for this embedding.
+    pub fn landmark_ids(&self) -> &[NodeId] {
+        &self.landmark_ids
+    }
+
+    /// Embeds a *new* node given its distances to the landmarks (the
+    /// paper's incremental update path) and returns its coordinates.
+    pub fn embed_from_landmark_distances(
+        &self,
+        dists: &[u16],
+        config: &EmbeddingConfig,
+    ) -> Vec<f32> {
+        let point = embed_vector(
+            dists,
+            &self.landmark_coords,
+            self.dim,
+            config,
+            0xFEED ^ dists.len() as u64,
+        );
+        point.into_iter().map(|x| x as f32).collect()
+    }
+
+    /// Overwrites (or appends, when `node` is the next id) coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or a gap beyond the current node range.
+    pub fn set_coords(&mut self, node: NodeId, point: &[f32]) {
+        assert_eq!(point.len(), self.dim, "dimension mismatch");
+        let start = node.index() * self.dim;
+        if start + self.dim <= self.coords.len() {
+            self.coords[start..start + self.dim].copy_from_slice(point);
+        } else if node.index() == self.nodes {
+            self.coords.extend_from_slice(point);
+            self.nodes += 1;
+        } else {
+            panic!("coords for node {node} beyond embedding end");
+        }
+    }
+
+    /// Bytes held by the coordinate table (Table 3 accounting): 4·D per
+    /// node.
+    pub fn storage_bytes(&self) -> usize {
+        self.coords.len() * 4
+    }
+}
+
+/// Places the landmarks: incremental insert, then full refinement sweeps.
+fn embed_landmarks(landmarks: &Landmarks, config: &EmbeddingConfig) -> Vec<f64> {
+    let d = config.dimensions;
+    let l = landmarks.len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut coords = vec![0f64; l * d];
+
+    let ld = |i: usize, j: usize| -> Option<f64> {
+        let v = landmarks.landmark_distance(i, j);
+        (v != UNREACHED_U16).then_some(v as f64)
+    };
+
+    // Incremental placement: landmark 0 at the origin; each next landmark
+    // minimises error against those already placed.
+    for i in 1..l {
+        let placed = i;
+        let objective = |x: &[f64]| -> f64 {
+            let mut sum = 0.0;
+            for j in 0..placed {
+                if let Some(dij) = ld(i, j) {
+                    let e = euclid(x, &coords[j * d..(j + 1) * d]);
+                    sum += relative_error_term(dij, e);
+                }
+            }
+            sum
+        };
+        // Seed near the first placed landmark it can see, jittered.
+        let radius = ld(i, 0).unwrap_or(1.0);
+        let seed_point: Vec<f64> = (0..d).map(|_| (rng.gen::<f64>() - 0.5) * radius).collect();
+        let r = minimize(
+            objective,
+            &seed_point,
+            &SimplexOptions {
+                max_iters: config.landmark_iters,
+                tolerance: 1e-9,
+                initial_step: (radius / 4.0).max(0.25),
+            },
+        );
+        coords[i * d..(i + 1) * d].copy_from_slice(&r.point);
+    }
+
+    // Refinement sweeps: re-place each landmark against all the others.
+    for _ in 0..config.landmark_sweeps {
+        for i in 0..l {
+            let current = coords[i * d..(i + 1) * d].to_vec();
+            let objective = |x: &[f64]| -> f64 {
+                let mut sum = 0.0;
+                for j in 0..l {
+                    if j == i {
+                        continue;
+                    }
+                    if let Some(dij) = ld(i, j) {
+                        let e = euclid(x, &coords[j * d..(j + 1) * d]);
+                        sum += relative_error_term(dij, e);
+                    }
+                }
+                sum
+            };
+            let r = minimize(
+                objective,
+                &current,
+                &SimplexOptions {
+                    max_iters: config.landmark_iters / 2,
+                    tolerance: 1e-9,
+                    initial_step: 0.5,
+                },
+            );
+            coords[i * d..(i + 1) * d].copy_from_slice(&r.point);
+        }
+    }
+    coords
+}
+
+/// Embeds one non-landmark node against its nearest landmarks.
+fn embed_node(
+    landmarks: &Landmarks,
+    landmark_coords: &[f64],
+    v: NodeId,
+    config: &EmbeddingConfig,
+) -> Vec<f64> {
+    let dists = landmarks.node_vector(v);
+    embed_vector(
+        &dists,
+        landmark_coords,
+        config.dimensions,
+        config,
+        0x9E37 ^ v.raw() as u64,
+    )
+}
+
+/// Embeds a point from a landmark-distance vector (shared by initial build
+/// and incremental updates).
+pub(crate) fn embed_vector(
+    dists: &[u16],
+    landmark_coords: &[f64],
+    d: usize,
+    config: &EmbeddingConfig,
+    seed: u64,
+) -> Vec<f64> {
+    // Pick the nearest reachable landmarks.
+    let mut reachable: Vec<(usize, u16)> = dists
+        .iter()
+        .enumerate()
+        .filter(|&(_, &x)| x != UNREACHED_U16)
+        .map(|(i, &x)| (i, x))
+        .collect();
+    if reachable.is_empty() {
+        // Disconnected from every landmark: place deterministically far out
+        // so such nodes cluster away from the embedded mass.
+        let mut rng = StdRng::seed_from_u64(seed);
+        return (0..d).map(|_| 1e4 + rng.gen::<f64>() * 1e3).collect();
+    }
+    reachable.sort_by_key(|&(_, x)| x);
+    reachable.truncate(config.nearest_landmarks.max(1));
+
+    // Seed at the weighted centroid of the chosen landmarks (closer ⇒
+    // heavier).
+    let mut seed_point = vec![0f64; d];
+    let mut total_w = 0f64;
+    for &(i, dist) in &reachable {
+        let w = 1.0 / (dist as f64 + 1.0);
+        for (s, c) in seed_point
+            .iter_mut()
+            .zip(&landmark_coords[i * d..(i + 1) * d])
+        {
+            *s += w * c;
+        }
+        total_w += w;
+    }
+    for s in &mut seed_point {
+        *s /= total_w;
+    }
+
+    let objective = |x: &[f64]| -> f64 {
+        reachable
+            .iter()
+            .map(|&(i, dist)| {
+                let e = euclid(x, &landmark_coords[i * d..(i + 1) * d]);
+                relative_error_term(dist as f64, e)
+            })
+            .sum()
+    };
+    minimize(
+        objective,
+        &seed_point,
+        &SimplexOptions {
+            max_iters: config.node_iters,
+            tolerance: 1e-7,
+            initial_step: 0.5,
+        },
+    )
+    .point
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::landmarks::LandmarkConfig;
+    use grouting_graph::{CsrGraph, GraphBuilder};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn ring(k: u32) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..k {
+            b.add_edge(n(i), n((i + 1) % k));
+        }
+        b.build().unwrap()
+    }
+
+    fn quick_config(dim: usize) -> EmbeddingConfig {
+        EmbeddingConfig {
+            dimensions: dim,
+            landmark_sweeps: 2,
+            landmark_iters: 200,
+            node_iters: 80,
+            nearest_landmarks: 8,
+            seed: 7,
+        }
+    }
+
+    fn ring_embedding(k: u32, landmarks: usize, dim: usize) -> (Embedding, Landmarks, CsrGraph) {
+        let g = ring(k);
+        // Rings have uniform degree, so the degree rule alone would cluster
+        // landmarks at low ids; a separation of k/|L| spreads them evenly,
+        // matching the paper's "how well they spread over the entire graph".
+        let lm = Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: landmarks,
+                min_separation: (k as usize / landmarks).max(2) as u32,
+            },
+        );
+        let emb = Embedding::build(&lm, &quick_config(dim));
+        (emb, lm, g)
+    }
+
+    #[test]
+    fn dimensions_and_storage() {
+        let (emb, _, g) = ring_embedding(32, 6, 5);
+        assert_eq!(emb.dim(), 5);
+        assert_eq!(emb.node_count(), g.node_count());
+        assert_eq!(emb.storage_bytes(), 32 * 5 * 4);
+    }
+
+    #[test]
+    fn nearby_nodes_are_close_far_nodes_are_far() {
+        let (emb, _, _) = ring_embedding(48, 8, 6);
+        // Average embedded distance of ring-adjacent pairs should be far
+        // below that of ring-antipodal pairs.
+        let mut near = 0.0;
+        let mut far = 0.0;
+        for v in 0..48u32 {
+            near += emb.distance(n(v), n((v + 1) % 48));
+            far += emb.distance(n(v), n((v + 24) % 48));
+        }
+        assert!(
+            near * 3.0 < far,
+            "near avg {} vs far avg {}",
+            near / 48.0,
+            far / 48.0
+        );
+    }
+
+    #[test]
+    fn landmark_pairwise_distances_roughly_preserved() {
+        let (emb, lm, _) = ring_embedding(40, 6, 8);
+        let mut total_err = 0.0;
+        let mut pairs = 0;
+        for i in 0..lm.len() {
+            for j in (i + 1)..lm.len() {
+                let gd = lm.landmark_distance(i, j) as f64;
+                let ed = emb.distance(lm.nodes[i], lm.nodes[j]);
+                total_err += (gd - ed).abs() / gd.max(1.0);
+                pairs += 1;
+            }
+        }
+        let mean = total_err / pairs as f64;
+        assert!(mean < 0.35, "mean landmark relative error {mean}");
+    }
+
+    #[test]
+    fn higher_dimensions_reduce_error() {
+        let (emb2, lm, _) = ring_embedding(40, 8, 2);
+        let g = ring(40);
+        let lm8 = Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: 8,
+                min_separation: 2,
+            },
+        );
+        let emb8 = Embedding::build(&lm8, &quick_config(8));
+        let err = |emb: &Embedding, lm: &Landmarks| -> f64 {
+            let mut t = 0.0;
+            let mut c = 0;
+            for i in 0..lm.len() {
+                for j in (i + 1)..lm.len() {
+                    let gd = lm.landmark_distance(i, j) as f64;
+                    t += (gd - emb.distance(lm.nodes[i], lm.nodes[j])).abs() / gd.max(1.0);
+                    c += 1;
+                }
+            }
+            t / c as f64
+        };
+        let e2 = err(&emb2, &lm);
+        let e8 = err(&emb8, &lm8);
+        assert!(
+            e8 <= e2 + 0.05,
+            "8D error {e8} should not exceed 2D error {e2}"
+        );
+    }
+
+    #[test]
+    fn incremental_embed_lands_near_neighbors() {
+        let (emb, lm, _) = ring_embedding(32, 6, 6);
+        // Pretend node 5 is new: embed it from its landmark distances.
+        let dists = lm.node_vector(n(5));
+        let point = emb.embed_from_landmark_distances(&dists, &quick_config(6));
+        let old = emb.coords(n(5));
+        let drift: f64 = point
+            .iter()
+            .zip(old)
+            .map(|(a, b)| (*a as f64 - *b as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        // Same inputs, same objective: the re-embedded point must be close
+        // to the original placement (not exact: different seeds).
+        assert!(drift < 3.0, "drift {drift}");
+    }
+
+    #[test]
+    fn set_coords_appends() {
+        let (mut emb, _, _) = ring_embedding(16, 4, 3);
+        emb.set_coords(n(16), &[1.0, 2.0, 3.0]);
+        assert_eq!(emb.node_count(), 17);
+        assert_eq!(emb.coords(n(16)), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn disconnected_nodes_placed_far_away() {
+        let mut b = GraphBuilder::with_nodes(20);
+        for i in 0..10u32 {
+            b.add_edge(n(i), n((i + 1) % 10));
+        }
+        // Nodes 10..19 are isolated.
+        let g = b.build().unwrap();
+        let lm = Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: 3,
+                min_separation: 2,
+            },
+        );
+        let emb = Embedding::build(&lm, &quick_config(4));
+        let far = emb.distance(n(0), n(15));
+        let near = emb.distance(n(0), n(1));
+        assert!(far > 100.0 * near.max(0.1), "far {far} near {near}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimensions")]
+    fn rejects_zero_dimensions() {
+        let g = ring(8);
+        let lm = Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: 2,
+                min_separation: 2,
+            },
+        );
+        let mut cfg = quick_config(1);
+        cfg.dimensions = 0;
+        let _ = Embedding::build(&lm, &cfg);
+    }
+}

@@ -1,0 +1,128 @@
+//! Relative-error evaluation of an embedding (Eq. 4, Figure 12(a)).
+
+use grouting_graph::traversal::{bfs_within, Direction};
+use grouting_graph::{CsrGraph, NodeId};
+
+use crate::embedding::Embedding;
+
+/// Mean relative error over explicit `(u, v, hop_distance)` triples.
+pub fn mean_relative_error(embedding: &Embedding, pairs: &[(NodeId, NodeId, u32)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = pairs
+        .iter()
+        .map(|&(u, v, d)| {
+            let e = embedding.distance(u, v);
+            (d as f64 - e).abs() / (d as f64).max(1.0)
+        })
+        .sum();
+    total / pairs.len() as f64
+}
+
+/// Samples node pairs within `max_hops` of hotspot centres — the "2-hop
+/// hotspot" pair population of Figure 12(a) — with exact hop distances.
+pub fn hotspot_pairs(
+    g: &CsrGraph,
+    centers: &[NodeId],
+    max_hops: u32,
+    per_center: usize,
+) -> Vec<(NodeId, NodeId, u32)> {
+    let mut pairs = Vec::new();
+    for &c in centers {
+        let ball = bfs_within(g, c, max_hops, Direction::Both);
+        // Pair the centre with each ball member (exact distance from BFS).
+        for &(v, d) in ball.iter().skip(1).take(per_center) {
+            pairs.push((c, v, d));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::EmbeddingConfig;
+    use crate::landmarks::{LandmarkConfig, Landmarks};
+    use grouting_graph::GraphBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn ring(k: u32) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..k {
+            b.add_edge(n(i), n((i + 1) % k));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn zero_error_for_perfect_pairs() {
+        let g = ring(24);
+        let lm = Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: 4,
+                min_separation: 2,
+            },
+        );
+        let emb = Embedding::build(
+            &lm,
+            &EmbeddingConfig {
+                dimensions: 4,
+                ..Default::default()
+            },
+        );
+        // Error against itself at distance "embedding distance" would be 0;
+        // here we check the function arithmetic with synthetic pairs.
+        let d01 = emb.distance(n(0), n(1));
+        let pairs = vec![(n(0), n(1), d01.round() as u32)];
+        let err = mean_relative_error(&emb, &pairs);
+        assert!(err < 0.5);
+        assert_eq!(mean_relative_error(&emb, &[]), 0.0);
+    }
+
+    #[test]
+    fn hotspot_pairs_have_exact_distances() {
+        let g = ring(32);
+        let pairs = hotspot_pairs(&g, &[n(0), n(16)], 2, 10);
+        assert!(!pairs.is_empty());
+        for (u, v, d) in pairs {
+            assert!(d >= 1 && d <= 2, "pair {u} {v} at {d}");
+            let truth = grouting_graph::traversal::hop_distance(&g, u, v, Direction::Both);
+            assert_eq!(truth, Some(d));
+        }
+    }
+
+    #[test]
+    fn embedding_error_reasonable_on_ring() {
+        let g = ring(48);
+        let lm = Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: 8,
+                min_separation: 6,
+            },
+        );
+        let emb = Embedding::build(
+            &lm,
+            &EmbeddingConfig {
+                dimensions: 6,
+                landmark_sweeps: 2,
+                landmark_iters: 200,
+                node_iters: 80,
+                nearest_landmarks: 8,
+                seed: 3,
+            },
+        );
+        let centers: Vec<NodeId> = (0..6).map(|i| n(i * 8)).collect();
+        let pairs = hotspot_pairs(&g, &centers, 2, 8);
+        let err = mean_relative_error(&emb, &pairs);
+        // The paper's own Figure 12(a) reports relative errors between ~1
+        // and ~4 for 2-hop hotspot pairs; nearby (1–2 hop) pairs are the
+        // hardest to preserve, so we only bound the error to that range.
+        assert!(err < 4.0, "relative error {err}");
+    }
+}

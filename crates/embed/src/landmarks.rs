@@ -1,0 +1,372 @@
+//! Landmark selection and distance-map computation (§3.4.1 preprocessing).
+//!
+//! "We select landmarks based on their node degree and how well they spread
+//! over the entire graph. Our first step is to find a certain number of
+//! landmarks considering the highest degree nodes … if we find two landmarks
+//! to be closer than a pre-defined threshold, the one with the lower degree
+//! is discarded."
+//!
+//! Selection walks nodes in descending bi-directed degree; accepting a
+//! landmark marks its `(min_separation − 1)`-hop ball as blocked, so any
+//! later (lower-degree) candidate inside the ball is skipped — equivalent to
+//! the paper's discard rule. One bi-directed BFS per accepted landmark then
+//! fills the `|L| × n` distance matrix (parallelised across landmarks).
+
+use grouting_graph::traversal::{bfs_distances, bfs_within, Direction};
+use grouting_graph::{CsrGraph, NodeId};
+
+use crate::UNREACHED_U16;
+
+/// Parameters for landmark selection.
+#[derive(Debug, Clone, Copy)]
+pub struct LandmarkConfig {
+    /// Number of landmarks to select (the paper settles on 96).
+    pub count: usize,
+    /// Minimum pairwise hop separation (the paper settles on 3).
+    pub min_separation: u32,
+}
+
+impl Default for LandmarkConfig {
+    fn default() -> Self {
+        Self {
+            count: 96,
+            min_separation: 3,
+        }
+    }
+}
+
+/// The selected landmarks and their full distance maps.
+#[derive(Debug, Clone)]
+pub struct Landmarks {
+    /// Landmark node ids, in selection (descending degree) order.
+    pub nodes: Vec<NodeId>,
+    /// `dist[i][v]`: hops from landmark `i` to node `v` in the bi-directed
+    /// view; [`UNREACHED_U16`] if unreachable.
+    pub dist: Vec<Vec<u16>>,
+    /// The separation threshold used at selection time.
+    pub min_separation: u32,
+}
+
+impl Landmarks {
+    /// Selects landmarks and computes their distance maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.count == 0`.
+    pub fn build(g: &CsrGraph, config: &LandmarkConfig) -> Self {
+        let nodes = select(g, config);
+        let dist = distance_maps(g, &nodes);
+        Self {
+            nodes,
+            dist,
+            min_separation: config.min_separation,
+        }
+    }
+
+    /// Computes distance maps for an explicit landmark set over `g`
+    /// (used when preprocessing must be replayed on a different version of
+    /// the graph, e.g. the Figure 10 staleness experiment).
+    pub fn for_nodes(g: &CsrGraph, nodes: Vec<NodeId>, min_separation: u32) -> Self {
+        let dist = distance_maps(g, &nodes);
+        Self {
+            nodes,
+            dist,
+            min_separation,
+        }
+    }
+
+    /// Number of landmarks actually selected (may fall short of the request
+    /// on small or fragmented graphs).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no landmark could be selected (empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Distance from landmark `i` to `node` in hops.
+    #[inline]
+    pub fn distance(&self, i: usize, node: NodeId) -> u16 {
+        self.dist[i][node.index()]
+    }
+
+    /// Distance between two landmarks.
+    pub fn landmark_distance(&self, i: usize, j: usize) -> u16 {
+        self.dist[i][self.nodes[j].index()]
+    }
+
+    /// Distances from `node` to every landmark.
+    pub fn node_vector(&self, node: NodeId) -> Vec<u16> {
+        self.dist.iter().map(|row| row[node.index()]).collect()
+    }
+
+    /// Bytes consumed by the distance matrix (Table 2/3 accounting).
+    pub fn storage_bytes(&self) -> usize {
+        self.dist.iter().map(|row| row.len() * 2).sum::<usize>() + self.nodes.len() * 4
+    }
+
+    /// Upper bound on `d(u, v)` through the best landmark (Eq. 2).
+    pub fn distance_upper_bound(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        (0..self.len())
+            .filter_map(|i| {
+                let du = self.distance(i, u);
+                let dv = self.distance(i, v);
+                if du == UNREACHED_U16 || dv == UNREACHED_U16 {
+                    None
+                } else {
+                    Some(du as u32 + dv as u32)
+                }
+            })
+            .min()
+    }
+
+    /// Lower bound on `d(u, v)` through the best landmark (Eq. 2).
+    pub fn distance_lower_bound(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        (0..self.len())
+            .filter_map(|i| {
+                let du = self.distance(i, u);
+                let dv = self.distance(i, v);
+                if du == UNREACHED_U16 || dv == UNREACHED_U16 {
+                    None
+                } else {
+                    Some((du as i64 - dv as i64).unsigned_abs() as u32)
+                }
+            })
+            .max()
+    }
+}
+
+/// Runs the degree-and-separation selection rule.
+fn select(g: &CsrGraph, config: &LandmarkConfig) -> Vec<NodeId> {
+    assert!(config.count > 0, "zero landmarks requested");
+    let order = g.nodes_by_degree_desc();
+    let mut blocked = vec![false; g.node_count()];
+    let mut chosen = Vec::with_capacity(config.count);
+    for v in order {
+        if chosen.len() >= config.count {
+            break;
+        }
+        if blocked[v.index()] || g.degree(v) == 0 {
+            continue;
+        }
+        chosen.push(v);
+        if config.min_separation > 0 {
+            for (w, _) in bfs_within(g, v, config.min_separation - 1, Direction::Both) {
+                blocked[w.index()] = true;
+            }
+        }
+    }
+    chosen
+}
+
+/// One full bi-directed BFS per landmark, parallelised across landmarks.
+fn distance_maps(g: &CsrGraph, landmarks: &[NodeId]) -> Vec<Vec<u16>> {
+    let compress = |d: Vec<u32>| -> Vec<u16> {
+        d.into_iter()
+            .map(|x| {
+                if x == grouting_graph::traversal::UNREACHED {
+                    UNREACHED_U16
+                } else {
+                    x.min((UNREACHED_U16 - 1) as u32) as u16
+                }
+            })
+            .collect()
+    };
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(landmarks.len().max(1));
+    if threads <= 1 || landmarks.len() <= 1 {
+        return landmarks
+            .iter()
+            .map(|&l| compress(bfs_distances(g, l, Direction::Both)))
+            .collect();
+    }
+
+    let mut rows: Vec<Option<Vec<u16>>> = vec![None; landmarks.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let rows_cell: Vec<std::sync::Mutex<&mut Option<Vec<u16>>>> =
+        rows.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= landmarks.len() {
+                    break;
+                }
+                let row = compress(bfs_distances(g, landmarks[i], Direction::Both));
+                **rows_cell[i].lock().expect("row lock") = Some(row);
+            });
+        }
+    });
+    drop(rows_cell);
+    rows.into_iter()
+        .map(|r| r.expect("all rows computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouting_graph::GraphBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Ring of `k` nodes.
+    fn ring(k: u32) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..k {
+            b.add_edge(n(i), n((i + 1) % k));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn selects_requested_count_when_possible() {
+        let g = ring(64);
+        let lm = Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: 8,
+                min_separation: 3,
+            },
+        );
+        assert_eq!(lm.len(), 8);
+        assert_eq!(lm.dist.len(), 8);
+        assert_eq!(lm.dist[0].len(), 64);
+    }
+
+    #[test]
+    fn separation_is_respected() {
+        let g = ring(64);
+        let lm = Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: 10,
+                min_separation: 4,
+            },
+        );
+        for i in 0..lm.len() {
+            for j in (i + 1)..lm.len() {
+                let d = lm.landmark_distance(i, j);
+                assert!(d >= 4, "landmarks {i},{j} at distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_degree_nodes_win() {
+        // Star plus a path: the hub must be the first landmark.
+        let mut b = GraphBuilder::new();
+        for i in 1..=10 {
+            b.add_edge(n(0), n(i));
+        }
+        for i in 10..15 {
+            b.add_edge(n(i), n(i + 1));
+        }
+        let g = b.build().unwrap();
+        let lm = Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: 2,
+                min_separation: 2,
+            },
+        );
+        assert_eq!(lm.nodes[0], n(0));
+    }
+
+    #[test]
+    fn distances_match_bfs() {
+        let g = ring(16);
+        let lm = Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: 2,
+                min_separation: 3,
+            },
+        );
+        let l0 = lm.nodes[0];
+        let truth = bfs_distances(&g, l0, Direction::Both);
+        for v in g.nodes() {
+            assert_eq!(lm.distance(0, v) as u32, truth[v.index()]);
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_bounds_hold() {
+        let g = ring(24);
+        let lm = Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: 4,
+                min_separation: 3,
+            },
+        );
+        // Ring distance between nodes 2 and 7 is 5.
+        let (u, v) = (n(2), n(7));
+        let lo = lm.distance_lower_bound(u, v).unwrap();
+        let hi = lm.distance_upper_bound(u, v).unwrap();
+        assert!(lo <= 5, "lower bound {lo}");
+        assert!(hi >= 5, "upper bound {hi}");
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        // Two disconnected rings.
+        let mut b = GraphBuilder::new();
+        for i in 0..8u32 {
+            b.add_edge(n(i), n((i + 1) % 8));
+        }
+        for i in 8..16u32 {
+            b.add_edge(n(i), n(8 + (i + 1 - 8) % 8));
+        }
+        let g = b.build().unwrap();
+        let lm = Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: 1,
+                min_separation: 2,
+            },
+        );
+        let reached = (0..16u32)
+            .filter(|&v| lm.distance(0, n(v)) != UNREACHED_U16)
+            .count();
+        assert_eq!(reached, 8);
+    }
+
+    #[test]
+    fn storage_bytes_is_linear_in_n() {
+        let g = ring(100);
+        let lm = Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: 5,
+                min_separation: 2,
+            },
+        );
+        assert_eq!(lm.storage_bytes(), 5 * 100 * 2 + 5 * 4);
+    }
+
+    #[test]
+    fn isolated_nodes_never_selected() {
+        let mut b = GraphBuilder::with_nodes(20);
+        b.add_edge(n(0), n(1));
+        let g = b.build().unwrap();
+        let lm = Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: 10,
+                min_separation: 1,
+            },
+        );
+        assert!(lm.len() <= 2);
+        for &l in &lm.nodes {
+            assert!(g.degree(l) > 0);
+        }
+    }
+}

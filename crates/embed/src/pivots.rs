@@ -1,0 +1,339 @@
+//! Pivot landmark assignment and the node→processor distance table.
+//!
+//! Landmark routing (§3.4.1) maps landmarks onto the `P` query processors:
+//!
+//! * the first two *pivot* landmarks are the pair farthest apart;
+//! * each next pivot is the landmark farthest from all chosen pivots;
+//! * every remaining landmark joins the processor of its closest pivot;
+//! * `d(u, p)` = the minimum distance from `u` to any landmark of
+//!   processor `p`, stored for all `(u, p)` — O(nP) space, O(nL) time.
+
+use grouting_graph::NodeId;
+
+use crate::landmarks::Landmarks;
+use crate::UNREACHED_U16;
+
+/// The `n × P` distance table consulted by the landmark router.
+#[derive(Debug, Clone)]
+pub struct ProcessorDistanceTable {
+    processors: usize,
+    nodes: usize,
+    /// Row-major `dist[u * P + p]`.
+    dist: Vec<u16>,
+    /// Which processor each landmark was assigned to.
+    landmark_owner: Vec<usize>,
+    /// The pivot landmark index of each processor.
+    pivots: Vec<usize>,
+}
+
+impl ProcessorDistanceTable {
+    /// Builds the table from landmark distance maps for `processors`
+    /// processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processors == 0` or no landmarks are available.
+    pub fn build(landmarks: &Landmarks, processors: usize) -> Self {
+        assert!(processors > 0, "zero processors");
+        assert!(!landmarks.is_empty(), "no landmarks to assign");
+        let l = landmarks.len();
+        let pivots = select_pivots(landmarks, processors.min(l));
+        let landmark_owner = assign_landmarks(landmarks, &pivots);
+
+        let nodes = landmarks.dist[0].len();
+        let mut dist = vec![UNREACHED_U16; nodes * processors];
+        for (i, row) in landmarks.dist.iter().enumerate() {
+            let owner = landmark_owner[i];
+            for (v, &d) in row.iter().enumerate() {
+                let cell = &mut dist[v * processors + owner];
+                if d < *cell {
+                    *cell = d;
+                }
+            }
+        }
+        Self {
+            processors,
+            nodes,
+            dist,
+            landmark_owner,
+            pivots,
+        }
+    }
+
+    /// Number of processors the table was built for.
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// Number of nodes covered.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// `d(u, p)` in hops ([`UNREACHED_U16`] if no landmark of `p` reaches).
+    #[inline]
+    pub fn distance(&self, node: NodeId, processor: usize) -> u16 {
+        match self.dist.get(node.index() * self.processors + processor) {
+            Some(&d) => d,
+            None => UNREACHED_U16,
+        }
+    }
+
+    /// All processor distances of `node` as a slice.
+    pub fn row(&self, node: NodeId) -> &[u16] {
+        let start = node.index() * self.processors;
+        &self.dist[start..start + self.processors]
+    }
+
+    /// The processor with minimum `d(u, p)` (ties to the lower id).
+    pub fn best_processor(&self, node: NodeId) -> usize {
+        let row = self.row(node);
+        row.iter()
+            .enumerate()
+            .min_by_key(|&(_, &d)| d)
+            .map(|(p, _)| p)
+            .unwrap_or(0)
+    }
+
+    /// Which processor owns landmark `i`.
+    pub fn landmark_owner(&self, i: usize) -> usize {
+        self.landmark_owner[i]
+    }
+
+    /// Pivot landmark indices per processor (in processor order).
+    pub fn pivots(&self) -> &[usize] {
+        &self.pivots
+    }
+
+    /// Overwrites the row of `node` (used by incremental updates).
+    pub(crate) fn set_row(&mut self, node: NodeId, row: &[u16]) {
+        assert_eq!(row.len(), self.processors, "row arity");
+        let start = node.index() * self.processors;
+        if start + self.processors <= self.dist.len() {
+            self.dist[start..start + self.processors].copy_from_slice(row);
+        } else if node.index() == self.nodes {
+            // Appending exactly one new node extends the table.
+            self.dist.extend_from_slice(row);
+            self.nodes += 1;
+        } else {
+            panic!("row for node {node} beyond table end");
+        }
+    }
+
+    /// Recomputes a row from a fresh landmark-distance vector.
+    pub fn row_from_landmark_vector(&self, vector: &[u16]) -> Vec<u16> {
+        let mut row = vec![UNREACHED_U16; self.processors];
+        for (i, &d) in vector.iter().enumerate() {
+            let p = self.landmark_owner[i];
+            if d < row[p] {
+                row[p] = d;
+            }
+        }
+        row
+    }
+
+    /// Bytes held by the table — the router-side storage cost (Table 3).
+    pub fn storage_bytes(&self) -> usize {
+        self.dist.len() * 2 + self.landmark_owner.len() * 8 + self.pivots.len() * 8
+    }
+}
+
+/// Farthest-point pivot selection over the landmark metric.
+fn select_pivots(landmarks: &Landmarks, count: usize) -> Vec<usize> {
+    let l = landmarks.len();
+    let d = |i: usize, j: usize| -> u32 {
+        let v = landmarks.landmark_distance(i, j);
+        if v == UNREACHED_U16 {
+            // Unreachable pairs are "infinitely far": ideal pivot separation.
+            u32::MAX
+        } else {
+            v as u32
+        }
+    };
+
+    // First two: the farthest pair.
+    let mut best = (0usize, if l > 1 { 1 } else { 0 }, 0u32);
+    for i in 0..l {
+        for j in (i + 1)..l {
+            let dij = d(i, j);
+            if dij >= best.2 {
+                best = (i, j, dij);
+            }
+        }
+    }
+    let mut pivots = vec![best.0];
+    if count > 1 && l > 1 {
+        pivots.push(best.1);
+    }
+    // Each next: maximise the minimum distance to chosen pivots.
+    while pivots.len() < count {
+        let next = (0..l)
+            .filter(|i| !pivots.contains(i))
+            .max_by_key(|&i| pivots.iter().map(|&p| d(i, p)).min().unwrap_or(0));
+        match next {
+            Some(i) => pivots.push(i),
+            None => break,
+        }
+    }
+    pivots
+}
+
+/// Assigns every landmark to the processor of its closest pivot.
+fn assign_landmarks(landmarks: &Landmarks, pivots: &[usize]) -> Vec<usize> {
+    let l = landmarks.len();
+    (0..l)
+        .map(|i| {
+            pivots
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &p)| {
+                    let d = landmarks.landmark_distance(i, p);
+                    if d == UNREACHED_U16 {
+                        u32::MAX
+                    } else {
+                        d as u32
+                    }
+                })
+                .map(|(proc_, _)| proc_)
+                .expect("at least one pivot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::landmarks::LandmarkConfig;
+    use grouting_graph::{CsrGraph, GraphBuilder};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn ring(k: u32) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..k {
+            b.add_edge(n(i), n((i + 1) % k));
+        }
+        b.build().unwrap()
+    }
+
+    fn ring_table(k: u32, landmarks: usize, procs: usize) -> (ProcessorDistanceTable, Landmarks) {
+        let g = ring(k);
+        let lm = Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: landmarks,
+                min_separation: 2,
+            },
+        );
+        (ProcessorDistanceTable::build(&lm, procs), lm)
+    }
+
+    #[test]
+    fn table_dimensions() {
+        let (t, lm) = ring_table(32, 8, 4);
+        assert_eq!(t.processors(), 4);
+        assert_eq!(t.nodes(), 32);
+        assert_eq!(lm.len(), 8);
+        assert_eq!(t.row(n(0)).len(), 4);
+    }
+
+    #[test]
+    fn every_landmark_owned_and_every_processor_used() {
+        let (t, lm) = ring_table(64, 12, 4);
+        let mut used = vec![false; 4];
+        for i in 0..lm.len() {
+            used[t.landmark_owner(i)] = true;
+        }
+        assert!(used.iter().all(|&u| u), "owners {used:?}");
+    }
+
+    #[test]
+    fn distance_is_min_over_owned_landmarks() {
+        let (t, lm) = ring_table(32, 6, 3);
+        for v in 0..32u32 {
+            for p in 0..3 {
+                let expect = (0..lm.len())
+                    .filter(|&i| t.landmark_owner(i) == p)
+                    .map(|i| lm.distance(i, n(v)))
+                    .min()
+                    .unwrap_or(UNREACHED_U16);
+                assert_eq!(t.distance(n(v), p), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn nearby_nodes_share_best_processor() {
+        // The locality property the router depends on: adjacent ring nodes
+        // mostly route to the same processor.
+        let (t, _) = ring_table(64, 8, 4);
+        let mut same = 0usize;
+        for v in 0..64u32 {
+            if t.best_processor(n(v)) == t.best_processor(n((v + 1) % 64)) {
+                same += 1;
+            }
+        }
+        assert!(same >= 48, "only {same}/64 adjacent pairs agree");
+    }
+
+    #[test]
+    fn pivots_are_far_apart() {
+        let (t, lm) = ring_table(64, 8, 2);
+        let pv = t.pivots();
+        assert_eq!(pv.len(), 2);
+        // The first two pivots must be the farthest landmark pair.
+        let d = lm.landmark_distance(pv[0], pv[1]);
+        let max = (0..lm.len())
+            .flat_map(|i| ((i + 1)..lm.len()).map(move |j| (i, j)))
+            .map(|(i, j)| lm.landmark_distance(i, j))
+            .max()
+            .unwrap();
+        assert_eq!(d, max, "pivot distance {d} vs max {max}");
+    }
+
+    #[test]
+    fn row_from_landmark_vector_matches_build() {
+        let (t, lm) = ring_table(32, 6, 3);
+        for v in 0..32u32 {
+            let vec_ = lm.node_vector(n(v));
+            assert_eq!(t.row_from_landmark_vector(&vec_), t.row(n(v)));
+        }
+    }
+
+    #[test]
+    fn set_row_appends_one_new_node() {
+        let (mut t, _) = ring_table(16, 4, 2);
+        let fresh = vec![3u16, 7u16];
+        t.set_row(n(16), &fresh);
+        assert_eq!(t.nodes(), 17);
+        assert_eq!(t.distance(n(16), 0), 3);
+        assert_eq!(t.distance(n(16), 1), 7);
+    }
+
+    #[test]
+    fn more_processors_than_landmarks_degrades_gracefully() {
+        let (t, lm) = ring_table(16, 2, 5);
+        assert_eq!(t.processors(), 5);
+        // Only 2 pivots exist; nodes must still map to valid processors.
+        for v in 0..16u32 {
+            assert!(t.best_processor(n(v)) < 5);
+        }
+        assert!(lm.len() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero processors")]
+    fn rejects_zero_processors() {
+        let g = ring(8);
+        let lm = Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: 2,
+                min_separation: 2,
+            },
+        );
+        let _ = ProcessorDistanceTable::build(&lm, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Barabási–Albert preferential-attachment generator.
+//!
+//! Each new node attaches `m` edges to existing nodes with probability
+//! proportional to their current degree, via the standard repeated-endpoint
+//! trick (every edge endpoint is pushed into a pool; uniform draws from the
+//! pool are degree-proportional). Produces the heavy-tailed friendship
+//! graphs used for the Friendster-like profile.
+
+use grouting_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::Rng;
+
+use crate::rng;
+
+/// Parameters for the BA generator.
+#[derive(Debug, Clone, Copy)]
+pub struct BaConfig {
+    /// Total number of nodes.
+    pub nodes: usize,
+    /// Edges attached per new node.
+    pub edges_per_node: usize,
+}
+
+/// Generates a Barabási–Albert graph; edges are directed new → old, which
+/// matches a "follows" social graph and leaves both directions queryable via
+/// the bi-directed storage model.
+///
+/// # Panics
+///
+/// Panics if `nodes == 0` or `edges_per_node == 0`.
+pub fn generate(config: &BaConfig, seed: u64) -> CsrGraph {
+    assert!(config.nodes > 0, "BA graph needs nodes");
+    assert!(config.edges_per_node > 0, "BA graph needs edges_per_node");
+    let m = config.edges_per_node;
+    let mut r = rng(seed);
+    let mut builder = GraphBuilder::with_nodes(config.nodes);
+    builder.reserve_edges(config.nodes.saturating_mul(m));
+
+    // Endpoint pool for degree-proportional sampling.
+    let mut pool: Vec<u32> = Vec::with_capacity(2 * config.nodes * m);
+
+    // Seed clique over the first min(m + 1, nodes) nodes.
+    let seed_n = (m + 1).min(config.nodes);
+    for i in 0..seed_n as u32 {
+        for j in 0..i {
+            builder.add_edge(NodeId::new(i), NodeId::new(j));
+            pool.push(i);
+            pool.push(j);
+        }
+    }
+
+    for v in seed_n as u32..config.nodes as u32 {
+        // BTreeSet keeps the endpoint-pool push order deterministic, which
+        // keeps all subsequent degree-proportional draws deterministic.
+        let mut chosen = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while chosen.len() < m && guard < 32 * m {
+            guard += 1;
+            let pick = if pool.is_empty() {
+                r.gen_range(0..v)
+            } else {
+                pool[r.gen_range(0..pool.len())]
+            };
+            if pick != v {
+                chosen.insert(pick);
+            }
+        }
+        for &w in &chosen {
+            builder.add_edge(NodeId::new(v), NodeId::new(w));
+            pool.push(v);
+            pool.push(w);
+        }
+    }
+    builder.build().expect("node count fits u32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouting_graph::stats::GraphStats;
+
+    #[test]
+    fn shape_is_as_requested() {
+        let g = generate(
+            &BaConfig {
+                nodes: 2_000,
+                edges_per_node: 5,
+            },
+            11,
+        );
+        assert_eq!(g.node_count(), 2_000);
+        // Seed clique has m(m+1)/2 edges; each later node adds exactly m.
+        let expected = 5 * 6 / 2 + (2_000 - 6) * 5;
+        assert_eq!(g.edge_count(), expected);
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let g = generate(
+            &BaConfig {
+                nodes: 3_000,
+                edges_per_node: 4,
+            },
+            2,
+        );
+        let stats = GraphStats::compute(&g);
+        assert!(
+            stats.max_degree as f64 > 5.0 * stats.mean_degree,
+            "max {} mean {}",
+            stats.max_degree,
+            stats.mean_degree
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = BaConfig {
+            nodes: 500,
+            edges_per_node: 3,
+        };
+        let a = generate(&cfg, 7);
+        let b = generate(&cfg, 7);
+        for v in a.nodes() {
+            assert_eq!(a.out_slice(v), b.out_slice(v));
+        }
+    }
+
+    #[test]
+    fn small_graphs_degenerate_gracefully() {
+        let g = generate(
+            &BaConfig {
+                nodes: 2,
+                edges_per_node: 5,
+            },
+            0,
+        );
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = generate(
+            &BaConfig {
+                nodes: 800,
+                edges_per_node: 3,
+            },
+            4,
+        );
+        for v in g.nodes() {
+            assert!(!g.has_edge(v, v));
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Community-structured power-law generator.
+//!
+//! The routing results in the paper depend on *topology-aware locality*
+//! (Figure 4): the 2-hop neighbourhoods of nearby nodes overlap strongly,
+//! while those of distant nodes do not. Real web and social graphs get this
+//! from community structure — pages cluster by host, users by social
+//! circle. Pure preferential-attachment models do **not** have it (every
+//! node's neighbourhood goes through the same global hubs), so dataset
+//! profiles use this generator: nodes are grouped into id-contiguous
+//! communities, each community is wired by preferential attachment (local
+//! hubs, heavy-tailed degrees), and a small fraction of edges crosses
+//! communities uniformly at random.
+
+use grouting_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::Rng;
+
+use crate::rng;
+
+/// Parameters for the community generator.
+#[derive(Debug, Clone, Copy)]
+pub struct CommunityConfig {
+    /// Total number of nodes.
+    pub nodes: usize,
+    /// Nodes per community (the last community may be smaller).
+    pub community_size: usize,
+    /// Total directed edges to aim for.
+    pub edges: usize,
+    /// Fraction of edges that cross community boundaries.
+    pub cross_fraction: f64,
+    /// Of the cross edges, the fraction that jump to a uniformly random
+    /// community; the rest connect communities *adjacent on the community
+    /// ring*. This gives the metagraph small-world structure: graph
+    /// diameters land in the 10–25 range of real web/social graphs instead
+    /// of the ~5 of a uniformly-wired mixture, which is what gives hop
+    /// distances (and hence landmarks and embeddings) usable dynamic range.
+    pub shortcut_fraction: f64,
+}
+
+/// Generates a community-structured graph.
+///
+/// # Panics
+///
+/// Panics on a zero-sized configuration or `cross_fraction` outside
+/// `[0, 1]`.
+pub fn generate(config: &CommunityConfig, seed: u64) -> CsrGraph {
+    assert!(config.nodes > 0, "zero nodes");
+    assert!(config.community_size > 0, "zero community size");
+    assert!(
+        (0.0..=1.0).contains(&config.cross_fraction),
+        "cross_fraction out of range"
+    );
+    let n = config.nodes;
+    let size = config.community_size.min(n);
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::with_nodes(n);
+    b.reserve_edges(config.edges);
+
+    let intra_budget = ((config.edges as f64) * (1.0 - config.cross_fraction)).round() as usize;
+    let m = (intra_budget / n).max(1);
+
+    // Preferential attachment inside each id-contiguous community.
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + size).min(n);
+        wire_community(&mut b, start as u32, end as u32, m, &mut r);
+        start = end;
+    }
+
+    // Cross-community edges for the remaining budget: mostly to ring-
+    // adjacent communities, a few uniform shortcuts.
+    let cross_budget = config.edges.saturating_sub(b.edge_count());
+    let communities = n.div_ceil(size);
+    if communities > 1 {
+        assert!(
+            (0.0..=1.0).contains(&config.shortcut_fraction),
+            "shortcut_fraction out of range"
+        );
+        for _ in 0..cross_budget {
+            let u = r.gen_range(0..n);
+            let cu = u / size;
+            let cv = if r.gen::<f64>() < config.shortcut_fraction {
+                // Global shortcut: any other community.
+                let mut c = r.gen_range(0..communities);
+                if c == cu {
+                    c = (c + 1) % communities;
+                }
+                c
+            } else {
+                // Ring-local: a community 1–2 steps away on the ring.
+                let delta = r.gen_range(1..=2usize);
+                if r.gen::<bool>() {
+                    (cu + delta) % communities
+                } else {
+                    (cu + communities - (delta % communities)) % communities
+                }
+            };
+            let lo = cv * size;
+            let hi = ((cv + 1) * size).min(n);
+            if lo >= hi {
+                continue;
+            }
+            let v = r.gen_range(lo..hi);
+            if u != v {
+                b.add_edge(NodeId::new(u as u32), NodeId::new(v as u32));
+            }
+        }
+    }
+    b.build().expect("node count fits u32")
+}
+
+/// BA-style wiring over the node range `[start, end)`.
+fn wire_community<R: Rng>(b: &mut GraphBuilder, start: u32, end: u32, m: usize, r: &mut R) {
+    let len = (end - start) as usize;
+    if len < 2 {
+        return;
+    }
+    let m = m.min(len - 1);
+    // Endpoint pool for degree-proportional target choice, local ids.
+    let mut pool: Vec<u32> = Vec::with_capacity(2 * len * m);
+    let seed_n = (m + 1).min(len);
+    for i in 0..seed_n as u32 {
+        for j in 0..i {
+            b.add_edge(NodeId::new(start + i), NodeId::new(start + j));
+            pool.push(i);
+            pool.push(j);
+        }
+    }
+    for v in seed_n as u32..len as u32 {
+        let mut chosen = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while chosen.len() < m && guard < 16 * m {
+            guard += 1;
+            let pick = if pool.is_empty() {
+                r.gen_range(0..v)
+            } else {
+                pool[r.gen_range(0..pool.len())]
+            };
+            if pick != v {
+                chosen.insert(pick);
+            }
+        }
+        for &w in &chosen {
+            b.add_edge(NodeId::new(start + v), NodeId::new(start + w));
+            pool.push(v);
+            pool.push(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouting_graph::traversal::{bfs_within, Direction};
+
+    fn overlap(a: &[NodeId], b: &[NodeId]) -> f64 {
+        let sa: std::collections::HashSet<_> = a.iter().collect();
+        let sb: std::collections::HashSet<_> = b.iter().collect();
+        let inter = sa.intersection(&sb).count();
+        inter as f64 / sa.len().min(sb.len()).max(1) as f64
+    }
+
+    fn ball(g: &CsrGraph, v: u32) -> Vec<NodeId> {
+        bfs_within(g, NodeId::new(v), 2, Direction::Both)
+            .into_iter()
+            .map(|(w, _)| w)
+            .collect()
+    }
+
+    #[test]
+    fn shape_roughly_matches_request() {
+        let g = generate(
+            &CommunityConfig {
+                nodes: 4000,
+                community_size: 200,
+                edges: 40_000,
+                cross_fraction: 0.1,
+                shortcut_fraction: 0.1,
+            },
+            1,
+        );
+        assert_eq!(g.node_count(), 4000);
+        let e = g.edge_count();
+        assert!(
+            (30_000..=40_000).contains(&e),
+            "edges {e} outside tolerance"
+        );
+    }
+
+    #[test]
+    fn topology_aware_locality_exists() {
+        // The property the whole paper rests on: same-community (nearby)
+        // nodes overlap heavily, distant nodes do not.
+        let g = generate(
+            &CommunityConfig {
+                nodes: 4000,
+                community_size: 200,
+                edges: 40_000,
+                cross_fraction: 0.08,
+                shortcut_fraction: 0.1,
+            },
+            2,
+        );
+        let near = overlap(&ball(&g, 50), &ball(&g, 60)); // same community
+        let far = overlap(&ball(&g, 50), &ball(&g, 2050)); // 10 communities away
+        assert!(
+            near > 3.0 * far,
+            "near overlap {near:.3} vs far {far:.3} — locality too weak"
+        );
+        assert!(near > 0.3, "near overlap {near:.3} too small");
+    }
+
+    #[test]
+    fn neighborhoods_are_community_sized() {
+        let g = generate(
+            &CommunityConfig {
+                nodes: 8000,
+                community_size: 200,
+                edges: 80_000,
+                cross_fraction: 0.1,
+                shortcut_fraction: 0.1,
+            },
+            3,
+        );
+        let b = ball(&g, 1000);
+        // A 2-hop ball should be around a community's worth of nodes, far
+        // below the graph size.
+        assert!(b.len() > 20, "ball {} too small", b.len());
+        assert!(b.len() < 2000, "ball {} too global", b.len());
+    }
+
+    #[test]
+    fn local_hubs_emerge() {
+        let g = generate(
+            &CommunityConfig {
+                nodes: 2000,
+                community_size: 100,
+                edges: 20_000,
+                cross_fraction: 0.05,
+                shortcut_fraction: 0.1,
+            },
+            4,
+        );
+        // Hubs are local (bounded by community size), so the tail is
+        // milder than global preferential attachment — but still present.
+        let stats = grouting_graph::stats::GraphStats::compute(&g);
+        assert!(
+            stats.max_degree as f64 >= 2.5 * stats.mean_degree,
+            "max {} mean {}",
+            stats.max_degree,
+            stats.mean_degree
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = CommunityConfig {
+            nodes: 500,
+            community_size: 50,
+            edges: 4_000,
+            cross_fraction: 0.1,
+            shortcut_fraction: 0.1,
+        };
+        let a = generate(&cfg, 9);
+        let b = generate(&cfg, 9);
+        for v in a.nodes() {
+            assert_eq!(a.out_slice(v), b.out_slice(v));
+        }
+    }
+
+    #[test]
+    fn single_community_degenerates_to_ba() {
+        let g = generate(
+            &CommunityConfig {
+                nodes: 100,
+                community_size: 1000,
+                edges: 500,
+                cross_fraction: 0.2,
+                shortcut_fraction: 0.1,
+            },
+            5,
+        );
+        assert_eq!(g.node_count(), 100);
+        assert!(g.edge_count() > 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Erdős–Rényi `G(n, m)` random graph generator.
+
+use grouting_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::Rng;
+
+use crate::rng;
+
+/// Generates a uniform random directed graph with `nodes` nodes and (up to)
+/// `edges` distinct directed edges, no self-loops.
+///
+/// Used as the unclustered control case: routing locality gains should be
+/// smallest here because nearby nodes share few neighbours.
+///
+/// # Panics
+///
+/// Panics if `nodes == 0` and `edges > 0`.
+pub fn generate(nodes: usize, edges: usize, seed: u64) -> CsrGraph {
+    assert!(nodes > 0 || edges == 0, "edges without nodes");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::with_nodes(nodes);
+    b.reserve_edges(edges);
+    let mut produced = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = edges.saturating_mul(4).max(16);
+    while produced < edges && attempts < max_attempts {
+        attempts += 1;
+        let s = r.gen_range(0..nodes) as u32;
+        let d = r.gen_range(0..nodes) as u32;
+        if s == d {
+            continue;
+        }
+        b.add_edge(NodeId::new(s), NodeId::new(d));
+        produced += 1;
+    }
+    b.build().expect("node count fits u32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let g = generate(1000, 5000, 3);
+        assert_eq!(g.node_count(), 1000);
+        assert!(g.edge_count() > 4_500, "dedup removes few on sparse graphs");
+        assert!(g.edge_count() <= 5_000);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = generate(10, 0, 0);
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = generate(50, 500, 8);
+        for v in g.nodes() {
+            assert!(!g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(100, 300, 5);
+        let b = generate(100, 300, 5);
+        for v in a.nodes() {
+            assert_eq!(a.out_slice(v), b.out_slice(v));
+        }
+    }
+}

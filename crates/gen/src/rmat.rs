@@ -1,0 +1,186 @@
+//! R-MAT (recursive matrix) graph generator.
+//!
+//! The classic Chakrabarti–Zhan–Faloutsos model: each edge picks one of the
+//! four adjacency-matrix quadrants with probabilities `(a, b, c, d)`
+//! recursively until a single cell remains. With skewed quadrant weights the
+//! result exhibits the power-law degree distribution of real web and social
+//! graphs, which is the graph property the paper's routing results depend on.
+
+use grouting_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::Rng;
+
+use crate::rng;
+
+/// Parameters for the R-MAT generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatConfig {
+    /// log2 of the node count (the generated graph has `2^scale` nodes).
+    pub scale: u32,
+    /// Number of directed edges to draw (before dedup).
+    pub edges: usize,
+    /// Quadrant probability `a` (top-left; self-community).
+    pub a: f64,
+    /// Quadrant probability `b` (top-right).
+    pub b: f64,
+    /// Quadrant probability `c` (bottom-left).
+    pub c: f64,
+    /// Per-level multiplicative noise applied to the quadrant weights.
+    pub noise: f64,
+    /// Whether to drop self-loops.
+    pub drop_self_loops: bool,
+}
+
+impl RmatConfig {
+    /// The conventional web-graph parameterisation `(0.57, 0.19, 0.19, 0.05)`.
+    pub fn web(scale: u32, edges: usize) -> Self {
+        Self {
+            scale,
+            edges,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+            drop_self_loops: true,
+        }
+    }
+
+    /// A milder skew used for the Memetracker-like profile.
+    pub fn mild(scale: u32, edges: usize) -> Self {
+        Self {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            ..Self::web(scale, edges)
+        }
+    }
+
+    /// Quadrant probability `d`, derived so the four sum to one.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates an R-MAT graph.
+///
+/// # Panics
+///
+/// Panics if the quadrant probabilities are invalid (negative `d`).
+pub fn generate(config: &RmatConfig, seed: u64) -> CsrGraph {
+    assert!(
+        config.d() >= -1e-12,
+        "quadrant probabilities exceed 1: a+b+c = {}",
+        config.a + config.b + config.c
+    );
+    let n = 1usize << config.scale;
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::with_nodes(n);
+    b.reserve_edges(config.edges);
+    for _ in 0..config.edges {
+        let (src, dst) = sample_edge(config, &mut r);
+        if config.drop_self_loops && src == dst {
+            continue;
+        }
+        b.add_edge(NodeId::new(src), NodeId::new(dst));
+    }
+    b.build().expect("node count fits u32")
+}
+
+fn sample_edge<R: Rng>(config: &RmatConfig, r: &mut R) -> (u32, u32) {
+    let mut x = 0u64;
+    let mut y = 0u64;
+    for level in (0..config.scale).rev() {
+        // Multiplicative noise keeps degree sequences from being too regular
+        // across levels, as recommended in the Graph500 reference.
+        let jitter = |p: f64, r: &mut R| -> f64 {
+            let eps = config.noise * (2.0 * r.gen::<f64>() - 1.0);
+            (p * (1.0 + eps)).max(1e-9)
+        };
+        let a = jitter(config.a, r);
+        let b = jitter(config.b, r);
+        let c = jitter(config.c, r);
+        let d = jitter(config.d().max(0.0), r);
+        let total = a + b + c + d;
+        let u: f64 = r.gen::<f64>() * total;
+        let bit = 1u64 << level;
+        if u < a {
+            // Top-left: no bits set.
+        } else if u < a + b {
+            y |= bit;
+        } else if u < a + b + c {
+            x |= bit;
+        } else {
+            x |= bit;
+            y |= bit;
+        }
+    }
+    (x as u32, y as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouting_graph::stats::{powerlaw_alpha_mle, GraphStats};
+
+    #[test]
+    fn generates_requested_shape() {
+        let g = generate(&RmatConfig::web(10, 8_000), 1);
+        assert_eq!(g.node_count(), 1024);
+        // Dedup and self-loop dropping lose a few edges but not most.
+        assert!(g.edge_count() > 6_000, "edges = {}", g.edge_count());
+        assert!(g.edge_count() <= 8_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&RmatConfig::web(8, 2_000), 9);
+        let b = generate(&RmatConfig::web(8, 2_000), 9);
+        assert_eq!(a.edge_count(), b.edge_count());
+        let va: Vec<_> = a.out_neighbors(NodeId::new(3)).collect();
+        let vb: Vec<_> = b.out_neighbors(NodeId::new(3)).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&RmatConfig::web(8, 2_000), 1);
+        let b = generate(&RmatConfig::web(8, 2_000), 2);
+        let ea: Vec<_> = a.nodes().flat_map(|v| a.out_slice(v).to_vec()).collect();
+        let eb: Vec<_> = b.nodes().flat_map(|v| b.out_slice(v).to_vec()).collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = generate(&RmatConfig::web(12, 40_000), 3);
+        let stats = GraphStats::compute(&g);
+        // A hub far above the mean indicates heavy-tailed degrees.
+        assert!(
+            stats.max_degree as f64 > 10.0 * stats.mean_degree,
+            "max {} mean {}",
+            stats.max_degree,
+            stats.mean_degree
+        );
+        let alpha = powerlaw_alpha_mle(&g, 4).unwrap();
+        assert!(alpha > 1.2 && alpha < 4.0, "alpha = {alpha}");
+    }
+
+    #[test]
+    fn no_self_loops_when_dropped() {
+        let g = generate(&RmatConfig::web(8, 4_000), 5);
+        for v in g.nodes() {
+            assert!(!g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quadrant probabilities")]
+    fn rejects_invalid_probabilities() {
+        let cfg = RmatConfig {
+            a: 0.6,
+            b: 0.3,
+            c: 0.3,
+            ..RmatConfig::web(4, 10)
+        };
+        let _ = generate(&cfg, 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Watts–Strogatz small-world generator.
+//!
+//! Starts from a ring lattice where every node connects to its `k` nearest
+//! clockwise neighbours, then rewires each edge's target with probability
+//! `beta`. Low `beta` yields high clustering with short paths — the regime
+//! where *topology-aware locality* (Figure 4 of the paper) is strongest,
+//! making this the best-case generator for smart routing tests.
+
+use grouting_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::Rng;
+
+use crate::rng;
+
+/// Parameters for the Watts–Strogatz generator.
+#[derive(Debug, Clone, Copy)]
+pub struct WsConfig {
+    /// Number of nodes on the ring.
+    pub nodes: usize,
+    /// Clockwise nearest neighbours each node connects to.
+    pub k: usize,
+    /// Rewiring probability in `[0, 1]`.
+    pub beta: f64,
+}
+
+/// Generates a Watts–Strogatz graph.
+///
+/// # Panics
+///
+/// Panics if `beta` is outside `[0, 1]` or `k >= nodes`.
+pub fn generate(config: &WsConfig, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&config.beta), "beta out of range");
+    assert!(
+        config.nodes == 0 || config.k < config.nodes,
+        "k must be below node count"
+    );
+    let n = config.nodes;
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::with_nodes(n);
+    if n == 0 {
+        return b.build().expect("empty graph");
+    }
+    for v in 0..n {
+        for step in 1..=config.k {
+            let mut w = (v + step) % n;
+            if r.gen::<f64>() < config.beta {
+                // Rewire to a uniform non-self target.
+                let mut guard = 0;
+                loop {
+                    let cand = r.gen_range(0..n);
+                    if cand != v || guard > 8 {
+                        w = cand;
+                        break;
+                    }
+                    guard += 1;
+                }
+            }
+            if w != v {
+                b.add_edge(NodeId::new(v as u32), NodeId::new(w as u32));
+            }
+        }
+    }
+    b.build().expect("node count fits u32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouting_graph::traversal::{bfs_within, Direction};
+
+    #[test]
+    fn lattice_when_beta_zero() {
+        let g = generate(
+            &WsConfig {
+                nodes: 12,
+                k: 2,
+                beta: 0.0,
+            },
+            0,
+        );
+        assert_eq!(g.edge_count(), 24);
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(g.has_edge(NodeId::new(11), NodeId::new(0)));
+    }
+
+    #[test]
+    fn neighbors_overlap_in_lattice() {
+        // The defining property for topology-aware locality: adjacent nodes
+        // share most of their 2-hop neighbourhoods.
+        let g = generate(
+            &WsConfig {
+                nodes: 100,
+                k: 3,
+                beta: 0.0,
+            },
+            0,
+        );
+        let a: std::collections::HashSet<_> = bfs_within(&g, NodeId::new(10), 2, Direction::Both)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        let b: std::collections::HashSet<_> = bfs_within(&g, NodeId::new(11), 2, Direction::Both)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        let overlap = a.intersection(&b).count() as f64 / a.len().max(1) as f64;
+        assert!(overlap > 0.5, "overlap = {overlap}");
+    }
+
+    #[test]
+    fn rewiring_changes_edges() {
+        let lattice = generate(
+            &WsConfig {
+                nodes: 200,
+                k: 2,
+                beta: 0.0,
+            },
+            5,
+        );
+        let rewired = generate(
+            &WsConfig {
+                nodes: 200,
+                k: 2,
+                beta: 0.5,
+            },
+            5,
+        );
+        let el: Vec<_> = lattice
+            .nodes()
+            .flat_map(|v| lattice.out_slice(v).to_vec())
+            .collect();
+        let er: Vec<_> = rewired
+            .nodes()
+            .flat_map(|v| rewired.out_slice(v).to_vec())
+            .collect();
+        assert_ne!(el, er);
+    }
+
+    #[test]
+    fn empty_config() {
+        let g = generate(
+            &WsConfig {
+                nodes: 0,
+                k: 0,
+                beta: 0.0,
+            },
+            0,
+        );
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta out of range")]
+    fn rejects_bad_beta() {
+        let _ = generate(
+            &WsConfig {
+                nodes: 10,
+                k: 2,
+                beta: 1.5,
+            },
+            0,
+        );
+    }
+}

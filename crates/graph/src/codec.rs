@@ -1,0 +1,304 @@
+//! Binary codec for per-node adjacency values stored in the storage tier.
+//!
+//! The storage tier is a key-value store: the key is a node id and the value
+//! is the node's adjacency record — its out-neighbours and in-neighbours
+//! (plus labels when present), exactly the layout of the paper's Figure 3.
+//! This module defines that record and its compact wire encoding, built on
+//! [`bytes`].
+//!
+//! Wire format (little endian):
+//!
+//! ```text
+//! u8  flags        (bit 0: has edge labels, bit 1: has node label)
+//! u16 node label   (if flag bit 1)
+//! u32 out_count
+//! u32 in_count
+//! u32 × out_count  out-neighbour ids
+//! u32 × in_count   in-neighbour ids
+//! u16 × out_count  out-edge labels (if flag bit 0)
+//! u16 × in_count   in-edge labels  (if flag bit 0)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::ids::{EdgeLabelId, NodeId, NodeLabelId};
+use crate::Result;
+
+const FLAG_EDGE_LABELS: u8 = 0b01;
+const FLAG_NODE_LABEL: u8 = 0b10;
+
+/// A node's complete adjacency record — the storage-tier value.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AdjacencyRecord {
+    /// Out-neighbour node ids.
+    pub out: Vec<NodeId>,
+    /// In-neighbour node ids.
+    pub inc: Vec<NodeId>,
+    /// Out-edge labels, parallel to `out`; empty when unlabelled.
+    pub out_labels: Vec<EdgeLabelId>,
+    /// In-edge labels, parallel to `inc`; empty when unlabelled.
+    pub in_labels: Vec<EdgeLabelId>,
+    /// The node's own label, if any.
+    pub node_label: Option<NodeLabelId>,
+}
+
+impl AdjacencyRecord {
+    /// Extracts the record for `node` from an in-memory graph.
+    pub fn from_graph(g: &CsrGraph, node: NodeId) -> Result<Self> {
+        g.check(node)?;
+        let (out, out_labels): (Vec<NodeId>, Vec<EdgeLabelId>) = g.out_edges(node).unzip();
+        let (inc, in_labels): (Vec<NodeId>, Vec<EdgeLabelId>) = g.in_edges(node).unzip();
+        let labeled = out_labels
+            .iter()
+            .chain(&in_labels)
+            .any(|l| *l != EdgeLabelId::UNLABELED);
+        Ok(Self {
+            out,
+            inc,
+            out_labels: if labeled { out_labels } else { Vec::new() },
+            in_labels: if labeled { in_labels } else { Vec::new() },
+            node_label: g.node_label(node),
+        })
+    }
+
+    /// All neighbours in the bi-directed view (out then in).
+    pub fn all_neighbors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.out.iter().chain(self.inc.iter()).copied()
+    }
+
+    /// Bi-directed degree.
+    pub fn degree(&self) -> usize {
+        self.out.len() + self.inc.len()
+    }
+
+    /// Encoded size in bytes (matches `encode().len()` exactly).
+    pub fn encoded_len(&self) -> usize {
+        let labeled = !self.out_labels.is_empty() || !self.in_labels.is_empty();
+        1 + if self.node_label.is_some() { 2 } else { 0 }
+            + 8
+            + 4 * (self.out.len() + self.inc.len())
+            + if labeled {
+                2 * (self.out.len() + self.inc.len())
+            } else {
+                0
+            }
+    }
+
+    /// Encodes to the wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        let labeled = !self.out_labels.is_empty() || !self.in_labels.is_empty();
+        let mut flags = 0u8;
+        if labeled {
+            flags |= FLAG_EDGE_LABELS;
+        }
+        if self.node_label.is_some() {
+            flags |= FLAG_NODE_LABEL;
+        }
+        buf.put_u8(flags);
+        if let Some(l) = self.node_label {
+            buf.put_u16_le(l.0);
+        }
+        buf.put_u32_le(self.out.len() as u32);
+        buf.put_u32_le(self.inc.len() as u32);
+        for v in &self.out {
+            buf.put_u32_le(v.raw());
+        }
+        for v in &self.inc {
+            buf.put_u32_le(v.raw());
+        }
+        if labeled {
+            debug_assert_eq!(self.out_labels.len(), self.out.len());
+            debug_assert_eq!(self.in_labels.len(), self.inc.len());
+            for l in &self.out_labels {
+                buf.put_u16_le(l.0);
+            }
+            for l in &self.in_labels {
+                buf.put_u16_le(l.0);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes from the wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Codec`] on truncated or malformed input.
+    pub fn decode(mut data: Bytes) -> Result<Self> {
+        fn need(data: &Bytes, n: usize) -> Result<()> {
+            if data.remaining() < n {
+                Err(GraphError::Codec(format!(
+                    "need {n} bytes, have {}",
+                    data.remaining()
+                )))
+            } else {
+                Ok(())
+            }
+        }
+        need(&data, 1)?;
+        let flags = data.get_u8();
+        if flags & !(FLAG_EDGE_LABELS | FLAG_NODE_LABEL) != 0 {
+            return Err(GraphError::Codec(format!("unknown flags {flags:#x}")));
+        }
+        let node_label = if flags & FLAG_NODE_LABEL != 0 {
+            need(&data, 2)?;
+            Some(NodeLabelId::new(data.get_u16_le()))
+        } else {
+            None
+        };
+        need(&data, 8)?;
+        let out_count = data.get_u32_le() as usize;
+        let in_count = data.get_u32_le() as usize;
+        need(&data, 4 * (out_count + in_count))?;
+        let mut out = Vec::with_capacity(out_count);
+        for _ in 0..out_count {
+            out.push(NodeId::new(data.get_u32_le()));
+        }
+        let mut inc = Vec::with_capacity(in_count);
+        for _ in 0..in_count {
+            inc.push(NodeId::new(data.get_u32_le()));
+        }
+        let (out_labels, in_labels) = if flags & FLAG_EDGE_LABELS != 0 {
+            need(&data, 2 * (out_count + in_count))?;
+            let mut ol = Vec::with_capacity(out_count);
+            for _ in 0..out_count {
+                ol.push(EdgeLabelId::new(data.get_u16_le()));
+            }
+            let mut il = Vec::with_capacity(in_count);
+            for _ in 0..in_count {
+                il.push(EdgeLabelId::new(data.get_u16_le()));
+            }
+            (ol, il)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        if data.has_remaining() {
+            return Err(GraphError::Codec(format!(
+                "{} trailing bytes",
+                data.remaining()
+            )));
+        }
+        Ok(Self {
+            out,
+            inc,
+            out_labels,
+            in_labels,
+            node_label,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn round_trip_unlabeled() {
+        let rec = AdjacencyRecord {
+            out: vec![n(1), n(2)],
+            inc: vec![n(3)],
+            ..Default::default()
+        };
+        let bytes = rec.encode();
+        assert_eq!(bytes.len(), rec.encoded_len());
+        let back = AdjacencyRecord::decode(bytes).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.degree(), 3);
+    }
+
+    #[test]
+    fn round_trip_labeled() {
+        let rec = AdjacencyRecord {
+            out: vec![n(1)],
+            inc: vec![n(2), n(3)],
+            out_labels: vec![EdgeLabelId::new(4)],
+            in_labels: vec![EdgeLabelId::new(5), EdgeLabelId::new(6)],
+            node_label: Some(NodeLabelId::new(9)),
+        };
+        let bytes = rec.encode();
+        assert_eq!(bytes.len(), rec.encoded_len());
+        let back = AdjacencyRecord::decode(bytes).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let rec = AdjacencyRecord {
+            out: vec![n(1), n(2)],
+            ..Default::default()
+        };
+        let bytes = rec.encode();
+        for cut in 0..bytes.len() {
+            let r = AdjacencyRecord::decode(bytes.slice(0..cut));
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let rec = AdjacencyRecord::default();
+        let mut raw = rec.encode().to_vec();
+        raw.push(0xFF);
+        assert!(AdjacencyRecord::decode(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_flags() {
+        let raw = vec![0xF0u8, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert!(AdjacencyRecord::decode(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn from_graph_extracts_both_directions() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(n(0), n(1));
+        b.add_edge(n(2), n(0));
+        let g = b.build().unwrap();
+        let rec = AdjacencyRecord::from_graph(&g, n(0)).unwrap();
+        assert_eq!(rec.out, vec![n(1)]);
+        assert_eq!(rec.inc, vec![n(2)]);
+        assert!(rec.out_labels.is_empty());
+        assert!(AdjacencyRecord::from_graph(&g, n(9)).is_err());
+    }
+
+    #[test]
+    fn all_neighbors_order() {
+        let rec = AdjacencyRecord {
+            out: vec![n(5)],
+            inc: vec![n(7), n(8)],
+            ..Default::default()
+        };
+        let all: Vec<NodeId> = rec.all_neighbors().collect();
+        assert_eq!(all, vec![n(5), n(7), n(8)]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_codec_round_trip(
+            out in proptest::collection::vec(0u32..1_000_000, 0..50),
+            inc in proptest::collection::vec(0u32..1_000_000, 0..50),
+            labeled in proptest::bool::ANY,
+            node_label in proptest::option::of(0u16..100),
+        ) {
+            let rec = AdjacencyRecord {
+                out: out.iter().map(|&v| n(v)).collect(),
+                inc: inc.iter().map(|&v| n(v)).collect(),
+                out_labels: if labeled { out.iter().map(|&v| EdgeLabelId::new((v % 7) as u16)).collect() } else { Vec::new() },
+                in_labels: if labeled { inc.iter().map(|&v| EdgeLabelId::new((v % 5) as u16)).collect() } else { Vec::new() },
+                node_label: node_label.map(NodeLabelId::new),
+            };
+            let bytes = rec.encode();
+            proptest::prop_assert_eq!(bytes.len(), rec.encoded_len());
+            let back = AdjacencyRecord::decode(bytes).unwrap();
+            proptest::prop_assert_eq!(back, rec);
+        }
+    }
+}

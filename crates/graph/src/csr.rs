@@ -1,0 +1,334 @@
+//! Immutable compressed-sparse-row graph with both edge directions.
+
+use crate::error::GraphError;
+use crate::ids::{EdgeLabelId, NodeId, NodeLabelId};
+use crate::Result;
+
+/// An immutable directed graph in CSR form, storing out- and in-adjacency.
+///
+/// Per the paper's storage model (§2.1) every node's value holds both its
+/// out-neighbours and in-neighbours; the smart routing algorithms then treat
+/// the graph as *bi-directed* (§3.4.1), which [`CsrGraph::all_neighbors`]
+/// exposes directly.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    n: usize,
+    out_offsets: Vec<u64>,
+    out_targets: Vec<u32>,
+    out_labels: Vec<EdgeLabelId>,
+    in_offsets: Vec<u64>,
+    in_sources: Vec<u32>,
+    in_labels: Vec<EdgeLabelId>,
+    /// Empty when the graph carries no node labels.
+    node_labels: Vec<NodeLabelId>,
+}
+
+impl CsrGraph {
+    /// Assembles a graph from raw CSR arrays (used by [`crate::GraphBuilder`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        n: usize,
+        out_offsets: Vec<u64>,
+        out_targets: Vec<u32>,
+        out_labels: Vec<EdgeLabelId>,
+        in_offsets: Vec<u64>,
+        in_sources: Vec<u32>,
+        in_labels: Vec<EdgeLabelId>,
+        node_labels: Vec<NodeLabelId>,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), n + 1);
+        debug_assert_eq!(in_offsets.len(), n + 1);
+        debug_assert_eq!(out_targets.len(), out_labels.len());
+        debug_assert_eq!(in_sources.len(), in_labels.len());
+        Self {
+            n,
+            out_offsets,
+            out_targets,
+            out_labels,
+            in_offsets,
+            in_sources,
+            in_labels,
+            node_labels,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Whether `node` is a valid id in this graph.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.index() < self.n
+    }
+
+    /// Validates a node id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] for ids past the node count.
+    pub fn check(&self, node: NodeId) -> Result<()> {
+        if self.contains(node) {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange {
+                node,
+                node_count: self.n,
+            })
+        }
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n as u32).map(NodeId::new)
+    }
+
+    #[inline]
+    fn out_range(&self, node: NodeId) -> std::ops::Range<usize> {
+        let i = node.index();
+        self.out_offsets[i] as usize..self.out_offsets[i + 1] as usize
+    }
+
+    #[inline]
+    fn in_range(&self, node: NodeId) -> std::ops::Range<usize> {
+        let i = node.index();
+        self.in_offsets[i] as usize..self.in_offsets[i + 1] as usize
+    }
+
+    /// Out-degree of `node`.
+    #[inline]
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.out_range(node).len()
+    }
+
+    /// In-degree of `node`.
+    #[inline]
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.in_range(node).len()
+    }
+
+    /// Total degree (in + out) — the degree in the bi-directed view.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.out_degree(node) + self.in_degree(node)
+    }
+
+    /// Out-neighbour slice of `node` as raw ids (sorted ascending).
+    #[inline]
+    pub fn out_slice(&self, node: NodeId) -> &[u32] {
+        &self.out_targets[self.out_range(node)]
+    }
+
+    /// In-neighbour slice of `node` as raw ids (sorted ascending).
+    #[inline]
+    pub fn in_slice(&self, node: NodeId) -> &[u32] {
+        &self.in_sources[self.in_range(node)]
+    }
+
+    /// Iterator over out-neighbours.
+    pub fn out_neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_slice(node).iter().copied().map(NodeId::new)
+    }
+
+    /// Iterator over in-neighbours.
+    pub fn in_neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_slice(node).iter().copied().map(NodeId::new)
+    }
+
+    /// Iterator over the bi-directed neighbourhood (out then in, may repeat
+    /// a node reachable both ways).
+    pub fn all_neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_neighbors(node).chain(self.in_neighbors(node))
+    }
+
+    /// Out-edges of `node` with labels.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (NodeId, EdgeLabelId)> + '_ {
+        let r = self.out_range(node);
+        self.out_targets[r.clone()]
+            .iter()
+            .zip(&self.out_labels[r])
+            .map(|(&t, &l)| (NodeId::new(t), l))
+    }
+
+    /// In-edges of `node` with labels.
+    pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = (NodeId, EdgeLabelId)> + '_ {
+        let r = self.in_range(node);
+        self.in_sources[r.clone()]
+            .iter()
+            .zip(&self.in_labels[r])
+            .map(|(&s, &l)| (NodeId::new(s), l))
+    }
+
+    /// Whether the directed edge `src -> dst` exists (binary search).
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.out_slice(src).binary_search(&dst.raw()).is_ok()
+    }
+
+    /// The node's label, `None` if the graph is unlabelled.
+    pub fn node_label(&self, node: NodeId) -> Option<NodeLabelId> {
+        self.node_labels.get(node.index()).copied()
+    }
+
+    /// Whether the graph stores node labels.
+    pub fn has_node_labels(&self) -> bool {
+        !self.node_labels.is_empty()
+    }
+
+    /// Nodes sorted by descending bi-directed degree (ties by id).
+    ///
+    /// Landmark selection (§3.4.1) starts from the highest-degree nodes.
+    pub fn nodes_by_degree_desc(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.nodes().collect();
+        ids.sort_by_key(|&v| (std::cmp::Reverse(self.degree(v)), v.raw()));
+        ids
+    }
+
+    /// Approximate resident size of the topology in bytes.
+    ///
+    /// Used to report Table 3-style storage comparisons.
+    pub fn topology_bytes(&self) -> usize {
+        self.out_offsets.len() * 8
+            + self.out_targets.len() * 4
+            + self.out_labels.len() * 2
+            + self.in_offsets.len() * 8
+            + self.in_sources.len() * 4
+            + self.in_labels.len() * 2
+            + self.node_labels.len() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Builds the small knowledge-graph example of the paper's Figure 3:
+    /// Jerry Yang --founded--> Yahoo!, etc.
+    fn figure3_graph() -> CsrGraph {
+        // 0 = Jerry Yang, 1 = Yahoo!, 2 = Stanford, 3 = Sunnyvale, 4 = California
+        let mut b = GraphBuilder::new();
+        b.add_labeled_edge(n(0), n(1), EdgeLabelId::new(1)); // founded (F)
+        b.add_labeled_edge(n(0), n(2), EdgeLabelId::new(2)); // education (G)
+        b.add_labeled_edge(n(0), n(3), EdgeLabelId::new(3)); // places lived (L)
+        b.add_labeled_edge(n(1), n(3), EdgeLabelId::new(4)); // headquarters in (H)
+        b.add_labeled_edge(n(1), n(4), EdgeLabelId::new(5)); // place founded (P)
+        b.add_labeled_edge(n(3), n(4), EdgeLabelId::new(6)); // in state
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure3_shape() {
+        let g = figure3_graph();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.out_degree(n(0)), 3);
+        assert_eq!(g.in_degree(n(0)), 0);
+        // Yahoo! (1): out = {Sunnyvale, California}, in = {Jerry Yang}.
+        assert_eq!(g.out_degree(n(1)), 2);
+        assert_eq!(g.in_degree(n(1)), 1);
+        assert_eq!(g.degree(n(1)), 3);
+    }
+
+    #[test]
+    fn bidirected_neighbors_union() {
+        let g = figure3_graph();
+        let all: Vec<NodeId> = g.all_neighbors(n(1)).collect();
+        assert_eq!(all, vec![n(3), n(4), n(0)]);
+    }
+
+    #[test]
+    fn has_edge_binary_search() {
+        let g = figure3_graph();
+        assert!(g.has_edge(n(0), n(1)));
+        assert!(!g.has_edge(n(1), n(0)));
+        assert!(!g.has_edge(n(4), n(0)));
+    }
+
+    #[test]
+    fn labeled_edges_round_trip() {
+        let g = figure3_graph();
+        let edges: Vec<(NodeId, EdgeLabelId)> = g.out_edges(n(0)).collect();
+        assert_eq!(
+            edges,
+            vec![
+                (n(1), EdgeLabelId::new(1)),
+                (n(2), EdgeLabelId::new(2)),
+                (n(3), EdgeLabelId::new(3)),
+            ]
+        );
+        let inv: Vec<(NodeId, EdgeLabelId)> = g.in_edges(n(4)).collect();
+        assert_eq!(
+            inv,
+            vec![(n(1), EdgeLabelId::new(5)), (n(3), EdgeLabelId::new(6))]
+        );
+    }
+
+    #[test]
+    fn check_validates_range() {
+        let g = figure3_graph();
+        assert!(g.check(n(4)).is_ok());
+        assert!(matches!(
+            g.check(n(5)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn degree_ordering() {
+        let g = figure3_graph();
+        let order = g.nodes_by_degree_desc();
+        // Degrees: 0 -> 3, 1 -> 3, 2 -> 1, 3 -> 3, 4 -> 2. Ties by id.
+        assert_eq!(order[0], n(0));
+        assert_eq!(order[1], n(1));
+        assert_eq!(order[2], n(3));
+        assert_eq!(order[3], n(4));
+        assert_eq!(order[4], n(2));
+    }
+
+    #[test]
+    fn topology_bytes_positive() {
+        let g = figure3_graph();
+        assert!(g.topology_bytes() > 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_in_out_edge_counts_match(edges in proptest::collection::vec((0u32..50, 0u32..50), 0..300)) {
+            let mut b = GraphBuilder::new();
+            for (s, d) in &edges {
+                b.add_edge(n(*s), n(*d));
+            }
+            let g = b.build().unwrap();
+            let out_sum: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+            let in_sum: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+            proptest::prop_assert_eq!(out_sum, g.edge_count());
+            proptest::prop_assert_eq!(in_sum, g.edge_count());
+        }
+
+        #[test]
+        fn prop_every_out_edge_has_in_edge(edges in proptest::collection::vec((0u32..30, 0u32..30), 1..200)) {
+            let mut b = GraphBuilder::new();
+            for (s, d) in &edges {
+                b.add_edge(n(*s), n(*d));
+            }
+            let g = b.build().unwrap();
+            for v in g.nodes() {
+                for w in g.out_neighbors(v) {
+                    proptest::prop_assert!(g.in_neighbors(w).any(|x| x == v));
+                }
+            }
+        }
+    }
+}

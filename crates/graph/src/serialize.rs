@@ -1,0 +1,349 @@
+//! Compact binary (de)serialisation of graphs.
+//!
+//! Benches and applications regenerate multi-million-edge graphs on every
+//! run; persisting them (and reloading with a single pass) makes experiment
+//! iteration cheap. The format stores only the forward adjacency plus
+//! labels — the reverse direction is rebuilt on load, which keeps files
+//! small and makes corrupt input structurally impossible to smuggle past
+//! the builder.
+//!
+//! Layout (little endian):
+//!
+//! ```text
+//! [u32 magic "GRTG"] [u8 version=1] [u8 flags]
+//! [u64 node_count] [u64 edge_count]
+//! u64 × (node_count + 1)   out-offsets
+//! u32 × edge_count         out-targets
+//! u16 × edge_count         out-edge labels   (flag bit 0)
+//! u16 × node_count         node labels       (flag bit 1)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::ids::{EdgeLabelId, NodeId, NodeLabelId};
+use crate::Result;
+
+const MAGIC: u32 = 0x4754_5247; // "GRTG" little-endian
+const VERSION: u8 = 1;
+const FLAG_EDGE_LABELS: u8 = 0b01;
+const FLAG_NODE_LABELS: u8 = 0b10;
+
+/// Serialises a graph to the binary format.
+pub fn write_graph(g: &CsrGraph) -> Bytes {
+    let n = g.node_count();
+    let m = g.edge_count();
+    let edge_labeled = g
+        .nodes()
+        .flat_map(|v| g.out_edges(v))
+        .any(|(_, l)| l != EdgeLabelId::UNLABELED);
+    let node_labeled = g.has_node_labels();
+
+    let mut flags = 0u8;
+    if edge_labeled {
+        flags |= FLAG_EDGE_LABELS;
+    }
+    if node_labeled {
+        flags |= FLAG_NODE_LABELS;
+    }
+
+    let mut buf = BytesMut::with_capacity(22 + 8 * (n + 1) + 4 * m + 2 * m + 2 * n);
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(flags);
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(m as u64);
+
+    let mut offset = 0u64;
+    buf.put_u64_le(0);
+    for v in g.nodes() {
+        offset += g.out_degree(v) as u64;
+        buf.put_u64_le(offset);
+    }
+    for v in g.nodes() {
+        for &t in g.out_slice(v) {
+            buf.put_u32_le(t);
+        }
+    }
+    if edge_labeled {
+        for v in g.nodes() {
+            for (_, l) in g.out_edges(v) {
+                buf.put_u16_le(l.0);
+            }
+        }
+    }
+    if node_labeled {
+        for v in g.nodes() {
+            buf.put_u16_le(g.node_label(v).unwrap_or_default().0);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialises a graph, rebuilding the reverse adjacency.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Codec`] on malformed input (bad magic/version,
+/// truncation, inconsistent offsets, out-of-range targets).
+pub fn read_graph(mut data: Bytes) -> Result<CsrGraph> {
+    fn need(data: &Bytes, bytes: usize, what: &str) -> Result<()> {
+        if data.remaining() < bytes {
+            Err(GraphError::Codec(format!(
+                "truncated {what}: need {bytes} bytes, have {}",
+                data.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    need(&data, 22, "header")?;
+    let magic = data.get_u32_le();
+    if magic != MAGIC {
+        return Err(GraphError::Codec(format!("bad magic {magic:#010x}")));
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(GraphError::Codec(format!("unsupported version {version}")));
+    }
+    let flags = data.get_u8();
+    if flags & !(FLAG_EDGE_LABELS | FLAG_NODE_LABELS) != 0 {
+        return Err(GraphError::Codec(format!("unknown flags {flags:#x}")));
+    }
+    let n = data.get_u64_le() as usize;
+    let m = data.get_u64_le() as usize;
+    if n > u32::MAX as usize {
+        return Err(GraphError::Codec(format!("{n} nodes exceed id space")));
+    }
+
+    need(&data, 8 * (n + 1), "offsets")?;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(data.get_u64_le());
+    }
+    if offsets[0] != 0 || offsets[n] as usize != m {
+        return Err(GraphError::Codec("offset envelope mismatch".into()));
+    }
+    for w in offsets.windows(2) {
+        if w[1] < w[0] {
+            return Err(GraphError::Codec("non-monotone offsets".into()));
+        }
+    }
+
+    need(&data, 4 * m, "targets")?;
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        let t = data.get_u32_le();
+        if t as usize >= n {
+            return Err(GraphError::Codec(format!("target {t} out of range")));
+        }
+        targets.push(t);
+    }
+
+    let edge_labels: Option<Vec<u16>> = if flags & FLAG_EDGE_LABELS != 0 {
+        need(&data, 2 * m, "edge labels")?;
+        Some((0..m).map(|_| data.get_u16_le()).collect())
+    } else {
+        None
+    };
+    let node_labels: Option<Vec<u16>> = if flags & FLAG_NODE_LABELS != 0 {
+        need(&data, 2 * n, "node labels")?;
+        Some((0..n).map(|_| data.get_u16_le()).collect())
+    } else {
+        None
+    };
+    if data.has_remaining() {
+        return Err(GraphError::Codec(format!(
+            "{} trailing bytes",
+            data.remaining()
+        )));
+    }
+
+    let mut b = GraphBuilder::with_nodes(n);
+    b.reserve_edges(m);
+    for v in 0..n {
+        let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+        for e in lo..hi {
+            let label = edge_labels
+                .as_ref()
+                .map(|l| EdgeLabelId::new(l[e]))
+                .unwrap_or(EdgeLabelId::UNLABELED);
+            b.add_labeled_edge(NodeId::new(v as u32), NodeId::new(targets[e]), label);
+        }
+    }
+    if let Some(nl) = node_labels {
+        for (v, l) in nl.into_iter().enumerate() {
+            b.set_node_label(NodeId::new(v as u32), NodeLabelId::new(l));
+        }
+    }
+    b.build()
+}
+
+/// Writes the graph to a file.
+///
+/// # Errors
+///
+/// Returns the I/O error message wrapped as [`GraphError::Codec`].
+pub fn save_to(g: &CsrGraph, path: &std::path::Path) -> Result<()> {
+    std::fs::write(path, write_graph(g)).map_err(|e| GraphError::Codec(format!("write: {e}")))
+}
+
+/// Reads a graph from a file.
+///
+/// # Errors
+///
+/// Returns I/O or format errors as [`GraphError::Codec`].
+pub fn load_from(path: &std::path::Path) -> Result<CsrGraph> {
+    let data = std::fs::read(path).map_err(|e| GraphError::Codec(format!("read: {e}")))?;
+    read_graph(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sample_graph(labeled: bool) -> CsrGraph {
+        let mut b = GraphBuilder::with_nodes(6);
+        b.add_edge(n(0), n(1));
+        b.add_edge(n(1), n(2));
+        b.add_edge(n(2), n(0));
+        b.add_edge(n(4), n(5));
+        if labeled {
+            b.add_labeled_edge(n(3), n(4), EdgeLabelId::new(7));
+            b.set_node_label(n(0), NodeLabelId::new(3));
+            b.set_node_label(n(5), NodeLabelId::new(4));
+        }
+        b.build().unwrap()
+    }
+
+    fn assert_same(a: &CsrGraph, b: &CsrGraph) {
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for v in a.nodes() {
+            assert_eq!(a.out_slice(v), b.out_slice(v));
+            assert_eq!(a.in_slice(v), b.in_slice(v));
+            assert_eq!(a.node_label(v), b.node_label(v));
+            assert_eq!(
+                a.out_edges(v).collect::<Vec<_>>(),
+                b.out_edges(v).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_unlabeled() {
+        let g = sample_graph(false);
+        let back = read_graph(write_graph(&g)).unwrap();
+        assert_same(&g, &back);
+    }
+
+    #[test]
+    fn round_trip_labeled() {
+        let g = sample_graph(true);
+        let back = read_graph(write_graph(&g)).unwrap();
+        assert_same(&g, &back);
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let g = GraphBuilder::new().build().unwrap();
+        let back = read_graph(write_graph(&g)).unwrap();
+        assert_eq!(back.node_count(), 0);
+        assert_eq!(back.edge_count(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut raw = write_graph(&sample_graph(false)).to_vec();
+        raw[0] ^= 0xFF;
+        assert!(matches!(
+            read_graph(Bytes::from(raw)),
+            Err(GraphError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut raw = write_graph(&sample_graph(false)).to_vec();
+        raw[4] = 99;
+        assert!(read_graph(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let raw = write_graph(&sample_graph(true));
+        for cut in 0..raw.len() {
+            assert!(
+                read_graph(raw.slice(0..cut)).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut raw = write_graph(&sample_graph(false)).to_vec();
+        raw.push(0);
+        assert!(read_graph(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let g = sample_graph(false);
+        let mut raw = write_graph(&g).to_vec();
+        // Targets start after header (22) + offsets (8 * 7); overwrite the
+        // first one with an id past the node count.
+        let target_at = 22 + 8 * 7;
+        raw[target_at..target_at + 4].copy_from_slice(&999u32.to_le_bytes());
+        assert!(read_graph(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = sample_graph(true);
+        let path =
+            std::env::temp_dir().join(format!("grouting-serialize-{}.bin", std::process::id()));
+        save_to(&g, &path).unwrap();
+        let back = load_from(&path).unwrap();
+        assert_same(&g, &back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_error() {
+        assert!(load_from(std::path::Path::new("/nonexistent/graph.bin")).is_err());
+    }
+
+    proptest::proptest! {
+        /// Any random graph round-trips exactly.
+        #[test]
+        fn prop_round_trip(
+            edges in proptest::collection::vec((0u32..40, 0u32..40, 0u16..4), 0..200),
+            labels in proptest::collection::vec(0u16..6, 0..40),
+        ) {
+            let mut b = GraphBuilder::with_nodes(40);
+            for (s, d, l) in &edges {
+                b.add_labeled_edge(n(*s), n(*d), EdgeLabelId::new(*l));
+            }
+            for (v, l) in labels.iter().enumerate() {
+                b.set_node_label(n(v as u32), NodeLabelId::new(*l));
+            }
+            let g = b.build().unwrap();
+            let back = read_graph(write_graph(&g)).unwrap();
+            assert_same(&g, &back);
+        }
+
+        /// Arbitrary bytes never panic the reader.
+        #[test]
+        fn prop_reader_never_panics(data in proptest::collection::vec(proptest::num::u8::ANY, 0..256)) {
+            let _ = read_graph(Bytes::from(data));
+        }
+    }
+}

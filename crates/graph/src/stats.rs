@@ -1,0 +1,180 @@
+//! Summary statistics over graphs (the shape of the paper's Table 1).
+
+use crate::csr::CsrGraph;
+use crate::traversal::{bfs_within, Direction};
+use crate::NodeId;
+
+/// Dataset-level statistics mirroring Table 1 plus degree-skew measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Maximum bi-directed degree.
+    pub max_degree: usize,
+    /// Mean bi-directed degree.
+    pub mean_degree: f64,
+    /// Approximate adjacency-list size on disk in bytes (Table 1 column).
+    pub adjacency_bytes: usize,
+    /// Fraction of nodes with zero edges.
+    pub isolated_fraction: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`.
+    pub fn compute(g: &CsrGraph) -> Self {
+        let n = g.node_count();
+        let mut max_degree = 0usize;
+        let mut isolated = 0usize;
+        for v in g.nodes() {
+            let d = g.degree(v);
+            max_degree = max_degree.max(d);
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        let mean_degree = if n == 0 {
+            0.0
+        } else {
+            2.0 * g.edge_count() as f64 / n as f64
+        };
+        Self {
+            nodes: n,
+            edges: g.edge_count(),
+            max_degree,
+            mean_degree,
+            adjacency_bytes: g.topology_bytes(),
+            isolated_fraction: if n == 0 {
+                0.0
+            } else {
+                isolated as f64 / n as f64
+            },
+        }
+    }
+}
+
+/// Degree distribution as (degree, node-count) pairs sorted by degree.
+pub fn degree_distribution(g: &CsrGraph) -> Vec<(usize, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for v in g.nodes() {
+        *counts.entry(g.degree(v)).or_insert(0usize) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// Estimates the power-law exponent of the degree distribution by a simple
+/// maximum-likelihood fit over degrees `>= d_min` (Clauset-style, without
+/// the d_min search).
+///
+/// Returns `None` when fewer than two nodes qualify. Real graphs in the
+/// paper are power-law ("due to power-law degree distribution of real-world
+/// graphs, it is difficult to get high-quality partitions"); tests use this
+/// to check the generators produce the intended skew.
+pub fn powerlaw_alpha_mle(g: &CsrGraph, d_min: usize) -> Option<f64> {
+    let d_min = d_min.max(1);
+    let mut sum_log = 0.0f64;
+    let mut count = 0usize;
+    for v in g.nodes() {
+        let d = g.degree(v);
+        if d >= d_min {
+            sum_log += (d as f64 / (d_min as f64 - 0.5)).ln();
+            count += 1;
+        }
+    }
+    if count < 2 || sum_log <= 0.0 {
+        return None;
+    }
+    Some(1.0 + count as f64 / sum_log)
+}
+
+/// Mean number of nodes within `h` hops over a sample of `sample` sources
+/// (deterministic stride sampling). Matches the paper's reporting of
+/// "average 2-hop neighborhood size".
+pub fn mean_h_hop_size(g: &CsrGraph, h: u32, sample: usize) -> f64 {
+    let n = g.node_count();
+    if n == 0 || sample == 0 {
+        return 0.0;
+    }
+    let stride = (n / sample.min(n)).max(1);
+    let mut total = 0usize;
+    let mut taken = 0usize;
+    let mut i = 0usize;
+    while i < n && taken < sample {
+        let v = NodeId::new(i as u32);
+        total += bfs_within(g, v, h, Direction::Both).len() - 1;
+        taken += 1;
+        i += stride;
+    }
+    total as f64 / taken.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn star(k: u32) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for i in 1..=k {
+            b.add_edge(n(0), n(i));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stats_of_star() {
+        let g = star(5);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.edges, 5);
+        assert_eq!(s.max_degree, 5);
+        assert!((s.mean_degree - 10.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.isolated_fraction, 0.0);
+        assert!(s.adjacency_bytes > 0);
+    }
+
+    #[test]
+    fn stats_counts_isolated() {
+        let g = GraphBuilder::with_nodes(4).build().unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.isolated_fraction, 1.0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.max_degree, 0);
+    }
+
+    #[test]
+    fn degree_distribution_of_star() {
+        let g = star(4);
+        let dist = degree_distribution(&g);
+        assert_eq!(dist, vec![(1, 4), (4, 1)]);
+    }
+
+    #[test]
+    fn mean_h_hop_size_star() {
+        let g = star(5);
+        // Every leaf reaches hub at hop 1 and the other 4 leaves at hop 2;
+        // hub reaches all 5 leaves at hop 1.
+        let m1 = mean_h_hop_size(&g, 1, 6);
+        assert!(m1 > 0.0);
+        let m2 = mean_h_hop_size(&g, 2, 6);
+        assert!(m2 >= m1);
+        assert!((m2 - 5.0).abs() < 1e-9, "m2={m2}");
+    }
+
+    #[test]
+    fn alpha_mle_none_for_tiny() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(n(0), n(1));
+        let g = b.build().unwrap();
+        // Both nodes have degree 1 -> sum_log = ln(1/0.5) * 2 > 0, count = 2.
+        let alpha = powerlaw_alpha_mle(&g, 1);
+        assert!(alpha.is_some());
+        let empty = GraphBuilder::new().build().unwrap();
+        assert_eq!(powerlaw_alpha_mle(&empty, 1), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! Induced-subgraph extraction.
+//!
+//! §4.5's graph-update robustness experiment preprocesses "a reduced
+//! subgraph of the original dataset … the subgraph induced by these
+//! selected nodes" while queries run over the complete graph. The induced
+//! subgraph keeps the full id space (unselected nodes become isolated) so
+//! preprocessing tables stay index-compatible with the full graph.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::NodeId;
+
+/// Returns the subgraph induced by the nodes for which `keep` is true,
+/// preserving node ids (dropped nodes become isolated).
+pub fn induced_subgraph(g: &CsrGraph, keep: impl Fn(NodeId) -> bool) -> CsrGraph {
+    let mut b = GraphBuilder::with_nodes(g.node_count());
+    for v in g.nodes() {
+        if !keep(v) {
+            continue;
+        }
+        for w in g.out_neighbors(v) {
+            if keep(w) {
+                b.add_edge(v, w);
+            }
+        }
+    }
+    b.build().expect("same id space as input")
+}
+
+/// Deterministically selects ~`fraction` of nodes by hashing ids, returning
+/// the keep mask (used for the 20 %–100 % preprocessing sweeps).
+pub fn fraction_mask(g: &CsrGraph, fraction: f64, seed: u64) -> Vec<bool> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+    let threshold = (fraction * u32::MAX as f64) as u32;
+    g.nodes()
+        .map(|v| {
+            // SplitMix-style mix of the node id with the seed.
+            let mut x = v.raw() as u64 ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            (x as u32) <= threshold
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn ring(k: u32) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..k {
+            b.add_edge(n(i), n((i + 1) % k));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn keeps_ids_and_drops_edges() {
+        let g = ring(10);
+        let sub = induced_subgraph(&g, |v| v.raw() < 5);
+        assert_eq!(sub.node_count(), 10);
+        // Edges 0->1..3->4 survive; 4->5, 9->0 drop.
+        assert_eq!(sub.edge_count(), 4);
+        assert!(sub.has_edge(n(0), n(1)));
+        assert!(!sub.has_edge(n(4), n(5)));
+        assert_eq!(sub.degree(n(7)), 0);
+    }
+
+    #[test]
+    fn full_keep_is_identity() {
+        let g = ring(8);
+        let sub = induced_subgraph(&g, |_| true);
+        assert_eq!(sub.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn fraction_mask_is_proportional_and_stable() {
+        let g = ring(10_000);
+        let mask = fraction_mask(&g, 0.3, 7);
+        let kept = mask.iter().filter(|&&k| k).count();
+        assert!((2_500..3_500).contains(&kept), "kept {kept}");
+        assert_eq!(mask, fraction_mask(&g, 0.3, 7));
+        let all = fraction_mask(&g, 1.0, 7);
+        assert!(all.iter().filter(|&&k| k).count() >= 9_990);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction out of range")]
+    fn mask_validates_fraction() {
+        let g = ring(4);
+        let _ = fraction_mask(&g, 1.5, 0);
+    }
+}

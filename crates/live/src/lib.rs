@@ -1,0 +1,18 @@
+//! Real multi-threaded deployment of the decoupled architecture.
+//!
+//! Where `grouting-sim` charges virtual time, this runtime actually spawns
+//! the tiers: one router thread, `P` query-processor threads (each owning
+//! its cache), and the shared thread-safe storage tier. Communication uses
+//! crossbeam channels; the dispatch protocol is the paper's ack-driven one —
+//! "the router sends the next query to a processor only when it receives an
+//! acknowledgement for the previous query from that processor" (§3.2) —
+//! which yields query stealing for free exactly as in the simulator.
+//!
+//! Used by the examples and by concurrency tests; experiment benches use
+//! the simulator for determinism.
+
+pub mod report;
+pub mod runtime;
+
+pub use report::LiveReport;
+pub use runtime::{run_live, LiveConfig};

@@ -1,0 +1,73 @@
+//! Wall-clock measurements from a live run.
+
+use grouting_metrics::Timeline;
+use grouting_query::QueryResult;
+
+/// Results and metrics of one live cluster run.
+#[derive(Debug)]
+pub struct LiveReport {
+    /// Per-query lifecycle (wall-clock nanoseconds since run start).
+    pub timeline: Timeline,
+    /// Query results in sequence order.
+    pub results: Vec<QueryResult>,
+    /// Total cache hits.
+    pub cache_hits: u64,
+    /// Total cache misses.
+    pub cache_misses: u64,
+    /// Queries stolen across processors.
+    pub stolen: u64,
+    /// Wall-clock duration of the whole run.
+    pub wall_ns: u64,
+}
+
+impl LiveReport {
+    /// Cache hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Wall-clock throughput in queries/second.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.timeline.len() as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report() {
+        let r = LiveReport {
+            timeline: Timeline::new(),
+            results: vec![],
+            cache_hits: 0,
+            cache_misses: 0,
+            stolen: 0,
+            wall_ns: 0,
+        };
+        assert_eq!(r.hit_rate(), 0.0);
+        assert_eq!(r.throughput_qps(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let r = LiveReport {
+            timeline: Timeline::new(),
+            results: vec![],
+            cache_hits: 9,
+            cache_misses: 1,
+            stolen: 0,
+            wall_ns: 1,
+        };
+        assert!((r.hit_rate() - 0.9).abs() < 1e-12);
+    }
+}

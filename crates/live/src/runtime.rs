@@ -1,0 +1,438 @@
+//! The threaded router/processor runtime.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use grouting_cache::{NullCache, Policy};
+use grouting_embed::embedding::Embedding;
+use grouting_embed::landmarks::Landmarks;
+use grouting_metrics::timeline::QueryRecord;
+use grouting_metrics::Timeline;
+use grouting_query::{AccessStats, Executor, ProcessorCache, Query, QueryResult};
+use grouting_route::{EmbedRouter, Router, RouterConfig, RoutingKind, Strategy};
+use grouting_storage::StorageTier;
+
+/// Configuration for a live run.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveConfig {
+    /// Number of query-processor threads.
+    pub processors: usize,
+    /// Routing scheme.
+    pub routing: RoutingKind,
+    /// Per-processor cache capacity in bytes.
+    pub cache_capacity: usize,
+    /// Cache eviction policy.
+    pub cache_policy: Policy,
+    /// EMA smoothing for embed routing.
+    pub alpha: f64,
+    /// Load factor for d_LB.
+    pub load_factor: f64,
+    /// Whether stealing is enabled.
+    pub stealing: bool,
+    /// Queries admitted to router queues ahead of dispatch (0 = 16 × P).
+    pub admission_window: usize,
+    /// Seed for EMA initialisation.
+    pub seed: u64,
+}
+
+impl LiveConfig {
+    /// Paper-flavoured defaults for `processors` and a scheme.
+    pub fn paper_default(processors: usize, routing: RoutingKind) -> Self {
+        Self {
+            processors,
+            routing,
+            cache_capacity: 256 << 20,
+            cache_policy: Policy::Lru,
+            alpha: 0.9,
+            load_factor: 20.0,
+            stealing: true,
+            admission_window: 0,
+            seed: 0x11FE,
+        }
+    }
+
+    fn window(&self) -> usize {
+        if self.admission_window == 0 {
+            16 * self.processors
+        } else {
+            self.admission_window
+        }
+    }
+}
+
+enum Job {
+    Run(u64, Query),
+    Stop,
+}
+
+struct Ack {
+    processor: usize,
+    seq: u64,
+    result: QueryResult,
+    stats: AccessStats,
+    started_ns: u64,
+    completed_ns: u64,
+}
+
+/// Runs the query stream on real threads and returns wall-clock metrics.
+///
+/// Preprocessing assets are passed in so the router can build the smart
+/// strategies; pass `None` for the baselines.
+///
+/// # Panics
+///
+/// Panics if `cfg.processors == 0`, or if a smart scheme is requested
+/// without its preprocessing asset.
+pub fn run_live(
+    tier: Arc<StorageTier>,
+    landmarks: Option<Arc<Landmarks>>,
+    embedding: Option<Arc<Embedding>>,
+    queries: &[Query],
+    cfg: &LiveConfig,
+) -> crate::LiveReport {
+    assert!(cfg.processors > 0, "zero processors");
+    let p = cfg.processors;
+
+    let strategy = match cfg.routing {
+        RoutingKind::NoCache => Strategy::NextReady { no_cache: true },
+        RoutingKind::NextReady => Strategy::NextReady { no_cache: false },
+        RoutingKind::Hash => Strategy::Hash,
+        RoutingKind::Landmark => Strategy::Landmark(grouting_embed::ProcessorDistanceTable::build(
+            landmarks
+                .as_ref()
+                .expect("landmark routing needs landmarks"),
+            p,
+        )),
+        RoutingKind::Embed => Strategy::Embed(EmbedRouter::new(
+            Arc::clone(
+                embedding
+                    .as_ref()
+                    .expect("embed routing needs an embedding"),
+            ),
+            p,
+            cfg.alpha,
+            cfg.seed,
+        )),
+    };
+    let mut router = Router::new(
+        strategy,
+        p,
+        RouterConfig {
+            load_factor: cfg.load_factor,
+            stealing: cfg.stealing,
+        },
+    );
+
+    let run_start = now_ns();
+    let (ack_tx, ack_rx): (Sender<Ack>, Receiver<Ack>) = unbounded();
+
+    // One bounded channel per processor: capacity 1 enforces the ack
+    // protocol (the router can have at most one outstanding query per
+    // processor).
+    let mut job_txs: Vec<Sender<Job>> = Vec::with_capacity(p);
+    let mut handles = Vec::with_capacity(p);
+    for proc_id in 0..p {
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(1);
+        job_txs.push(tx);
+        let tier = Arc::clone(&tier);
+        let ack_tx = ack_tx.clone();
+        let uses_cache = cfg.routing.uses_cache();
+        let policy = cfg.cache_policy;
+        let capacity = cfg.cache_capacity;
+        handles.push(std::thread::spawn(move || {
+            let mut cache: ProcessorCache = if uses_cache {
+                policy.build(capacity)
+            } else {
+                Box::new(NullCache::new())
+            };
+            while let Ok(job) = rx.recv() {
+                match job {
+                    Job::Run(seq, query) => {
+                        let started_ns = now_ns();
+                        let mut ex = Executor::new(&tier, &mut cache);
+                        let out = ex.run(&query);
+                        let completed_ns = now_ns();
+                        let _ = ack_tx.send(Ack {
+                            processor: proc_id,
+                            seq,
+                            result: out.result,
+                            stats: out.stats,
+                            started_ns,
+                            completed_ns,
+                        });
+                    }
+                    Job::Stop => break,
+                }
+            }
+        }));
+    }
+    drop(ack_tx);
+
+    // Router loop: keep the window full, dispatch on acks.
+    let window = cfg.window();
+    let mut backlog = queries.iter().copied().enumerate();
+    let mut arrivals: Vec<u64> = vec![0; queries.len()];
+    let mut timeline = Timeline::new();
+    let mut results: Vec<Option<QueryResult>> = vec![None; queries.len()];
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    let mut outstanding = 0usize;
+    let mut busy = vec![false; p];
+
+    let mut admit = |router: &mut Router, arrivals: &mut Vec<u64>| {
+        while router.pending() < window {
+            match backlog.next() {
+                Some((seq, q)) => {
+                    arrivals[seq] = now_ns();
+                    router.submit(seq as u64, q);
+                }
+                None => break,
+            }
+        }
+    };
+
+    admit(&mut router, &mut arrivals);
+    // Prime every processor.
+    for proc_id in 0..p {
+        if let Some((seq, q)) = router.next_for(proc_id) {
+            job_txs[proc_id]
+                .send(Job::Run(seq, q))
+                .expect("worker alive");
+            busy[proc_id] = true;
+            outstanding += 1;
+        }
+    }
+
+    while outstanding > 0 {
+        let ack = ack_rx.recv().expect("workers alive while outstanding");
+        outstanding -= 1;
+        busy[ack.processor] = false;
+        cache_hits += ack.stats.cache_hits;
+        cache_misses += ack.stats.cache_misses;
+        results[ack.seq as usize] = Some(ack.result);
+        timeline.push(QueryRecord {
+            seq: ack.seq,
+            arrived: arrivals[ack.seq as usize],
+            started: ack.started_ns,
+            completed: ack.completed_ns,
+            processor: ack.processor,
+        });
+        admit(&mut router, &mut arrivals);
+        // The acked processor first, then any other idle one (work may have
+        // become stealable).
+        for proc_id in std::iter::once(ack.processor).chain((0..p).filter(|&i| i != ack.processor))
+        {
+            if !busy[proc_id] {
+                if let Some((seq, q)) = router.next_for(proc_id) {
+                    job_txs[proc_id]
+                        .send(Job::Run(seq, q))
+                        .expect("worker alive");
+                    busy[proc_id] = true;
+                    outstanding += 1;
+                }
+            }
+        }
+    }
+
+    for tx in &job_txs {
+        let _ = tx.send(Job::Stop);
+    }
+    for h in handles {
+        h.join().expect("worker thread exits cleanly");
+    }
+
+    crate::LiveReport {
+        timeline,
+        results: results
+            .into_iter()
+            .map(|r| r.expect("every query completed"))
+            .collect(),
+        cache_hits,
+        cache_misses,
+        stolen: router.stolen(),
+        wall_ns: now_ns().saturating_sub(run_start),
+    }
+}
+
+/// Monotonic nanoseconds since a process-wide epoch; all threads share the
+/// same base so arrival/start/completion timestamps are comparable.
+fn now_ns() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouting_embed::landmarks::LandmarkConfig;
+    use grouting_embed::EmbeddingConfig;
+    use grouting_graph::traversal::{h_hop_neighborhood, Direction};
+    use grouting_graph::{CsrGraph, GraphBuilder, NodeId};
+    use grouting_partition::HashPartitioner;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn chord_ring(k: u32) -> Arc<CsrGraph> {
+        let mut b = GraphBuilder::new();
+        for i in 0..k {
+            b.add_edge(n(i), n((i + 1) % k));
+            b.add_edge(n(i), n((i + 2) % k));
+        }
+        Arc::new(b.build().unwrap())
+    }
+
+    fn loaded_tier(g: &CsrGraph, servers: usize) -> Arc<StorageTier> {
+        let tier = Arc::new(StorageTier::new(Arc::new(HashPartitioner::new(servers))));
+        tier.load_graph(g).unwrap();
+        tier
+    }
+
+    fn queries(k: u32) -> Vec<Query> {
+        (0..60)
+            .map(|i| Query::NeighborAggregation {
+                node: n((i * 7) % k),
+                hops: 2,
+                label: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hash_routing_completes_all_queries_correctly() {
+        let g = chord_ring(96);
+        let tier = loaded_tier(&g, 3);
+        let q = queries(96);
+        let report = run_live(
+            tier,
+            None,
+            None,
+            &q,
+            &LiveConfig::paper_default(4, RoutingKind::Hash),
+        );
+        assert_eq!(report.results.len(), q.len());
+        assert_eq!(report.timeline.len(), q.len());
+        for (query, result) in q.iter().zip(&report.results) {
+            let truth = h_hop_neighborhood(&g, query.anchor(), 2, Direction::Both).len() as u64;
+            assert_eq!(*result, QueryResult::Count(truth));
+        }
+        assert!(report.wall_ns > 0);
+        assert!(report.throughput_qps() > 0.0);
+    }
+
+    #[test]
+    fn repeated_hotspot_queries_hit_caches() {
+        let g = chord_ring(64);
+        let tier = loaded_tier(&g, 2);
+        // Everyone asks around node 0: second wave should hit.
+        let q: Vec<Query> = (0..40)
+            .map(|i| Query::NeighborAggregation {
+                node: n(i % 4),
+                hops: 2,
+                label: None,
+            })
+            .collect();
+        let report = run_live(
+            tier,
+            None,
+            None,
+            &q,
+            &LiveConfig::paper_default(2, RoutingKind::Hash),
+        );
+        assert!(report.cache_hits > 0, "no cache hits on a hotspot");
+        assert!(report.hit_rate() > 0.3, "hit rate {}", report.hit_rate());
+    }
+
+    #[test]
+    fn no_cache_mode_has_zero_hits() {
+        let g = chord_ring(64);
+        let tier = loaded_tier(&g, 2);
+        let q = queries(64);
+        let report = run_live(
+            tier,
+            None,
+            None,
+            &q,
+            &LiveConfig::paper_default(3, RoutingKind::NoCache),
+        );
+        assert_eq!(report.cache_hits, 0);
+        assert!(report.cache_misses > 0);
+    }
+
+    #[test]
+    fn embed_routing_runs_end_to_end() {
+        let g = chord_ring(96);
+        let tier = loaded_tier(&g, 3);
+        let lm = Arc::new(Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: 8,
+                min_separation: 8,
+            },
+        ));
+        let emb = Arc::new(Embedding::build(
+            &lm,
+            &EmbeddingConfig {
+                dimensions: 5,
+                landmark_sweeps: 1,
+                landmark_iters: 120,
+                node_iters: 40,
+                nearest_landmarks: 8,
+                seed: 4,
+            },
+        ));
+        let q = queries(96);
+        let report = run_live(
+            tier,
+            Some(lm),
+            Some(emb),
+            &q,
+            &LiveConfig::paper_default(4, RoutingKind::Embed),
+        );
+        assert_eq!(report.results.len(), q.len());
+        for (query, result) in q.iter().zip(&report.results) {
+            let truth = h_hop_neighborhood(&g, query.anchor(), 2, Direction::Both).len() as u64;
+            assert_eq!(*result, QueryResult::Count(truth));
+        }
+    }
+
+    #[test]
+    fn landmark_routing_runs_end_to_end() {
+        let g = chord_ring(64);
+        let tier = loaded_tier(&g, 2);
+        let lm = Arc::new(Landmarks::build(
+            &g,
+            &LandmarkConfig {
+                count: 6,
+                min_separation: 6,
+            },
+        ));
+        let q = queries(64);
+        let report = run_live(
+            tier,
+            Some(lm),
+            None,
+            &q,
+            &LiveConfig::paper_default(3, RoutingKind::Landmark),
+        );
+        assert_eq!(report.results.len(), q.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "embed routing needs an embedding")]
+    fn embed_without_assets_panics() {
+        let g = chord_ring(16);
+        let tier = loaded_tier(&g, 1);
+        let _ = run_live(
+            tier,
+            None,
+            None,
+            &[],
+            &LiveConfig::paper_default(1, RoutingKind::Embed),
+        );
+    }
+}

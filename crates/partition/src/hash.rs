@@ -1,0 +1,110 @@
+//! Stateless MurmurHash3 modulo partitioner — gRouting's storage placement.
+
+use grouting_graph::NodeId;
+
+use crate::murmur3::hash_node;
+use crate::Partitioner;
+
+/// Default hash seed; fixed so every tier agrees on placement.
+pub const DEFAULT_SEED: u32 = 0x9747_b28c;
+
+/// Assigns node `u` to partition `murmur3(u) mod P` (paper Eq. 1, with the
+/// hash applied first as RAMCloud does).
+#[derive(Debug, Clone, Copy)]
+pub struct HashPartitioner {
+    parts: usize,
+    seed: u32,
+}
+
+impl HashPartitioner {
+    /// Creates a partitioner over `parts` partitions with the default seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0`.
+    pub fn new(parts: usize) -> Self {
+        Self::with_seed(parts, DEFAULT_SEED)
+    }
+
+    /// Creates a partitioner with an explicit hash seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0`.
+    pub fn with_seed(parts: usize, seed: u32) -> Self {
+        assert!(parts > 0, "zero partitions");
+        Self { parts, seed }
+    }
+
+    /// Plain modulo placement without hashing (the literal Eq. 1 of the
+    /// paper); exposed for comparison in tests and benches.
+    pub fn modulo_assign(&self, node: NodeId) -> usize {
+        node.index() % self.parts
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn parts(&self) -> usize {
+        self.parts
+    }
+
+    fn assign(&self, node: NodeId) -> usize {
+        (hash_node(node.raw(), self.seed) as usize) % self.parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_in_range() {
+        let p = HashPartitioner::new(7);
+        for i in 0..1000u32 {
+            assert!(p.assign(NodeId::new(i)) < 7);
+        }
+    }
+
+    #[test]
+    fn assignment_is_stable() {
+        let a = HashPartitioner::new(5);
+        let b = HashPartitioner::new(5);
+        for i in 0..100u32 {
+            assert_eq!(a.assign(NodeId::new(i)), b.assign(NodeId::new(i)));
+        }
+    }
+
+    #[test]
+    fn reasonably_balanced() {
+        let p = HashPartitioner::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..100_000u32 {
+            counts[p.assign(NodeId::new(i))] += 1;
+        }
+        for &c in &counts {
+            assert!((20_000..30_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn modulo_differs_from_hash() {
+        let p = HashPartitioner::new(4);
+        let differs =
+            (0..64u32).any(|i| p.assign(NodeId::new(i)) != p.modulo_assign(NodeId::new(i)));
+        assert!(differs);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero partitions")]
+    fn rejects_zero_parts() {
+        let _ = HashPartitioner::new(0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_in_range(node: u32, parts in 1usize..64) {
+            let p = HashPartitioner::new(parts);
+            proptest::prop_assert!(p.assign(NodeId::new(node)) < parts);
+        }
+    }
+}

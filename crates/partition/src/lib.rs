@@ -1,0 +1,118 @@
+//! Graph partitioning substrates for gRouting and its baselines.
+//!
+//! gRouting itself deliberately uses the cheapest possible scheme — hash
+//! partitioning over node ids with MurmurHash3, exactly what RAMCloud does —
+//! because the smart routing layer makes storage placement unimportant
+//! (paper §1, §4.2). The *baselines* it is compared against rely on
+//! expensive partitioners, so those are built here too:
+//!
+//! * [`murmur3`] — MurmurHash3 (x86 32-bit and x64 128-bit), from scratch;
+//! * [`hash`] — stateless modulo-hash partitioner (gRouting's storage tier);
+//! * [`range`] — contiguous range partitioner (control);
+//! * [`multilevel`] — METIS-style multilevel edge-cut partitioner
+//!   (SEDGE/ParMETIS stand-in): heavy-edge matching coarsening, greedy
+//!   growing initial partition, FM boundary refinement;
+//! * [`vertexcut`] — PowerGraph's greedy vertex-cut edge placement;
+//! * [`streaming`] — linear deterministic greedy (LDG) streaming partitioner;
+//! * [`quality`] — edge-cut, balance, and replication-factor metrics.
+
+pub mod hash;
+pub mod multilevel;
+pub mod murmur3;
+pub mod quality;
+pub mod range;
+pub mod streaming;
+pub mod vertexcut;
+
+use grouting_graph::NodeId;
+
+pub use hash::HashPartitioner;
+pub use range::RangePartitioner;
+
+/// Maps nodes to storage/compute partitions.
+///
+/// Implementations must be cheap per call — the storage tier consults this
+/// on every fetch — and must return values in `0..parts()`.
+pub trait Partitioner: Send + Sync {
+    /// Number of partitions.
+    fn parts(&self) -> usize;
+
+    /// The partition that owns `node`.
+    fn assign(&self, node: NodeId) -> usize;
+}
+
+/// A partitioner backed by an explicit node → partition table, produced by
+/// the offline partitioners ([`multilevel`], [`streaming`]).
+#[derive(Debug, Clone)]
+pub struct TablePartitioner {
+    table: Vec<u32>,
+    parts: usize,
+    /// Fallback for nodes beyond the table (e.g. added after partitioning).
+    overflow: HashPartitioner,
+}
+
+impl TablePartitioner {
+    /// Wraps an assignment table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0` or any table entry is out of range.
+    pub fn new(table: Vec<u32>, parts: usize) -> Self {
+        assert!(parts > 0, "zero partitions");
+        assert!(
+            table.iter().all(|&p| (p as usize) < parts),
+            "assignment out of range"
+        );
+        Self {
+            table,
+            parts,
+            overflow: HashPartitioner::new(parts),
+        }
+    }
+
+    /// The raw assignment table.
+    pub fn table(&self) -> &[u32] {
+        &self.table
+    }
+}
+
+impl Partitioner for TablePartitioner {
+    fn parts(&self) -> usize {
+        self.parts
+    }
+
+    fn assign(&self, node: NodeId) -> usize {
+        match self.table.get(node.index()) {
+            Some(&p) => p as usize,
+            None => self.overflow.assign(node),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_partitioner_assigns_and_overflows() {
+        let t = TablePartitioner::new(vec![0, 1, 2, 0], 3);
+        assert_eq!(t.parts(), 3);
+        assert_eq!(t.assign(NodeId::new(1)), 1);
+        assert_eq!(t.assign(NodeId::new(3)), 0);
+        // Beyond the table: falls back to hash, still in range.
+        let p = t.assign(NodeId::new(1000));
+        assert!(p < 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment out of range")]
+    fn table_partitioner_validates() {
+        let _ = TablePartitioner::new(vec![0, 5], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero partitions")]
+    fn table_partitioner_rejects_zero_parts() {
+        let _ = TablePartitioner::new(vec![], 0);
+    }
+}

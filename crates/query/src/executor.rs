@@ -1,0 +1,608 @@
+//! Query execution over the cache-backed store.
+//!
+//! One executor instance runs on each query processor. The same code backs
+//! the discrete-event simulator (which converts [`AccessStats`] into virtual
+//! time), the live threaded runtime, and the correctness tests (which check
+//! results against whole-graph traversals in `grouting-graph`).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use grouting_graph::NodeId;
+use grouting_storage::StorageTier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fetch::{AccessStats, CacheBackedStore, ProcessorCache};
+use crate::types::{Query, QueryResult};
+
+/// The outcome of one query execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecOutcome {
+    /// The query's answer.
+    pub result: QueryResult,
+    /// Cache/storage access statistics for the runtimes' cost models.
+    pub stats: AccessStats,
+}
+
+/// Executes queries against a processor cache plus the storage tier.
+pub struct Executor<'a> {
+    store: CacheBackedStore<'a>,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor borrowing the processor's cache for one or more
+    /// query executions.
+    pub fn new(tier: &'a StorageTier, cache: &'a mut ProcessorCache) -> Self {
+        Self {
+            store: CacheBackedStore::new(tier, cache),
+        }
+    }
+
+    /// Drains the ordered per-miss event log accumulated by queries run so
+    /// far (used by the simulator's storage-contention model).
+    pub fn take_miss_log(&mut self) -> Vec<crate::fetch::MissEvent> {
+        self.store.take_miss_log()
+    }
+
+    /// Fetches one adjacency record through the cache — the building block
+    /// for composite queries layered on the executor (e.g.
+    /// [`crate::patterns::match_pattern`]).
+    pub fn fetch_record(
+        &mut self,
+        node: NodeId,
+    ) -> Option<std::sync::Arc<grouting_graph::codec::AdjacencyRecord>> {
+        self.store.fetch(node)
+    }
+
+    /// Cumulative access statistics over everything run on this executor.
+    pub fn stats(&self) -> AccessStats {
+        self.store.stats()
+    }
+
+    /// Runs one query to completion.
+    pub fn run(&mut self, query: &Query) -> ExecOutcome {
+        let before = self.store.stats();
+        let result = match query {
+            Query::NeighborAggregation { node, hops, label } => {
+                self.neighbor_aggregation(*node, *hops, label.as_ref().copied())
+            }
+            Query::RandomWalk {
+                node,
+                steps,
+                restart_prob,
+                seed,
+            } => self.random_walk(*node, *steps, *restart_prob, *seed),
+            Query::Reachability {
+                source,
+                target,
+                hops,
+            } => self.reachability(*source, *target, *hops, None),
+            Query::ConstrainedReachability {
+                source,
+                target,
+                hops,
+                via_label,
+            } => self.reachability(*source, *target, *hops, Some(*via_label)),
+        };
+        let after = self.store.stats();
+        ExecOutcome {
+            result,
+            stats: AccessStats {
+                cache_hits: after.cache_hits - before.cache_hits,
+                cache_misses: after.cache_misses - before.cache_misses,
+                miss_bytes: after.miss_bytes - before.miss_bytes,
+                evictions: after.evictions - before.evictions,
+            },
+        }
+    }
+
+    /// BFS over the bi-directed view, fetching each discovered node's
+    /// record (the paper's accounting: every node in `N_h(q)` is one
+    /// cache/storage access).
+    fn neighbor_aggregation(
+        &mut self,
+        node: NodeId,
+        hops: u32,
+        label: Option<grouting_graph::NodeLabelId>,
+    ) -> QueryResult {
+        let Some(start) = self.store.fetch(node) else {
+            return QueryResult::Count(0);
+        };
+        // The queue carries each node's already-fetched record so every node
+        // in N_h(q) costs exactly one cache/storage access (Eq. 8/9).
+        type Frontier = VecDeque<(
+            NodeId,
+            std::sync::Arc<grouting_graph::codec::AdjacencyRecord>,
+        )>;
+        let mut dist: HashMap<NodeId, u32> = HashMap::new();
+        let mut queue: Frontier = VecDeque::new();
+        let mut count = 0u64;
+        dist.insert(node, 0);
+
+        let visit = |w: NodeId,
+                     d: u32,
+                     dist: &mut HashMap<NodeId, u32>,
+                     queue: &mut Frontier,
+                     store: &mut CacheBackedStore<'_>|
+         -> u64 {
+            if dist.contains_key(&w) {
+                return 0;
+            }
+            dist.insert(w, d);
+            // Fetch the discovered node's record — needed both to continue
+            // the expansion and to read its label for filtered counts.
+            let rec = store.fetch(w);
+            let labeled_ok = match (label, &rec) {
+                (None, _) => true,
+                (Some(l), Some(r)) => r.node_label == Some(l),
+                (Some(_), None) => false,
+            };
+            if d < hops {
+                if let Some(r) = rec {
+                    queue.push_back((w, r));
+                }
+            }
+            u64::from(labeled_ok)
+        };
+
+        for w in start.all_neighbors() {
+            count += visit(w, 1, &mut dist, &mut queue, &mut self.store);
+        }
+        while let Some((v, rec)) = queue.pop_front() {
+            let dv = dist[&v];
+            let neighbors: Vec<NodeId> = rec.all_neighbors().collect();
+            for w in neighbors {
+                count += visit(w, dv + 1, &mut dist, &mut queue, &mut self.store);
+            }
+        }
+        QueryResult::Count(count)
+    }
+
+    /// h-step random walk with restart over out-edges (falling back to the
+    /// bi-directed view at sink nodes so walks don't die).
+    fn random_walk(
+        &mut self,
+        node: NodeId,
+        steps: u32,
+        restart_prob: f64,
+        seed: u64,
+    ) -> QueryResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut current = node;
+        let mut visited: HashSet<NodeId> = HashSet::new();
+        visited.insert(node);
+        for _ in 0..steps {
+            if rng.gen::<f64>() < restart_prob {
+                current = node;
+                continue;
+            }
+            let Some(rec) = self.store.fetch(current) else {
+                break;
+            };
+            let next = if !rec.out.is_empty() {
+                rec.out[rng.gen_range(0..rec.out.len())]
+            } else if !rec.inc.is_empty() {
+                rec.inc[rng.gen_range(0..rec.inc.len())]
+            } else {
+                node // Isolated: restart.
+            };
+            current = next;
+            visited.insert(current);
+        }
+        QueryResult::Walk {
+            end: current,
+            visited: visited.len() as u64,
+        }
+    }
+
+    /// Bidirectional BFS: forward over out-edges from the source, backward
+    /// over in-edges from the target, expanding the smaller frontier first.
+    ///
+    /// With `via_label`, intermediate nodes must carry that label (the
+    /// endpoints are exempt) — the §2.2 label-constrained variant. The
+    /// constraint is enforced at *expansion* time: a node lacking the label
+    /// may be discovered (it could be the meeting endpoint) but its record
+    /// is never expanded, and a frontier meeting at an unlabelled
+    /// intermediate node does not count.
+    fn reachability(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+        hops: u32,
+        via_label: Option<grouting_graph::NodeLabelId>,
+    ) -> QueryResult {
+        if source == target {
+            return QueryResult::Reachable(true);
+        }
+        if hops == 0 {
+            return QueryResult::Reachable(false);
+        }
+        let mut fwd: HashMap<NodeId, u32> = HashMap::from([(source, 0)]);
+        let mut bwd: HashMap<NodeId, u32> = HashMap::from([(target, 0)]);
+        let mut fq: VecDeque<NodeId> = VecDeque::from([source]);
+        let mut bq: VecDeque<NodeId> = VecDeque::from([target]);
+        let fwd_budget = hops / 2 + hops % 2;
+        let bwd_budget = hops / 2;
+
+        // Expand each frontier level by level; meet-in-the-middle check on
+        // every discovery.
+        loop {
+            let expand_fwd = match (fq.front(), bq.front()) {
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+                (Some(_), Some(_)) => fq.len() <= bq.len(),
+            };
+            let (queue, dist, other, budget, forward) = if expand_fwd {
+                (&mut fq, &mut fwd, &bwd, fwd_budget, true)
+            } else {
+                (&mut bq, &mut bwd, &fwd, bwd_budget, false)
+            };
+            let Some(v) = queue.pop_front() else {
+                continue;
+            };
+            let dv = dist[&v];
+            if dv >= budget {
+                continue;
+            }
+            let Some(rec) = self.store.fetch(v) else {
+                continue;
+            };
+            // An intermediate node (anything but the endpoints) may only be
+            // expanded if it satisfies the label constraint.
+            if v != source && v != target {
+                if let Some(l) = via_label {
+                    if rec.node_label != Some(l) {
+                        continue;
+                    }
+                }
+            }
+            let next: Vec<NodeId> = if forward {
+                rec.out.clone()
+            } else {
+                rec.inc.clone()
+            };
+            for w in next {
+                if let Some(&dw) = other.get(&w) {
+                    if dv + 1 + dw <= hops && self.meeting_ok(w, source, target, via_label) {
+                        return QueryResult::Reachable(true);
+                    }
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                    e.insert(dv + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        QueryResult::Reachable(false)
+    }
+
+    /// Whether the frontiers may legally meet at `w`: endpoints always; an
+    /// intermediate node only when it carries the required label.
+    fn meeting_ok(
+        &mut self,
+        w: NodeId,
+        source: NodeId,
+        target: NodeId,
+        via_label: Option<grouting_graph::NodeLabelId>,
+    ) -> bool {
+        if w == source || w == target {
+            return true;
+        }
+        match via_label {
+            None => true,
+            Some(l) => self
+                .store
+                .fetch(w)
+                .is_some_and(|rec| rec.node_label == Some(l)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouting_cache::{LruCache, NullCache};
+    use grouting_graph::traversal::{h_hop_neighborhood, hop_distance, Direction};
+    use grouting_graph::{CsrGraph, GraphBuilder, NodeLabelId};
+    use grouting_partition::HashPartitioner;
+    use std::sync::Arc;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn setup(g: &CsrGraph) -> StorageTier {
+        let tier = StorageTier::new(Arc::new(HashPartitioner::new(3)));
+        tier.load_graph(g).unwrap();
+        tier
+    }
+
+    fn path_with_chord() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_edge(n(i), n(i + 1));
+        }
+        b.add_edge(n(0), n(3));
+        b.build().unwrap()
+    }
+
+    fn fresh_cache() -> ProcessorCache {
+        Box::new(LruCache::new(1 << 20))
+    }
+
+    #[test]
+    fn aggregation_matches_ground_truth() {
+        let g = path_with_chord();
+        let tier = setup(&g);
+        for v in g.nodes() {
+            for h in 1..=3u32 {
+                let mut cache = fresh_cache();
+                let mut ex = Executor::new(&tier, &mut cache);
+                let out = ex.run(&Query::NeighborAggregation {
+                    node: v,
+                    hops: h,
+                    label: None,
+                });
+                let truth = h_hop_neighborhood(&g, v, h, Direction::Both).len() as u64;
+                assert_eq!(out.result, QueryResult::Count(truth), "node {v} h {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregation_counts_accesses_per_eq8() {
+        let g = path_with_chord();
+        let tier = setup(&g);
+        let mut cache = fresh_cache();
+        let mut ex = Executor::new(&tier, &mut cache);
+        let out = ex.run(&Query::NeighborAggregation {
+            node: n(0),
+            hops: 2,
+            label: None,
+        });
+        // |N_2(0)| = {1, 3, 2, 4} = 4 neighbours + the query node itself.
+        assert_eq!(out.result, QueryResult::Count(4));
+        assert_eq!(out.stats.accesses(), 5);
+        // Cold cache: every access missed.
+        assert_eq!(out.stats.cache_misses, 5);
+    }
+
+    #[test]
+    fn repeated_query_hits_cache() {
+        let g = path_with_chord();
+        let tier = setup(&g);
+        let mut cache = fresh_cache();
+        let q = Query::NeighborAggregation {
+            node: n(0),
+            hops: 2,
+            label: None,
+        };
+        let mut ex = Executor::new(&tier, &mut cache);
+        let first = ex.run(&q);
+        let second = ex.run(&q);
+        assert_eq!(first.result, second.result);
+        assert_eq!(second.stats.cache_misses, 0);
+        assert_eq!(second.stats.cache_hits, first.stats.cache_misses);
+    }
+
+    #[test]
+    fn labeled_aggregation_filters() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(n(0), n(1));
+        b.add_edge(n(0), n(2));
+        b.set_node_label(n(1), NodeLabelId::new(7));
+        b.set_node_label(n(2), NodeLabelId::new(9));
+        let g = b.build().unwrap();
+        let tier = setup(&g);
+        let mut cache = fresh_cache();
+        let mut ex = Executor::new(&tier, &mut cache);
+        let out = ex.run(&Query::NeighborAggregation {
+            node: n(0),
+            hops: 1,
+            label: Some(NodeLabelId::new(7)),
+        });
+        assert_eq!(out.result, QueryResult::Count(1));
+    }
+
+    #[test]
+    fn reachability_matches_ground_truth() {
+        let g = path_with_chord();
+        let tier = setup(&g);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                for h in 0..=4u32 {
+                    let mut cache = fresh_cache();
+                    let mut ex = Executor::new(&tier, &mut cache);
+                    let out = ex.run(&Query::Reachability {
+                        source: s,
+                        target: t,
+                        hops: h,
+                    });
+                    let truth = match hop_distance(&g, s, t, Direction::Out) {
+                        Some(d) => d <= h,
+                        None => false,
+                    };
+                    assert_eq!(
+                        out.result,
+                        QueryResult::Reachable(truth),
+                        "{s}->{t} within {h}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_and_bounded() {
+        let g = path_with_chord();
+        let tier = setup(&g);
+        let q = Query::RandomWalk {
+            node: n(0),
+            steps: 16,
+            restart_prob: 0.15,
+            seed: 99,
+        };
+        let mut c1 = fresh_cache();
+        let r1 = Executor::new(&tier, &mut c1).run(&q);
+        let mut c2 = fresh_cache();
+        let r2 = Executor::new(&tier, &mut c2).run(&q);
+        assert_eq!(r1.result, r2.result);
+        if let QueryResult::Walk { visited, .. } = r1.result {
+            assert!(visited >= 1 && visited <= 5);
+        } else {
+            panic!("wrong result kind");
+        }
+    }
+
+    #[test]
+    fn no_cache_mode_misses_everything() {
+        let g = path_with_chord();
+        let tier = setup(&g);
+        let mut cache: ProcessorCache = Box::new(NullCache::new());
+        let q = Query::NeighborAggregation {
+            node: n(0),
+            hops: 2,
+            label: None,
+        };
+        let mut ex = Executor::new(&tier, &mut cache);
+        let a = ex.run(&q);
+        let b = ex.run(&q);
+        assert_eq!(a.stats.cache_hits, 0);
+        assert_eq!(b.stats.cache_hits, 0);
+        assert_eq!(b.stats.cache_misses, a.stats.cache_misses);
+    }
+
+    #[test]
+    fn constrained_reachability_respects_labels() {
+        // 0 -> 1 -> 3 and 0 -> 2 -> 3; only node 1 carries the label.
+        let mut b = GraphBuilder::new();
+        b.add_edge(n(0), n(1));
+        b.add_edge(n(1), n(3));
+        b.add_edge(n(0), n(2));
+        b.add_edge(n(2), n(3));
+        b.set_node_label(n(1), NodeLabelId::new(5));
+        b.set_node_label(n(2), NodeLabelId::new(9));
+        let g = b.build().unwrap();
+        let tier = setup(&g);
+        let mut cache = fresh_cache();
+        let mut ex = Executor::new(&tier, &mut cache);
+        // Path through label-5 node exists.
+        let ok = ex.run(&Query::ConstrainedReachability {
+            source: n(0),
+            target: n(3),
+            hops: 2,
+            via_label: NodeLabelId::new(5),
+        });
+        assert_eq!(ok.result, QueryResult::Reachable(true));
+        // No path whose intermediates all carry label 7.
+        let blocked = ex.run(&Query::ConstrainedReachability {
+            source: n(0),
+            target: n(3),
+            hops: 2,
+            via_label: NodeLabelId::new(7),
+        });
+        assert_eq!(blocked.result, QueryResult::Reachable(false));
+        // Direct edges need no intermediates: source -> 1 within 1 hop holds
+        // under any label constraint.
+        let direct = ex.run(&Query::ConstrainedReachability {
+            source: n(0),
+            target: n(1),
+            hops: 1,
+            via_label: NodeLabelId::new(7),
+        });
+        assert_eq!(direct.result, QueryResult::Reachable(true));
+    }
+
+    #[test]
+    fn constrained_reachability_long_chain() {
+        // 0 -> 1 -> 2 -> 3 -> 4, all intermediates labelled 2 except node 2.
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_edge(n(i), n(i + 1));
+        }
+        for i in [1u32, 3] {
+            b.set_node_label(n(i), NodeLabelId::new(2));
+        }
+        b.set_node_label(n(2), NodeLabelId::new(8));
+        let g = b.build().unwrap();
+        let tier = setup(&g);
+        let mut cache = fresh_cache();
+        let mut ex = Executor::new(&tier, &mut cache);
+        // Node 2 breaks the label-2 chain.
+        let r = ex.run(&Query::ConstrainedReachability {
+            source: n(0),
+            target: n(4),
+            hops: 4,
+            via_label: NodeLabelId::new(2),
+        });
+        assert_eq!(r.result, QueryResult::Reachable(false));
+        // But the unconstrained query succeeds.
+        let r2 = ex.run(&Query::Reachability {
+            source: n(0),
+            target: n(4),
+            hops: 4,
+        });
+        assert_eq!(r2.result, QueryResult::Reachable(true));
+    }
+
+    #[test]
+    fn missing_query_node_yields_empty_results() {
+        let g = path_with_chord();
+        let tier = setup(&g);
+        let mut cache = fresh_cache();
+        let mut ex = Executor::new(&tier, &mut cache);
+        let out = ex.run(&Query::NeighborAggregation {
+            node: n(77),
+            hops: 2,
+            label: None,
+        });
+        assert_eq!(out.result, QueryResult::Count(0));
+    }
+
+    proptest::proptest! {
+        /// Distributed aggregation equals whole-graph BFS on random graphs.
+        #[test]
+        fn prop_aggregation_matches_bfs(
+            edges in proptest::collection::vec((0u32..20, 0u32..20), 1..80),
+            src in 0u32..20,
+            h in 1u32..4,
+        ) {
+            let mut b = GraphBuilder::with_nodes(20);
+            for (s, d) in &edges {
+                b.add_edge(n(*s), n(*d));
+            }
+            let g = b.build().unwrap();
+            let tier = setup(&g);
+            let mut cache = fresh_cache();
+            let mut ex = Executor::new(&tier, &mut cache);
+            let out = ex.run(&Query::NeighborAggregation { node: n(src), hops: h, label: None });
+            let truth = h_hop_neighborhood(&g, n(src), h, Direction::Both).len() as u64;
+            proptest::prop_assert_eq!(out.result, QueryResult::Count(truth));
+        }
+
+        /// Distributed reachability equals whole-graph bidirectional BFS.
+        #[test]
+        fn prop_reachability_matches(
+            edges in proptest::collection::vec((0u32..16, 0u32..16), 1..60),
+            s in 0u32..16,
+            t in 0u32..16,
+            h in 0u32..5,
+        ) {
+            let mut b = GraphBuilder::with_nodes(16);
+            for (a, d) in &edges {
+                b.add_edge(n(*a), n(*d));
+            }
+            let g = b.build().unwrap();
+            let tier = setup(&g);
+            let mut cache = fresh_cache();
+            let mut ex = Executor::new(&tier, &mut cache);
+            let out = ex.run(&Query::Reachability { source: n(s), target: n(t), hops: h });
+            let truth = match hop_distance(&g, n(s), n(t), Direction::Out) {
+                Some(d) => d <= h,
+                None => false,
+            };
+            proptest::prop_assert_eq!(out.result, QueryResult::Reachable(truth));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The cache-then-storage fetch layer.
+//!
+//! Every adjacency record a query touches flows through here: first the
+//! processor's local cache, then (on miss) the storage tier. The hit/miss
+//! tallies recorded per query are exactly the paper's cache-hit/cache-miss
+//! rates (Eq. 8/9), and the miss byte counts are what the simulator feeds
+//! into the network cost model.
+
+use std::sync::Arc;
+
+use grouting_cache::Cache;
+use grouting_graph::codec::AdjacencyRecord;
+use grouting_graph::NodeId;
+use grouting_storage::StorageTier;
+
+/// The concrete cache type a query processor holds: node id → shared
+/// decoded record, sized by its encoded byte length.
+pub type ProcessorCache = Box<dyn Cache<NodeId, Arc<AdjacencyRecord>>>;
+
+/// Per-query access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Records served from the processor cache (Eq. 8 numerator).
+    pub cache_hits: u64,
+    /// Records fetched from the storage tier (Eq. 9 numerator).
+    pub cache_misses: u64,
+    /// Total encoded bytes pulled over the network on misses.
+    pub miss_bytes: u64,
+    /// Entries evicted from the cache while this query ran.
+    pub evictions: u64,
+}
+
+impl AccessStats {
+    /// Total record accesses.
+    pub fn accesses(&self) -> u64 {
+        self.cache_hits + self.cache_misses
+    }
+
+    /// Adds another query's stats into this one.
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.miss_bytes += other.miss_bytes;
+        self.evictions += other.evictions;
+    }
+}
+
+/// One storage-tier fetch: which server answered and how many bytes moved.
+///
+/// The discrete-event simulator replays these in order to model queueing at
+/// the storage servers (Figure 8(c): 1–2 servers cannot feed 4 processors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissEvent {
+    /// Storage server that served the get.
+    pub server: u16,
+    /// Encoded value size in bytes.
+    pub bytes: u32,
+}
+
+/// A processor's view of the graph: its cache in front of the storage tier.
+pub struct CacheBackedStore<'a> {
+    tier: &'a StorageTier,
+    cache: &'a mut ProcessorCache,
+    stats: AccessStats,
+    miss_log: Vec<MissEvent>,
+}
+
+impl<'a> CacheBackedStore<'a> {
+    /// Wraps a cache and the shared storage tier for one query's execution.
+    pub fn new(tier: &'a StorageTier, cache: &'a mut ProcessorCache) -> Self {
+        Self {
+            tier,
+            cache,
+            stats: AccessStats::default(),
+            miss_log: Vec::new(),
+        }
+    }
+
+    /// Fetches the adjacency record of `node`, counting a hit or miss.
+    pub fn fetch(&mut self, node: NodeId) -> Option<Arc<AdjacencyRecord>> {
+        if let Some(rec) = self.cache.get(&node) {
+            self.stats.cache_hits += 1;
+            return Some(Arc::clone(rec));
+        }
+        let (server, bytes) = self.tier.get(node)?;
+        self.stats.cache_misses += 1;
+        self.stats.miss_bytes += bytes.len() as u64;
+        self.miss_log.push(MissEvent {
+            server: server as u16,
+            bytes: bytes.len() as u32,
+        });
+        let size = bytes.len();
+        let rec = Arc::new(AdjacencyRecord::decode(bytes).expect("tier stores valid records"));
+        let evicted = self.cache.insert(node, Arc::clone(&rec), size);
+        // An insert that bounces back (NullCache / oversized) is not an
+        // eviction of previously cached data.
+        self.stats.evictions += evicted.iter().filter(|(k, _)| *k != node).count() as u64;
+        Some(rec)
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Drains the ordered per-miss event log.
+    pub fn take_miss_log(&mut self) -> Vec<MissEvent> {
+        std::mem::take(&mut self.miss_log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouting_cache::{LruCache, NullCache};
+    use grouting_graph::{GraphBuilder, NodeId};
+    use grouting_partition::HashPartitioner;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn tier() -> StorageTier {
+        let mut b = GraphBuilder::new();
+        for i in 0..9 {
+            b.add_edge(n(i), n(i + 1));
+        }
+        let g = b.build().unwrap();
+        let tier = StorageTier::new(std::sync::Arc::new(HashPartitioner::new(2)));
+        tier.load_graph(&g).unwrap();
+        tier
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let t = tier();
+        let mut cache: ProcessorCache = Box::new(LruCache::new(1 << 20));
+        let mut store = CacheBackedStore::new(&t, &mut cache);
+        let a = store.fetch(n(3)).unwrap();
+        assert_eq!(a.out, vec![n(4)]);
+        let b = store.fetch(n(3)).unwrap();
+        assert_eq!(a, b);
+        let s = store.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert!(s.miss_bytes > 0);
+    }
+
+    #[test]
+    fn null_cache_always_misses() {
+        let t = tier();
+        let mut cache: ProcessorCache = Box::new(NullCache::new());
+        let mut store = CacheBackedStore::new(&t, &mut cache);
+        store.fetch(n(1));
+        store.fetch(n(1));
+        store.fetch(n(1));
+        let s = store.stats();
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.cache_misses, 3);
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn missing_node_is_none_and_unrecorded() {
+        let t = tier();
+        let mut cache: ProcessorCache = Box::new(LruCache::new(1024));
+        let mut store = CacheBackedStore::new(&t, &mut cache);
+        assert!(store.fetch(n(500)).is_none());
+        assert_eq!(store.stats().cache_misses, 0);
+        assert_eq!(store.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn evictions_are_counted() {
+        let t = tier();
+        // Tiny cache: each record ~25 bytes, capacity fits about one.
+        let mut cache: ProcessorCache = Box::new(LruCache::new(40));
+        let mut store = CacheBackedStore::new(&t, &mut cache);
+        store.fetch(n(0));
+        store.fetch(n(1));
+        store.fetch(n(2));
+        assert!(store.stats().evictions > 0);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = AccessStats {
+            cache_hits: 1,
+            cache_misses: 2,
+            miss_bytes: 30,
+            evictions: 0,
+        };
+        let b = AccessStats {
+            cache_hits: 4,
+            cache_misses: 1,
+            miss_bytes: 10,
+            evictions: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.cache_hits, 5);
+        assert_eq!(a.accesses(), 8);
+        assert_eq!(a.miss_bytes, 40);
+        assert_eq!(a.evictions, 2);
+    }
+}

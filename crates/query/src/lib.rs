@@ -1,0 +1,27 @@
+//! h-hop traversal queries and their executors (§2.2).
+//!
+//! The paper generalises online graph queries to *h-hop traversals* from a
+//! query node and evaluates three of them:
+//!
+//! 1. **h-hop neighbour aggregation** — count the h-hop neighbours of the
+//!    query node (optionally only those carrying a given label);
+//! 2. **h-step random walk with restart** — jump to a uniform neighbour per
+//!    step, restarting at the query node with small probability;
+//! 3. **h-hop reachability** — bidirectional BFS (forward from the source
+//!    over out-edges, backward from the target over in-edges — possible
+//!    because both directions are stored).
+//!
+//! Execution runs against [`fetch::CacheBackedStore`] — the cache-then-
+//! storage fetch layer whose hit/miss counts *are* the paper's Eq. 8/9
+//! metrics and whose per-query access statistics the runtimes turn into
+//! simulated (or real) time.
+
+pub mod executor;
+pub mod fetch;
+pub mod patterns;
+pub mod types;
+
+pub use executor::{ExecOutcome, Executor};
+pub use fetch::{AccessStats, CacheBackedStore, MissEvent, ProcessorCache};
+pub use patterns::{match_pattern, PathPattern, PatternMatch};
+pub use types::{Query, QueryResult};

@@ -1,0 +1,171 @@
+//! Query and result types.
+
+use grouting_graph::{NodeId, NodeLabelId};
+
+/// An online h-hop traversal query (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Query {
+    /// Count the nodes within `hops` of `node` (bi-directed view); with a
+    /// label, count only nodes carrying it.
+    NeighborAggregation {
+        /// The query node.
+        node: NodeId,
+        /// Traversal radius h.
+        hops: u32,
+        /// Optional label filter (ego-centric/label queries).
+        label: Option<NodeLabelId>,
+    },
+    /// An h-step random walk with restart from `node`.
+    RandomWalk {
+        /// The query (and restart) node.
+        node: NodeId,
+        /// Number of steps h.
+        steps: u32,
+        /// Probability of returning to the query node at each step.
+        restart_prob: f64,
+        /// Walk seed, making execution deterministic.
+        seed: u64,
+    },
+    /// Is `target` reachable from `source` within `hops` (directed)?
+    Reachability {
+        /// Source node (forward BFS).
+        source: NodeId,
+        /// Target node (backward BFS).
+        target: NodeId,
+        /// Hop budget h.
+        hops: u32,
+    },
+    /// Label-constrained reachability (§2.2: "if there are node- and
+    /// edge-label constraints in reachability computation, one can enforce
+    /// such constraints while performing the BFS"): intermediate nodes on
+    /// the path must carry `via_label`; the endpoints are exempt.
+    ConstrainedReachability {
+        /// Source node (forward BFS).
+        source: NodeId,
+        /// Target node (backward BFS).
+        target: NodeId,
+        /// Hop budget h.
+        hops: u32,
+        /// Required label of every intermediate node.
+        via_label: NodeLabelId,
+    },
+}
+
+impl Query {
+    /// The *query node* a router bases its decision on.
+    ///
+    /// For reachability the source anchors the query, matching the paper's
+    /// workload construction where query nodes are drawn from hotspots.
+    pub fn anchor(&self) -> NodeId {
+        match self {
+            Query::NeighborAggregation { node, .. } => *node,
+            Query::RandomWalk { node, .. } => *node,
+            Query::Reachability { source, .. } => *source,
+            Query::ConstrainedReachability { source, .. } => *source,
+        }
+    }
+
+    /// The traversal radius h of the query.
+    pub fn hops(&self) -> u32 {
+        match self {
+            Query::NeighborAggregation { hops, .. } => *hops,
+            Query::RandomWalk { steps, .. } => *steps,
+            Query::Reachability { hops, .. } => *hops,
+            Query::ConstrainedReachability { hops, .. } => *hops,
+        }
+    }
+
+    /// Short kind name for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Query::NeighborAggregation { .. } => "agg",
+            Query::RandomWalk { .. } => "rwr",
+            Query::Reachability { .. } => "reach",
+            Query::ConstrainedReachability { .. } => "lreach",
+        }
+    }
+}
+
+/// The answer to a [`Query`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryResult {
+    /// Neighbour-aggregation count.
+    Count(u64),
+    /// Random walk: final node and distinct nodes visited.
+    Walk {
+        /// Node the walk ended on.
+        end: NodeId,
+        /// Distinct nodes visited (including the start).
+        visited: u64,
+    },
+    /// Reachability verdict.
+    Reachable(bool),
+}
+
+impl QueryResult {
+    /// The aggregation count, if this is a count result.
+    pub fn count(&self) -> Option<u64> {
+        match self {
+            QueryResult::Count(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The reachability verdict, if applicable.
+    pub fn reachable(&self) -> Option<bool> {
+        match self {
+            QueryResult::Reachable(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn anchors() {
+        let q1 = Query::NeighborAggregation {
+            node: n(3),
+            hops: 2,
+            label: None,
+        };
+        let q2 = Query::RandomWalk {
+            node: n(4),
+            steps: 5,
+            restart_prob: 0.15,
+            seed: 1,
+        };
+        let q3 = Query::Reachability {
+            source: n(5),
+            target: n(9),
+            hops: 3,
+        };
+        assert_eq!(q1.anchor(), n(3));
+        assert_eq!(q2.anchor(), n(4));
+        assert_eq!(q3.anchor(), n(5));
+        assert_eq!(q1.hops(), 2);
+        assert_eq!(q2.hops(), 5);
+        assert_eq!(q3.hops(), 3);
+        assert_eq!(q1.kind(), "agg");
+        assert_eq!(q2.kind(), "rwr");
+        assert_eq!(q3.kind(), "reach");
+    }
+
+    #[test]
+    fn result_accessors() {
+        assert_eq!(QueryResult::Count(7).count(), Some(7));
+        assert_eq!(QueryResult::Count(7).reachable(), None);
+        assert_eq!(QueryResult::Reachable(true).reachable(), Some(true));
+        let w = QueryResult::Walk {
+            end: n(2),
+            visited: 4,
+        };
+        assert_eq!(w.count(), None);
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic discrete-event simulator of the decoupled cluster.
+//!
+//! This is the substrate standing in for the paper's 12-server testbed (see
+//! DESIGN.md §1). The simulation runs the *real* gRouting logic — the actual
+//! router, caches, and query executors operate on actual graph data — and
+//! only *time* is simulated: every cache probe, storage get, network
+//! transfer, and per-record computation charges virtual nanoseconds from an
+//! explicit [`CostModel`]. Because the counts are real and the constants
+//! explicit, the relative shapes the paper reports (which routing wins, how
+//! throughput scales with processors, where cache-size break-evens fall)
+//! reproduce without any wall-clock noise, and every run is deterministic.
+//!
+//! * [`assets`] — preprocessing bundle shared across simulations (graph,
+//!   loaded storage tier, landmarks, embedding);
+//! * [`config`] — cluster shape + cost model;
+//! * [`runner`] — the event loop (ack-driven closed loop with a bounded
+//!   admission window, per-server FCFS storage contention);
+//! * [`report`] — the measurements each run produces.
+
+pub mod assets;
+pub mod config;
+pub mod report;
+pub mod runner;
+
+pub use assets::SimAssets;
+pub use config::{CostModel, SimConfig};
+pub use report::SimReport;
+pub use runner::simulate;

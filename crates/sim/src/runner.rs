@@ -1,0 +1,387 @@
+//! The discrete-event loop.
+//!
+//! A closed-loop, acknowledgement-driven simulation of Figure 2's cluster:
+//!
+//! * queries are *admitted* into the router's queues through a bounded
+//!   window (modelling the online arrival stream — routing decisions see
+//!   realistic queue lengths and fresh EMA state);
+//! * an idle processor asks the router for work (own queue → global queue →
+//!   steal), executes the query **for real** against its cache and the
+//!   storage tier, and completes after the virtual time its accesses cost;
+//! * each storage get occupies the owning server FCFS
+//!   (`storage_service_ns`), so under-provisioned storage tiers become the
+//!   bottleneck exactly as in Figure 8(c);
+//! * completion acks the router, which dispatches the next query.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use grouting_cache::NullCache;
+use grouting_metrics::timeline::QueryRecord;
+use grouting_metrics::Timeline;
+use grouting_query::{Executor, ProcessorCache, Query};
+use grouting_route::{EmbedRouter, Router, RouterConfig, RoutingKind, Strategy};
+
+use crate::assets::SimAssets;
+use crate::config::SimConfig;
+use crate::report::SimReport;
+
+/// Runs one simulated cluster over the query stream.
+///
+/// # Panics
+///
+/// Panics if `cfg.processors == 0`.
+pub fn simulate(assets: &SimAssets, queries: &[Query], cfg: &SimConfig) -> SimReport {
+    assert!(cfg.processors > 0, "zero processors");
+    let p = cfg.processors;
+
+    // Per-processor caches.
+    let mut caches: Vec<ProcessorCache> = (0..p)
+        .map(|_| -> ProcessorCache {
+            if cfg.routing.uses_cache() {
+                cfg.cache_policy.build(cfg.cache_capacity)
+            } else {
+                Box::new(NullCache::new())
+            }
+        })
+        .collect();
+
+    // Routing strategy.
+    let strategy = match cfg.routing {
+        RoutingKind::NoCache => Strategy::NextReady { no_cache: true },
+        RoutingKind::NextReady => Strategy::NextReady { no_cache: false },
+        RoutingKind::Hash => Strategy::Hash,
+        RoutingKind::Landmark => Strategy::Landmark(grouting_embed::ProcessorDistanceTable::build(
+            &assets.landmarks,
+            p,
+        )),
+        RoutingKind::Embed => Strategy::Embed(EmbedRouter::new(
+            std::sync::Arc::clone(&assets.embedding),
+            p,
+            cfg.alpha,
+            cfg.seed,
+        )),
+    };
+    let mut router = Router::new(
+        strategy,
+        p,
+        RouterConfig {
+            load_factor: cfg.load_factor,
+            stealing: cfg.stealing,
+        },
+    );
+
+    let window = cfg.window();
+    let mut backlog = queries.iter().copied().enumerate();
+    let mut arrivals: Vec<u64> = vec![0; queries.len()];
+
+    // Storage servers as fluid queues: each holds a work backlog that
+    // drains in real time and grows by `storage_service_ns` per get. A get
+    // issued at time `t` waits for the backlog present at `t`. This lets
+    // concurrent queries' gets interleave (as they do on a real server)
+    // while still saturating when aggregate demand exceeds a server's
+    // capacity — the Figure 8(c) bottleneck.
+    let mut server_backlog = vec![0u64; assets.tier.server_count()];
+    let mut server_seen = vec![0u64; assets.tier.server_count()];
+    let mut timeline = Timeline::new();
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    let mut evictions = 0u64;
+    let mut makespan = 0u64;
+
+    // Completion events: (time, processor).
+    let mut completions: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    // Idle processors with the time they became ready.
+    let mut idle: Vec<(u64, usize)> = (0..p).map(|proc| (0u64, proc)).collect();
+
+    let cost = cfg.cost;
+    let uses_cache = cfg.routing.uses_cache();
+
+    loop {
+        // Keep the admission window full at the current frontier time.
+        let now_floor = idle.iter().map(|&(t, _)| t).min().unwrap_or(0);
+        while router.pending() < window {
+            match backlog.next() {
+                Some((seq, q)) => {
+                    arrivals[seq] = now_floor;
+                    router.submit(seq as u64, q);
+                }
+                None => break,
+            }
+        }
+
+        // Dispatch to idle processors, earliest-ready first.
+        idle.sort_unstable();
+        let mut still_idle = Vec::new();
+        for (ready_at, proc) in idle.drain(..) {
+            match router.next_for(proc) {
+                Some((seq, query)) => {
+                    let started = ready_at + cost.router_decision_ns;
+                    // Execute for real; then charge virtual time.
+                    let mut ex = Executor::new(&assets.tier, &mut caches[proc]);
+                    let out = ex.run(&query);
+                    let miss_log = ex.take_miss_log();
+
+                    let mut t = started;
+                    for m in &miss_log {
+                        let s = m.server as usize;
+                        // Drain the backlog for the time that passed since
+                        // this server was last observed.
+                        let drained = t.saturating_sub(server_seen[s]);
+                        server_backlog[s] = server_backlog[s].saturating_sub(drained);
+                        server_seen[s] = server_seen[s].max(t);
+                        let wait = server_backlog[s];
+                        server_backlog[s] += cost.storage_service_ns;
+                        t += wait
+                            + cost.storage_service_ns
+                            + cost.network.fetch_ns(m.bytes as usize);
+                    }
+                    let accesses = out.stats.accesses();
+                    if uses_cache {
+                        t += accesses * cost.cache_probe_ns;
+                        t += out.stats.cache_misses * cost.cache_insert_ns;
+                    }
+                    t += accesses * cost.compute_per_node_ns;
+
+                    cache_hits += out.stats.cache_hits;
+                    cache_misses += out.stats.cache_misses;
+                    evictions += out.stats.evictions;
+                    timeline.push(QueryRecord {
+                        seq: seq,
+                        arrived: arrivals[seq as usize],
+                        started,
+                        completed: t,
+                        processor: proc,
+                    });
+                    makespan = makespan.max(t);
+                    completions.push(Reverse((t + cost.ack_ns, proc)));
+                }
+                None => still_idle.push((ready_at, proc)),
+            }
+        }
+        idle = still_idle;
+
+        // Advance to the next completion; when none remain, the run is
+        // finished (or wedged with undispatchable work, which we surface by
+        // simply stopping).
+        match completions.pop() {
+            Some(Reverse((t, proc))) => idle.push((t, proc)),
+            None => break,
+        }
+    }
+
+    let storage_gets = (0..assets.tier.server_count())
+        .map(|s| assets.tier.server(s).gets_served())
+        .collect();
+
+    SimReport {
+        timeline,
+        cache_hits,
+        cache_misses,
+        evictions,
+        stolen: router.stolen(),
+        makespan_ns: makespan,
+        storage_gets,
+        processors: p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouting_workload::{hotspot_workload, WorkloadConfig};
+    use std::sync::Arc;
+
+    fn small_world(n: usize) -> Arc<grouting_graph::CsrGraph> {
+        // A ring with chords: strong topology-aware locality.
+        let mut b = grouting_graph::GraphBuilder::new();
+        let k = n as u32;
+        for i in 0..k {
+            b.add_edge(
+                grouting_graph::NodeId::new(i),
+                grouting_graph::NodeId::new((i + 1) % k),
+            );
+            b.add_edge(
+                grouting_graph::NodeId::new(i),
+                grouting_graph::NodeId::new((i + 2) % k),
+            );
+        }
+        Arc::new(b.build().unwrap())
+    }
+
+    fn assets(n: usize) -> SimAssets {
+        SimAssets::build(
+            small_world(n),
+            4,
+            &grouting_embed::landmarks::LandmarkConfig {
+                count: 8,
+                min_separation: (n / 8).max(2) as u32,
+            },
+            &grouting_embed::EmbeddingConfig {
+                dimensions: 5,
+                landmark_sweeps: 1,
+                landmark_iters: 150,
+                node_iters: 50,
+                nearest_landmarks: 8,
+                seed: 2,
+            },
+        )
+    }
+
+    fn workload(assets: &SimAssets, seed: u64) -> Vec<grouting_query::Query> {
+        hotspot_workload(
+            &assets.graph,
+            &WorkloadConfig {
+                hotspots: 20,
+                per_hotspot: 8,
+                radius: 2,
+                hops: 2,
+                mix: grouting_workload::QueryMix::uniform(),
+                restart_prob: 0.15,
+                seed,
+            },
+        )
+        .queries
+    }
+
+    #[test]
+    fn all_queries_complete() {
+        let a = assets(128);
+        let q = workload(&a, 1);
+        let cfg = SimConfig {
+            cache_capacity: 1 << 20,
+            ..SimConfig::paper_default(4, RoutingKind::Hash)
+        };
+        let r = simulate(&a, &q, &cfg);
+        assert_eq!(r.timeline.len(), q.len());
+        assert!(r.makespan_ns > 0);
+        assert!(r.throughput_qps() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = assets(96);
+        let q = workload(&a, 2);
+        let cfg = SimConfig {
+            cache_capacity: 1 << 20,
+            ..SimConfig::paper_default(3, RoutingKind::Embed)
+        };
+        let r1 = simulate(&a.with_storage_servers(4), &q, &cfg);
+        let r2 = simulate(&a.with_storage_servers(4), &q, &cfg);
+        assert_eq!(r1.makespan_ns, r2.makespan_ns);
+        assert_eq!(r1.cache_hits, r2.cache_hits);
+        assert_eq!(r1.stolen, r2.stolen);
+    }
+
+    #[test]
+    fn no_cache_never_hits() {
+        let a = assets(96);
+        let q = workload(&a, 3);
+        let cfg = SimConfig {
+            cache_capacity: 1 << 20,
+            ..SimConfig::paper_default(4, RoutingKind::NoCache)
+        };
+        let r = simulate(&a, &q, &cfg);
+        assert_eq!(r.cache_hits, 0);
+        assert!(r.cache_misses > 0);
+    }
+
+    #[test]
+    fn smart_routing_beats_next_ready_on_cache_hits() {
+        let a = assets(256);
+        let q = workload(&a, 4);
+        let base = SimConfig {
+            cache_capacity: 4 << 20,
+            ..SimConfig::paper_default(4, RoutingKind::NextReady)
+        };
+        let r_next = simulate(&a.with_storage_servers(4), &q, &base);
+        let r_embed = simulate(
+            &a.with_storage_servers(4),
+            &q,
+            &SimConfig {
+                routing: RoutingKind::Embed,
+                ..base
+            },
+        );
+        let r_landmark = simulate(
+            &a.with_storage_servers(4),
+            &q,
+            &SimConfig {
+                routing: RoutingKind::Landmark,
+                ..base
+            },
+        );
+        assert!(
+            r_embed.hit_rate() > r_next.hit_rate(),
+            "embed {} vs next-ready {}",
+            r_embed.hit_rate(),
+            r_next.hit_rate()
+        );
+        assert!(
+            r_landmark.hit_rate() > r_next.hit_rate(),
+            "landmark {} vs next-ready {}",
+            r_landmark.hit_rate(),
+            r_next.hit_rate()
+        );
+    }
+
+    #[test]
+    fn stealing_keeps_load_balanced_under_hash_skew() {
+        let a = assets(96);
+        // All queries anchored at node 0: hash pins them to one processor.
+        let q: Vec<grouting_query::Query> = (0..40)
+            .map(|_| grouting_query::Query::NeighborAggregation {
+                node: grouting_graph::NodeId::new(0),
+                hops: 1,
+                label: None,
+            })
+            .collect();
+        let cfg = SimConfig {
+            cache_capacity: 1 << 20,
+            ..SimConfig::paper_default(4, RoutingKind::Hash)
+        };
+        let with_steal = simulate(&a.with_storage_servers(4), &q, &cfg);
+        let without = simulate(
+            &a.with_storage_servers(4),
+            &q,
+            &SimConfig {
+                stealing: false,
+                ..cfg
+            },
+        );
+        assert!(with_steal.stolen > 0);
+        assert!(with_steal.load_imbalance() < without.load_imbalance());
+        assert!(with_steal.makespan_ns <= without.makespan_ns);
+    }
+
+    #[test]
+    fn more_storage_servers_do_not_slow_the_run() {
+        let a = assets(128);
+        let q = workload(&a, 5);
+        let cfg = SimConfig {
+            cache_capacity: 1 << 20,
+            ..SimConfig::paper_default(4, RoutingKind::NoCache)
+        };
+        let one = simulate(&a.with_storage_servers(1), &q, &cfg);
+        let four = simulate(&a.with_storage_servers(4), &q, &cfg);
+        assert!(
+            four.makespan_ns <= one.makespan_ns,
+            "4 servers {} vs 1 server {}",
+            four.makespan_ns,
+            one.makespan_ns
+        );
+    }
+
+    #[test]
+    fn storage_gets_accounted() {
+        let a = assets(96);
+        let q = workload(&a, 6);
+        let cfg = SimConfig {
+            cache_capacity: 1 << 20,
+            ..SimConfig::paper_default(2, RoutingKind::Hash)
+        };
+        let r = simulate(&a, &q, &cfg);
+        let total: u64 = r.storage_gets.iter().sum();
+        assert_eq!(total, r.cache_misses);
+    }
+}

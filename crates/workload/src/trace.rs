@@ -1,0 +1,208 @@
+//! Serialisable query traces for record/replay.
+//!
+//! Experiments need the *same* query stream replayed across routing
+//! strategies and cluster shapes; a [`QueryTrace`] freezes a workload into
+//! a serde-friendly form so benches can also persist it for debugging.
+
+use grouting_graph::{NodeId, NodeLabelId};
+use grouting_query::Query;
+use serde::{Deserialize, Serialize};
+
+use crate::hotspot::HotspotWorkload;
+
+/// A serialisable rendering of one query.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum TraceEntry {
+    /// Neighbour aggregation.
+    Agg {
+        /// Query node id.
+        node: u32,
+        /// Traversal radius.
+        hops: u32,
+        /// Optional label filter.
+        label: Option<u16>,
+    },
+    /// Random walk with restart.
+    Rwr {
+        /// Start node id.
+        node: u32,
+        /// Walk length.
+        steps: u32,
+        /// Restart probability.
+        restart: f64,
+        /// Walk seed.
+        seed: u64,
+    },
+    /// Reachability.
+    Reach {
+        /// Source node id.
+        source: u32,
+        /// Target node id.
+        target: u32,
+        /// Hop budget.
+        hops: u32,
+    },
+    /// Label-constrained reachability.
+    LReach {
+        /// Source node id.
+        source: u32,
+        /// Target node id.
+        target: u32,
+        /// Hop budget.
+        hops: u32,
+        /// Required label of intermediate nodes.
+        via: u16,
+    },
+}
+
+impl From<&Query> for TraceEntry {
+    fn from(q: &Query) -> Self {
+        match q {
+            Query::NeighborAggregation { node, hops, label } => TraceEntry::Agg {
+                node: node.raw(),
+                hops: *hops,
+                label: label.map(|l| l.0),
+            },
+            Query::RandomWalk {
+                node,
+                steps,
+                restart_prob,
+                seed,
+            } => TraceEntry::Rwr {
+                node: node.raw(),
+                steps: *steps,
+                restart: *restart_prob,
+                seed: *seed,
+            },
+            Query::Reachability {
+                source,
+                target,
+                hops,
+            } => TraceEntry::Reach {
+                source: source.raw(),
+                target: target.raw(),
+                hops: *hops,
+            },
+            Query::ConstrainedReachability {
+                source,
+                target,
+                hops,
+                via_label,
+            } => TraceEntry::LReach {
+                source: source.raw(),
+                target: target.raw(),
+                hops: *hops,
+                via: via_label.0,
+            },
+        }
+    }
+}
+
+impl From<&TraceEntry> for Query {
+    fn from(e: &TraceEntry) -> Self {
+        match e {
+            TraceEntry::Agg { node, hops, label } => Query::NeighborAggregation {
+                node: NodeId::new(*node),
+                hops: *hops,
+                label: label.map(NodeLabelId::new),
+            },
+            TraceEntry::Rwr {
+                node,
+                steps,
+                restart,
+                seed,
+            } => Query::RandomWalk {
+                node: NodeId::new(*node),
+                steps: *steps,
+                restart_prob: *restart,
+                seed: *seed,
+            },
+            TraceEntry::Reach {
+                source,
+                target,
+                hops,
+            } => Query::Reachability {
+                source: NodeId::new(*source),
+                target: NodeId::new(*target),
+                hops: *hops,
+            },
+            TraceEntry::LReach {
+                source,
+                target,
+                hops,
+                via,
+            } => Query::ConstrainedReachability {
+                source: NodeId::new(*source),
+                target: NodeId::new(*target),
+                hops: *hops,
+                via_label: NodeLabelId::new(*via),
+            },
+        }
+    }
+}
+
+/// A frozen query stream.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Default)]
+pub struct QueryTrace {
+    /// Entries in send order.
+    pub entries: Vec<TraceEntry>,
+    /// Hotspot group size (0 = ungrouped).
+    pub per_hotspot: usize,
+}
+
+impl QueryTrace {
+    /// Freezes a workload.
+    pub fn from_workload(w: &HotspotWorkload) -> Self {
+        Self {
+            entries: w.queries.iter().map(TraceEntry::from).collect(),
+            per_hotspot: w.per_hotspot,
+        }
+    }
+
+    /// Thaws back into executable queries.
+    pub fn queries(&self) -> Vec<Query> {
+        self.entries.iter().map(Query::from).collect()
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotspot::{hotspot_workload, WorkloadConfig};
+    use grouting_graph::GraphBuilder;
+
+    fn ring(k: u32) -> grouting_graph::CsrGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..k {
+            b.add_edge(NodeId::new(i), NodeId::new((i + 1) % k));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_queries() {
+        let g = ring(32);
+        let w = hotspot_workload(&g, &WorkloadConfig::paper_default(3));
+        let trace = QueryTrace::from_workload(&w);
+        assert_eq!(trace.len(), w.len());
+        let thawed = trace.queries();
+        assert_eq!(thawed, w.queries);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = QueryTrace::default();
+        assert!(t.is_empty());
+        assert!(t.queries().is_empty());
+    }
+}

@@ -1,0 +1,5 @@
+//! Cross-crate integration tests for the gRouting workspace.
+//!
+//! The tests live in this package's `tests/` directory and exercise the
+//! complete pipeline through the public facade: generate → partition →
+//! preprocess → route → execute → measure, across both runtimes.

@@ -1,0 +1,68 @@
+//! The two runtimes (deterministic simulator, live threads) must agree on
+//! everything that is not timing: query results and total access counts.
+
+use grouting_core::prelude::*;
+
+#[test]
+fn sim_and_live_agree_on_access_totals_per_processor_count() {
+    let cluster = GRouting::builder()
+        .graph(DatasetProfile::tiny(ProfileName::WebGraph).generate())
+        .storage_servers(2)
+        .processors(1)
+        .routing(RoutingKind::Hash)
+        .cache_capacity(32 << 20)
+        .build();
+    let queries = cluster.hotspot_workload(5, 5, 2, 2, 21);
+
+    // With one processor there is no scheduling nondeterminism: the two
+    // runtimes execute identical access sequences.
+    let sim = cluster.simulate(&queries);
+    let live = cluster.run_live(&queries);
+    assert_eq!(sim.cache_hits, live.cache_hits);
+    assert_eq!(sim.cache_misses, live.cache_misses);
+}
+
+#[test]
+fn live_results_match_across_routings() {
+    // Results must be routing-independent in the live runtime too.
+    let cluster = GRouting::builder()
+        .graph(DatasetProfile::tiny(ProfileName::Memetracker).generate())
+        .storage_servers(2)
+        .processors(4)
+        .routing(RoutingKind::Hash)
+        .cache_capacity(16 << 20)
+        .build();
+    let queries = cluster.hotspot_workload(5, 5, 2, 2, 22);
+    let baseline = cluster.run_live(&queries);
+    for routing in [
+        RoutingKind::NextReady,
+        RoutingKind::Landmark,
+        RoutingKind::Embed,
+    ] {
+        let other = GRouting::builder()
+            .graph(DatasetProfile::tiny(ProfileName::Memetracker).generate())
+            .storage_servers(2)
+            .processors(4)
+            .routing(routing)
+            .cache_capacity(16 << 20)
+            .build();
+        let r = other.run_live(&queries);
+        assert_eq!(r.results, baseline.results, "{routing}");
+    }
+}
+
+#[test]
+fn live_runtime_uses_all_processors() {
+    let cluster = GRouting::builder()
+        .graph(DatasetProfile::tiny(ProfileName::WebGraph).generate())
+        .storage_servers(2)
+        .processors(4)
+        .routing(RoutingKind::NextReady)
+        .cache_capacity(16 << 20)
+        .build();
+    let queries = cluster.hotspot_workload(10, 10, 2, 2, 23);
+    let live = cluster.run_live(&queries);
+    let counts = live.timeline.per_processor_counts(4);
+    let active = counts.iter().filter(|&&c| c > 0).count();
+    assert!(active >= 3, "only {active} processors did work: {counts:?}");
+}
