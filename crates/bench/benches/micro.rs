@@ -116,7 +116,7 @@ fn routing_decision(c: &mut Criterion) {
     ];
     let mut g = c.benchmark_group("routing_decision");
     for (name, strategy) in &strategies {
-        g.bench_function(*name, |b| {
+        g.bench_function(name, |b| {
             let mut i = 0u32;
             b.iter(|| {
                 i = (i + 1) % 20_000;

@@ -44,6 +44,7 @@
 //! | [`route`] | `grouting-route` | the router and all routing strategies |
 //! | [`query`] | `grouting-query` | queries + executors + fetch layer |
 //! | [`workload`] | `grouting-workload` | hotspot workload generation |
+//! | [`engine`] | `grouting-engine` | the shared engine builder both runtimes drive |
 //! | [`sim`] | `grouting-sim` | deterministic discrete-event cluster |
 //! | [`live`] | `grouting-live` | real multi-threaded cluster |
 //! | [`baseline`] | `grouting-baseline` | SEDGE/Giraph-style BSP, PowerGraph-style GAS |
@@ -52,6 +53,7 @@
 pub use grouting_baseline as baseline;
 pub use grouting_cache as cache;
 pub use grouting_embed as embed;
+pub use grouting_engine as engine;
 pub use grouting_gen as gen;
 pub use grouting_graph as graph;
 pub use grouting_live as live;

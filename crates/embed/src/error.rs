@@ -90,7 +90,7 @@ mod tests {
         let pairs = hotspot_pairs(&g, &[n(0), n(16)], 2, 10);
         assert!(!pairs.is_empty());
         for (u, v, d) in pairs {
-            assert!(d >= 1 && d <= 2, "pair {u} {v} at {d}");
+            assert!((1..=2).contains(&d), "pair {u} {v} at {d}");
             let truth = grouting_graph::traversal::hop_distance(&g, u, v, Direction::Both);
             assert_eq!(truth, Some(d));
         }

@@ -57,8 +57,8 @@ impl LandmarkTree {
         while let Some(v) = queue.pop_front() {
             let dv = tree.dist[&v];
             for w in bi_neighbors(g, v) {
-                if !tree.dist.contains_key(&w) {
-                    tree.dist.insert(w, dv + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = tree.dist.entry(w) {
+                    e.insert(dv + 1);
                     tree.set_parent(w, v);
                     queue.push_back(w);
                 }

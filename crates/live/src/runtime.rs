@@ -4,13 +4,13 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use grouting_cache::{NullCache, Policy};
+use grouting_cache::Policy;
 use grouting_embed::embedding::Embedding;
 use grouting_embed::landmarks::Landmarks;
+use grouting_engine::{Engine, EngineAssets, EngineConfig};
 use grouting_metrics::timeline::QueryRecord;
-use grouting_metrics::Timeline;
-use grouting_query::{AccessStats, Executor, ProcessorCache, Query, QueryResult};
-use grouting_route::{EmbedRouter, Router, RouterConfig, RoutingKind, Strategy};
+use grouting_query::{AccessStats, Query, QueryResult};
+use grouting_route::RoutingKind;
 use grouting_storage::StorageTier;
 
 /// Configuration for a live run.
@@ -52,11 +52,18 @@ impl LiveConfig {
         }
     }
 
-    fn window(&self) -> usize {
-        if self.admission_window == 0 {
-            16 * self.processors
-        } else {
-            self.admission_window
+    /// The shared-engine view of this configuration.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            processors: self.processors,
+            routing: self.routing,
+            cache_capacity: self.cache_capacity,
+            cache_policy: self.cache_policy,
+            alpha: self.alpha,
+            load_factor: self.load_factor,
+            stealing: self.stealing,
+            admission_window: self.admission_window,
+            seed: self.seed,
         }
     }
 }
@@ -91,70 +98,37 @@ pub fn run_live(
     queries: &[Query],
     cfg: &LiveConfig,
 ) -> crate::LiveReport {
-    assert!(cfg.processors > 0, "zero processors");
     let p = cfg.processors;
 
-    let strategy = match cfg.routing {
-        RoutingKind::NoCache => Strategy::NextReady { no_cache: true },
-        RoutingKind::NextReady => Strategy::NextReady { no_cache: false },
-        RoutingKind::Hash => Strategy::Hash,
-        RoutingKind::Landmark => Strategy::Landmark(grouting_embed::ProcessorDistanceTable::build(
-            landmarks
-                .as_ref()
-                .expect("landmark routing needs landmarks"),
-            p,
-        )),
-        RoutingKind::Embed => Strategy::Embed(EmbedRouter::new(
-            Arc::clone(
-                embedding
-                    .as_ref()
-                    .expect("embed routing needs an embedding"),
-            ),
-            p,
-            cfg.alpha,
-            cfg.seed,
-        )),
-    };
-    let mut router = Router::new(
-        strategy,
-        p,
-        RouterConfig {
-            load_factor: cfg.load_factor,
-            stealing: cfg.stealing,
-        },
-    );
+    // The whole stack — strategy, router, per-processor caches — comes from
+    // the shared engine builder; this frontend only owns threads and clocks.
+    let assets = EngineAssets::new(Arc::clone(&tier))
+        .with_landmarks(landmarks)
+        .with_embedding(embedding);
+    let mut engine = Engine::new(&assets, &cfg.engine_config());
 
     let run_start = now_ns();
     let (ack_tx, ack_rx): (Sender<Ack>, Receiver<Ack>) = unbounded();
 
     // One bounded channel per processor: capacity 1 enforces the ack
     // protocol (the router can have at most one outstanding query per
-    // processor).
+    // processor). Each engine worker (cache + tier handle) moves onto its
+    // own thread.
     let mut job_txs: Vec<Sender<Job>> = Vec::with_capacity(p);
     let mut handles = Vec::with_capacity(p);
-    for proc_id in 0..p {
+    for mut worker in engine.take_workers() {
         let (tx, rx): (Sender<Job>, Receiver<Job>) = bounded(1);
         job_txs.push(tx);
-        let tier = Arc::clone(&tier);
         let ack_tx = ack_tx.clone();
-        let uses_cache = cfg.routing.uses_cache();
-        let policy = cfg.cache_policy;
-        let capacity = cfg.cache_capacity;
         handles.push(std::thread::spawn(move || {
-            let mut cache: ProcessorCache = if uses_cache {
-                policy.build(capacity)
-            } else {
-                Box::new(NullCache::new())
-            };
             while let Ok(job) = rx.recv() {
                 match job {
                     Job::Run(seq, query) => {
                         let started_ns = now_ns();
-                        let mut ex = Executor::new(&tier, &mut cache);
-                        let out = ex.run(&query);
+                        let (out, _miss_log) = worker.run(&query);
                         let completed_ns = now_ns();
                         let _ = ack_tx.send(Ack {
-                            processor: proc_id,
+                            processor: worker.id(),
                             seq,
                             result: out.result,
                             stats: out.stats,
@@ -170,32 +144,16 @@ pub fn run_live(
     drop(ack_tx);
 
     // Router loop: keep the window full, dispatch on acks.
-    let window = cfg.window();
     let mut backlog = queries.iter().copied().enumerate();
     let mut arrivals: Vec<u64> = vec![0; queries.len()];
-    let mut timeline = Timeline::new();
     let mut results: Vec<Option<QueryResult>> = vec![None; queries.len()];
-    let mut cache_hits = 0u64;
-    let mut cache_misses = 0u64;
     let mut outstanding = 0usize;
     let mut busy = vec![false; p];
 
-    let mut admit = |router: &mut Router, arrivals: &mut Vec<u64>| {
-        while router.pending() < window {
-            match backlog.next() {
-                Some((seq, q)) => {
-                    arrivals[seq] = now_ns();
-                    router.submit(seq as u64, q);
-                }
-                None => break,
-            }
-        }
-    };
-
-    admit(&mut router, &mut arrivals);
+    engine.admit(&mut backlog, |seq| arrivals[seq] = now_ns());
     // Prime every processor.
     for proc_id in 0..p {
-        if let Some((seq, q)) = router.next_for(proc_id) {
+        if let Some((seq, q)) = engine.next_for(proc_id) {
             job_txs[proc_id]
                 .send(Job::Run(seq, q))
                 .expect("worker alive");
@@ -208,23 +166,24 @@ pub fn run_live(
         let ack = ack_rx.recv().expect("workers alive while outstanding");
         outstanding -= 1;
         busy[ack.processor] = false;
-        cache_hits += ack.stats.cache_hits;
-        cache_misses += ack.stats.cache_misses;
         results[ack.seq as usize] = Some(ack.result);
-        timeline.push(QueryRecord {
-            seq: ack.seq,
-            arrived: arrivals[ack.seq as usize],
-            started: ack.started_ns,
-            completed: ack.completed_ns,
-            processor: ack.processor,
-        });
-        admit(&mut router, &mut arrivals);
+        engine.complete(
+            QueryRecord {
+                seq: ack.seq,
+                arrived: arrivals[ack.seq as usize],
+                started: ack.started_ns,
+                completed: ack.completed_ns,
+                processor: ack.processor,
+            },
+            &ack.stats,
+        );
+        engine.admit(&mut backlog, |seq| arrivals[seq] = now_ns());
         // The acked processor first, then any other idle one (work may have
         // become stealable).
         for proc_id in std::iter::once(ack.processor).chain((0..p).filter(|&i| i != ack.processor))
         {
             if !busy[proc_id] {
-                if let Some((seq, q)) = router.next_for(proc_id) {
+                if let Some((seq, q)) = engine.next_for(proc_id) {
                     job_txs[proc_id]
                         .send(Job::Run(seq, q))
                         .expect("worker alive");
@@ -242,15 +201,16 @@ pub fn run_live(
         h.join().expect("worker thread exits cleanly");
     }
 
+    let run = engine.finish();
     crate::LiveReport {
-        timeline,
+        timeline: run.timeline,
         results: results
             .into_iter()
             .map(|r| r.expect("every query completed"))
             .collect(),
-        cache_hits,
-        cache_misses,
-        stolen: router.stolen(),
+        cache_hits: run.totals.cache_hits,
+        cache_misses: run.totals.cache_misses,
+        stolen: run.stolen,
         wall_ns: now_ns().saturating_sub(run_start),
     }
 }

@@ -228,7 +228,7 @@ mod tests {
 
     #[test]
     fn cell_rendering() {
-        assert_eq!(Cell::Float(3.14159).render(), "3.14");
+        assert_eq!(Cell::Float(3.1359).render(), "3.14");
         assert_eq!(Cell::Float(12345.6).render(), "12346");
         assert_eq!(Cell::Int(5).render(), "5");
         assert_eq!(Cell::Na.render(), "-");

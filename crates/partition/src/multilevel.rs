@@ -156,8 +156,8 @@ fn heavy_edge_matching(g: &WorkGraph, rng: &mut StdRng) -> Level {
         adj: vec![Vec::new(); cn],
         node_weight: vec![0; cn],
     };
-    for v in 0..n {
-        coarse.node_weight[map[v] as usize] += g.node_weight[v];
+    for (v, &cv) in map.iter().enumerate().take(n) {
+        coarse.node_weight[cv as usize] += g.node_weight[v];
     }
     for v in 0..n {
         let cv = map[v];
@@ -227,12 +227,12 @@ fn initial_partition(g: &WorkGraph, parts: usize, rng: &mut StdRng) -> Vec<u32> 
         }
     }
     // Any leftovers (disconnected pieces) go to the lightest part.
-    for v in 0..n {
-        if assign[v] == u32::MAX {
+    for (v, a) in assign.iter_mut().enumerate().take(n) {
+        if *a == u32::MAX {
             let p = (0..parts)
                 .min_by_key(|&p| part_weight[p])
                 .expect("parts > 0");
-            assign[v] = p as u32;
+            *a = p as u32;
             part_weight[p] += g.node_weight[v];
         }
     }
@@ -341,7 +341,7 @@ pub fn partition(g: &CsrGraph, config: &MultilevelConfig) -> TablePartitioner {
         // Rebuild the fine WorkGraph for refinement. The final (finest)
         // level corresponds to the input graph itself.
         assign = fine_assign;
-        let fine_graph = if level as *const _ == levels.first().expect("nonempty") as *const _ {
+        let fine_graph = if std::ptr::eq(level, levels.first().expect("nonempty")) {
             WorkGraph::from_csr(g)
         } else {
             // Intermediate levels: reconstruct from the next-coarser level's

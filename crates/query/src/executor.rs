@@ -449,7 +449,7 @@ mod tests {
         let r2 = Executor::new(&tier, &mut c2).run(&q);
         assert_eq!(r1.result, r2.result);
         if let QueryResult::Walk { visited, .. } = r1.result {
-            assert!(visited >= 1 && visited <= 5);
+            assert!((1..=5).contains(&visited));
         } else {
             panic!("wrong result kind");
         }

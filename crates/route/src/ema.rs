@@ -203,6 +203,58 @@ mod tests {
     }
 
     #[test]
+    fn ema_gap_shrinks_by_exactly_alpha_per_update() {
+        // Eq. 5: mean ← α·mean + (1−α)·coords(v), so the residual
+        // mean − coords(v) scales by α on every update — the distance to
+        // the repeated query node must decay geometrically at rate α.
+        let emb = embedding(32);
+        for alpha in [0.25, 0.5, 0.9] {
+            let mut er = EmbedRouter::new(Arc::clone(&emb), 2, alpha, 8);
+            er.update(n(5), 0);
+            let d0 = er.distance(n(5), 0);
+            assert!(d0 > 0.0, "mean should not start on the node");
+            er.update(n(5), 0);
+            let d1 = er.distance(n(5), 0);
+            assert!(
+                (d1 - alpha * d0).abs() <= 1e-9 * d0.max(1.0),
+                "alpha {alpha}: expected {}, got {d1}",
+                alpha * d0
+            );
+        }
+    }
+
+    #[test]
+    fn load_balanced_distance_overrides_proximity_under_load() {
+        // Eq. 3/7 (Requirement 2): the router scores processors by
+        // d₁(u, p) + load(p)/load_factor, so a processor whose EMA mean is
+        // nearest still loses the query once its queue grows long enough.
+        use crate::strategy::Strategy;
+        use grouting_query::Query;
+
+        let emb = embedding(48);
+        let mut er = EmbedRouter::new(Arc::clone(&emb), 2, 0.5, 4);
+        for i in 0..6u32 {
+            er.update(n(i), 0);
+            er.update(n(24 + i), 1);
+        }
+        let s = Strategy::Embed(er);
+        let query = Query::NeighborAggregation {
+            node: n(7),
+            hops: 2,
+            label: None,
+        };
+        let up = [true, true];
+        // Idle cluster: embedding proximity decides — processor 0.
+        assert_eq!(s.preferred(&query, &[0, 0], &up, 1.0), Some(0));
+        // Equal queues keep the proximity choice.
+        assert_eq!(s.preferred(&query, &[5, 5], &up, 1.0), Some(0));
+        // A deep queue on the near processor flips the decision.
+        assert_eq!(s.preferred(&query, &[1000, 0], &up, 1.0), Some(1));
+        // A large load factor discounts queue lengths back to proximity.
+        assert_eq!(s.preferred(&query, &[1000, 0], &up, 1e9), Some(0));
+    }
+
+    #[test]
     fn nearby_nodes_prefer_same_processor_after_warmup() {
         let emb = embedding(48);
         let mut er = EmbedRouter::new(Arc::clone(&emb), 2, 0.5, 4);

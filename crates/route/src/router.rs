@@ -221,6 +221,57 @@ mod tests {
     }
 
     #[test]
+    fn steal_victim_is_the_longest_queue() {
+        let mut r = hash_router(3);
+        // One query for processor 0, three for processor 1.
+        r.submit(0, q(0));
+        for i in 1..=3 {
+            r.submit(i, q(1));
+        }
+        assert_eq!(r.loads(), vec![1, 3, 0]);
+        // Idle processor 2 must raid the longest queue (processor 1) and
+        // take its newest entry.
+        assert_eq!(r.next_for(2).unwrap().0, 3);
+        assert_eq!(r.loads(), vec![1, 2, 0]);
+        assert_eq!(r.stolen(), 1);
+    }
+
+    #[test]
+    fn own_queue_is_served_before_stealing() {
+        let mut r = hash_router(2);
+        r.submit(0, q(0)); // → processor 0
+        r.submit(1, q(1)); // → processor 1
+
+        // Processor 1's queue is now the longest, but processor 0 has
+        // local work, so it must not steal.
+        r.submit(2, q(1));
+        assert_eq!(r.next_for(0).unwrap().0, 0);
+        assert_eq!(r.stolen(), 0);
+    }
+
+    #[test]
+    fn stealing_drains_a_single_hot_queue_across_processors() {
+        // Requirement 2: a hash-skewed workload (every query anchored on
+        // one node) still completes with every processor contributing.
+        let mut r = hash_router(2);
+        for i in 0..8 {
+            r.submit(i, q(0)); // all → processor 0
+        }
+        let mut served = [0u64; 2];
+        let mut turn = 0;
+        while r.has_work() {
+            if r.next_for(turn).is_some() {
+                served[turn] += 1;
+            }
+            turn = (turn + 1) % 2;
+        }
+        assert_eq!(served[0] + served[1], 8, "no query lost");
+        assert!(served[1] > 0, "idle processor never stole");
+        assert_eq!(r.stolen(), served[1]);
+        assert_eq!(r.dispatched(), 8);
+    }
+
+    #[test]
     fn stealing_can_be_disabled() {
         let mut r = Router::new(
             Strategy::Hash,

@@ -138,8 +138,8 @@ impl Strategy {
 /// Minimum-score processor among those that are up.
 fn best_by_score(processors: usize, up: &[bool], score: impl Fn(usize) -> f64) -> Option<usize> {
     let mut best: Option<(usize, f64)> = None;
-    for p in 0..processors {
-        if !up[p] {
+    for (p, &is_up) in up.iter().enumerate().take(processors) {
+        if !is_up {
             continue;
         }
         let s = score(p);

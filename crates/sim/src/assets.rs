@@ -106,6 +106,14 @@ impl SimAssets {
         )
     }
 
+    /// The shared-engine view of this bundle: the loaded tier plus both
+    /// smart-routing assets.
+    pub fn engine_assets(&self) -> grouting_engine::EngineAssets {
+        grouting_engine::EngineAssets::new(Arc::clone(&self.tier))
+            .with_landmarks(Some(Arc::clone(&self.landmarks)))
+            .with_embedding(Some(Arc::clone(&self.embedding)))
+    }
+
     /// Rebuilds only the storage tier with a different server count (the
     /// Figure 8(c) sweep), reusing all preprocessing.
     pub fn with_storage_servers(&self, storage_servers: usize) -> Self {

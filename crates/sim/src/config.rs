@@ -114,10 +114,22 @@ impl SimConfig {
 
     /// Effective admission window.
     pub fn window(&self) -> usize {
-        if self.admission_window == 0 {
-            16 * self.processors
-        } else {
-            self.admission_window
+        self.engine_config().window()
+    }
+
+    /// The shared-engine view of this configuration: everything except the
+    /// cost model, which is the simulator's own concern.
+    pub fn engine_config(&self) -> grouting_engine::EngineConfig {
+        grouting_engine::EngineConfig {
+            processors: self.processors,
+            routing: self.routing,
+            cache_capacity: self.cache_capacity,
+            cache_policy: self.cache_policy,
+            alpha: self.alpha,
+            load_factor: self.load_factor,
+            stealing: self.stealing,
+            admission_window: self.admission_window,
+            seed: self.seed,
         }
     }
 }

@@ -16,11 +16,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use grouting_cache::NullCache;
+use grouting_engine::Engine;
 use grouting_metrics::timeline::QueryRecord;
-use grouting_metrics::Timeline;
-use grouting_query::{Executor, ProcessorCache, Query};
-use grouting_route::{EmbedRouter, Router, RouterConfig, RoutingKind, Strategy};
+use grouting_query::Query;
 
 use crate::assets::SimAssets;
 use crate::config::SimConfig;
@@ -28,50 +26,18 @@ use crate::report::SimReport;
 
 /// Runs one simulated cluster over the query stream.
 ///
+/// The whole stack — router, strategy, per-processor caches, storage-tier
+/// handles, timeline — is assembled by the shared [`Engine`] builder (the
+/// same one the live runtime drives); this loop only owns *virtual time*.
+///
 /// # Panics
 ///
 /// Panics if `cfg.processors == 0`.
 pub fn simulate(assets: &SimAssets, queries: &[Query], cfg: &SimConfig) -> SimReport {
-    assert!(cfg.processors > 0, "zero processors");
     let p = cfg.processors;
+    let mut engine = Engine::new(&assets.engine_assets(), &cfg.engine_config());
+    let mut workers = engine.take_workers();
 
-    // Per-processor caches.
-    let mut caches: Vec<ProcessorCache> = (0..p)
-        .map(|_| -> ProcessorCache {
-            if cfg.routing.uses_cache() {
-                cfg.cache_policy.build(cfg.cache_capacity)
-            } else {
-                Box::new(NullCache::new())
-            }
-        })
-        .collect();
-
-    // Routing strategy.
-    let strategy = match cfg.routing {
-        RoutingKind::NoCache => Strategy::NextReady { no_cache: true },
-        RoutingKind::NextReady => Strategy::NextReady { no_cache: false },
-        RoutingKind::Hash => Strategy::Hash,
-        RoutingKind::Landmark => Strategy::Landmark(grouting_embed::ProcessorDistanceTable::build(
-            &assets.landmarks,
-            p,
-        )),
-        RoutingKind::Embed => Strategy::Embed(EmbedRouter::new(
-            std::sync::Arc::clone(&assets.embedding),
-            p,
-            cfg.alpha,
-            cfg.seed,
-        )),
-    };
-    let mut router = Router::new(
-        strategy,
-        p,
-        RouterConfig {
-            load_factor: cfg.load_factor,
-            stealing: cfg.stealing,
-        },
-    );
-
-    let window = cfg.window();
     let mut backlog = queries.iter().copied().enumerate();
     let mut arrivals: Vec<u64> = vec![0; queries.len()];
 
@@ -83,10 +49,6 @@ pub fn simulate(assets: &SimAssets, queries: &[Query], cfg: &SimConfig) -> SimRe
     // capacity — the Figure 8(c) bottleneck.
     let mut server_backlog = vec![0u64; assets.tier.server_count()];
     let mut server_seen = vec![0u64; assets.tier.server_count()];
-    let mut timeline = Timeline::new();
-    let mut cache_hits = 0u64;
-    let mut cache_misses = 0u64;
-    let mut evictions = 0u64;
     let mut makespan = 0u64;
 
     // Completion events: (time, processor).
@@ -100,27 +62,17 @@ pub fn simulate(assets: &SimAssets, queries: &[Query], cfg: &SimConfig) -> SimRe
     loop {
         // Keep the admission window full at the current frontier time.
         let now_floor = idle.iter().map(|&(t, _)| t).min().unwrap_or(0);
-        while router.pending() < window {
-            match backlog.next() {
-                Some((seq, q)) => {
-                    arrivals[seq] = now_floor;
-                    router.submit(seq as u64, q);
-                }
-                None => break,
-            }
-        }
+        engine.admit(&mut backlog, |seq| arrivals[seq] = now_floor);
 
         // Dispatch to idle processors, earliest-ready first.
         idle.sort_unstable();
         let mut still_idle = Vec::new();
         for (ready_at, proc) in idle.drain(..) {
-            match router.next_for(proc) {
+            match engine.next_for(proc) {
                 Some((seq, query)) => {
                     let started = ready_at + cost.router_decision_ns;
                     // Execute for real; then charge virtual time.
-                    let mut ex = Executor::new(&assets.tier, &mut caches[proc]);
-                    let out = ex.run(&query);
-                    let miss_log = ex.take_miss_log();
+                    let (out, miss_log) = workers[proc].run(&query);
 
                     let mut t = started;
                     for m in &miss_log {
@@ -143,16 +95,16 @@ pub fn simulate(assets: &SimAssets, queries: &[Query], cfg: &SimConfig) -> SimRe
                     }
                     t += accesses * cost.compute_per_node_ns;
 
-                    cache_hits += out.stats.cache_hits;
-                    cache_misses += out.stats.cache_misses;
-                    evictions += out.stats.evictions;
-                    timeline.push(QueryRecord {
-                        seq: seq,
-                        arrived: arrivals[seq as usize],
-                        started,
-                        completed: t,
-                        processor: proc,
-                    });
+                    engine.complete(
+                        QueryRecord {
+                            seq,
+                            arrived: arrivals[seq as usize],
+                            started,
+                            completed: t,
+                            processor: proc,
+                        },
+                        &out.stats,
+                    );
                     makespan = makespan.max(t);
                     completions.push(Reverse((t + cost.ack_ns, proc)));
                 }
@@ -174,12 +126,13 @@ pub fn simulate(assets: &SimAssets, queries: &[Query], cfg: &SimConfig) -> SimRe
         .map(|s| assets.tier.server(s).gets_served())
         .collect();
 
+    let run = engine.finish();
     SimReport {
-        timeline,
-        cache_hits,
-        cache_misses,
-        evictions,
-        stolen: router.stolen(),
+        timeline: run.timeline,
+        cache_hits: run.totals.cache_hits,
+        cache_misses: run.totals.cache_misses,
+        evictions: run.totals.evictions,
+        stolen: run.stolen,
         makespan_ns: makespan,
         storage_gets,
         processors: p,
@@ -189,6 +142,7 @@ pub fn simulate(assets: &SimAssets, queries: &[Query], cfg: &SimConfig) -> SimRe
 #[cfg(test)]
 mod tests {
     use super::*;
+    use grouting_route::RoutingKind;
     use grouting_workload::{hotspot_workload, WorkloadConfig};
     use std::sync::Arc;
 

@@ -1,0 +1,187 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro/struct surface `benches/micro.rs` uses —
+//! [`Criterion::benchmark_group`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`criterion_group!`], [`criterion_main!`] — as a plain wall-clock timer:
+//! a short warm-up, then a fixed measurement window, then one `name … mean`
+//! line per benchmark on stdout. No statistics, HTML reports, or comparison
+//! baselines; the goal is that `cargo bench` runs and prints sane numbers
+//! without crates.io access.
+
+use std::time::{Duration, Instant};
+
+/// How batched setup outputs are grouped (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One state per batch.
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    fn measure<F: FnMut()>(&mut self, mut pass: F) {
+        // Warm-up, then time iterations until the window closes.
+        for _ in 0..3 {
+            pass();
+        }
+        let window = Duration::from_millis(200);
+        let start = Instant::now();
+        while start.elapsed() < window {
+            let t = Instant::now();
+            pass();
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.measure(|| {
+            std::hint::black_box(routine());
+        });
+    }
+
+    /// Times `routine` over fresh `setup` outputs, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            std::hint::black_box(routine(setup()));
+        }
+        let window = Duration::from_millis(200);
+        let start = Instant::now();
+        while start.elapsed() < window {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, group: &str, name: &str) {
+        if self.iters == 0 {
+            println!("{group}/{name}: no iterations");
+            return;
+        }
+        let mean = self.total.as_nanos() as f64 / self.iters as f64;
+        let (value, unit) = if mean >= 1e9 {
+            (mean / 1e9, "s")
+        } else if mean >= 1e6 {
+            (mean / 1e6, "ms")
+        } else if mean >= 1e3 {
+            (mean / 1e3, "µs")
+        } else {
+            (mean, "ns")
+        };
+        println!(
+            "{group}/{name}: {value:.2} {unit}/iter ({} iters)",
+            self.iters
+        );
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; sampling is time-window based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&self.name, name);
+        self
+    }
+
+    /// Ends the group (no-op; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report("bench", name);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        let mut ran = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::channel::{bounded, unbounded, Sender, Receiver}`
+//! over `std::sync::mpsc`. Multi-producer/single-consumer covers every use
+//! in this workspace (per-processor job channels, fan-in ack channel); the
+//! one crossbeam feature std lacks — cloneable receivers — is deliberately
+//! not offered, so misuse fails at compile time rather than changing
+//! semantics silently.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    enum Tx<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T>(Tx<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match &self.0 {
+                Tx::Bounded(s) => Sender(Tx::Bounded(s.clone())),
+                Tx::Unbounded(s) => Sender(Tx::Unbounded(s.clone())),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Tx::Bounded(s) => s.send(value),
+                Tx::Unbounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value.
+        ///
+        /// # Errors
+        ///
+        /// Errors when the channel is empty and all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// Errors when empty, or disconnected and drained.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking receive with a deadline.
+        ///
+        /// # Errors
+        ///
+        /// Errors on timeout or disconnection.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Iterates until all senders disconnect.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// A rendezvous-or-buffered channel holding at most `cap` queued values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(rx))
+    }
+
+    /// A channel with an unbounded buffer.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Tx::Unbounded(tx)), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_in_across_threads() {
+            let (tx, rx) = unbounded();
+            let handles: Vec<_> = (0..4u64)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || tx.send(i).unwrap())
+                })
+                .collect();
+            drop(tx);
+            let mut got: Vec<u64> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+
+        #[test]
+        fn bounded_capacity_blocks_until_drained() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let t = std::thread::spawn(move || tx.send(2).unwrap());
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            t.join().unwrap();
+            assert!(rx.recv().is_err(), "sender dropped");
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest surface this workspace's unit tests
+//! use: the [`proptest!`] macro (with both `arg in strategy` and `arg: Type`
+//! parameters), range strategies over integers and floats, tuple strategies,
+//! [`collection::vec`], [`bool::ANY`], [`num`]`::*::ANY`, [`option::of`],
+//! and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the panic message (via the normal assert formatting) but is not
+//!   minimised.
+//! * **Deterministic.** Each test runs [`CASES`] cases seeded purely by the
+//!   case index, so failures reproduce without a persistence file. Set
+//!   `PROPTEST_CASES` to override the count.
+
+pub use rand::rngs::StdRng as TestRngCore;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+/// Default number of generated cases per property.
+pub const CASES: u64 = 64;
+
+/// Cases to run, honouring the `PROPTEST_CASES` environment variable.
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(CASES)
+}
+
+/// Per-case deterministic generator.
+pub struct TestRng(TestRngCore);
+
+impl TestRng {
+    /// The generator for case `case` (stable across runs).
+    pub fn for_case(case: u64) -> Self {
+        Self(TestRngCore::seed_from_u64(
+            0x5EED_CAFE ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of values for one `proptest!` parameter.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+/// A fixed value as a degenerate strategy (proptest's `Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:ident . $i:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Full-range strategies for plainly-typed `proptest!` parameters.
+pub trait Arbitrary: Sized {
+    /// The strategy drawing any value of the type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds that strategy.
+    fn any_strategy() -> Self::Strategy;
+}
+
+/// Draws any value of an integer-like type.
+#[derive(Debug, Clone, Copy)]
+pub struct FullRange<T>(core::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+            fn any_strategy() -> Self::Strategy {
+                FullRange(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for FullRange<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullRange<bool>;
+    fn any_strategy() -> Self::Strategy {
+        FullRange(core::marker::PhantomData)
+    }
+}
+
+/// `proptest::bool`.
+pub mod bool {
+    /// Strategy for either boolean.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Draws `true` or `false` uniformly.
+    pub const ANY: Any = Any;
+
+    impl super::Strategy for Any {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut super::TestRng) -> core::primitive::bool {
+            rng.next() & 1 == 1
+        }
+    }
+}
+
+/// `proptest::num`: full-range strategies per primitive.
+pub mod num {
+    macro_rules! num_mod {
+        ($($m:ident : $t:ty),*) => {$(
+            /// Full-range strategy module for the primitive of the same name.
+            pub mod $m {
+                /// Strategy over the whole value range.
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                /// Draws any value of the type.
+                pub const ANY: Any = Any;
+
+                impl crate::Strategy for Any {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut crate::TestRng) -> $t {
+                        crate::TestRng::next(rng) as $t
+                    }
+                }
+            }
+        )*};
+    }
+    num_mod!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize, i32: i32, i64: i64);
+}
+
+/// Length specification for [`collection::vec`].
+///
+/// Mirrors proptest's `SizeRange`: conversion from `Range<usize>` (and a
+/// bare `usize`) pins unsuffixed length literals like `1..80` to `usize`
+/// during inference.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty length range");
+        Self {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        let span = (self.hi_exclusive - self.lo) as u64;
+        self.lo + (rng.next() % span) as usize
+    }
+}
+
+/// `proptest::collection`.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy producing `Vec`s with lengths drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// `vec(element, length_range)`: a vector of `element` draws.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::option`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Option`s (50% `None`).
+    pub struct OptionStrategy<S>(S);
+
+    /// `of(inner)`: `Some(inner draw)` half the time, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next() & 1 == 0 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a property (panics — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics — no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (panics — no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests: each `fn` runs [`cases`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_case! { [$(#[$meta])*] $name [] [$($params)*] $body }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ([$(#[$meta:meta])*] $name:ident [$(($id:ident, $strat:expr))*] [] $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            for __case in 0..$crate::cases() {
+                let mut __rng = $crate::TestRng::for_case(__case);
+                $(let $id = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+    };
+    ([$(#[$meta:meta])*] $name:ident [$($acc:tt)*] [$id:ident in $strat:expr, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_case! { [$(#[$meta])*] $name [$($acc)* ($id, $strat)] [$($rest)*] $body }
+    };
+    ([$(#[$meta:meta])*] $name:ident [$($acc:tt)*] [$id:ident in $strat:expr] $body:block) => {
+        $crate::__proptest_case! { [$(#[$meta])*] $name [$($acc)* ($id, $strat)] [] $body }
+    };
+    ([$(#[$meta:meta])*] $name:ident [$($acc:tt)*] [$id:ident : $t:ty, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_case! { [$(#[$meta])*] $name [$($acc)* ($id, <$t as $crate::Arbitrary>::any_strategy())] [$($rest)*] $body }
+    };
+    ([$(#[$meta:meta])*] $name:ident [$($acc:tt)*] [$id:ident : $t:ty] $body:block) => {
+        $crate::__proptest_case! { [$(#[$meta])*] $name [$($acc)* ($id, <$t as $crate::Arbitrary>::any_strategy())] [] $body }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    crate::proptest! {
+        /// Mixed `in`-strategy and plainly-typed parameters, trailing type.
+        #[test]
+        fn mixed_params(v in crate::collection::vec((0u8..3, 10u32..20), 0..16), seed: u32) {
+            let _ = seed;
+            assert!(v.len() < 16);
+            for (a, b) in v {
+                assert!(a < 3);
+                assert!((10..20).contains(&b));
+            }
+        }
+
+        #[test]
+        fn options_and_bools(flag in crate::bool::ANY, label in crate::option::of(0u16..100)) {
+            let _ = flag;
+            if let Some(l) = label {
+                assert!(l < 100);
+            }
+        }
+
+        #[test]
+        fn full_range_bytes(data in crate::collection::vec(crate::num::u8::ANY, 0..64)) {
+            assert!(data.len() < 64);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = crate::TestRng::for_case(3);
+            (0..4).map(|_| r.next()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = crate::TestRng::for_case(3);
+            (0..4).map(|_| r.next()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for `serde`'s derive macros.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata
+//! on plain data types — nothing calls a serializer (there is no
+//! `serde_json`/`bincode` in the tree; the graph codecs are hand-rolled in
+//! `grouting-graph`). These derives therefore expand to nothing, keeping the
+//! source annotations intact so swapping in real serde later is a manifest
+//! change only.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
