@@ -1,6 +1,7 @@
 //! Criterion micro-benchmarks of the performance-critical primitives:
 //! MurmurHash3, LRU operations, BFS traversal, per-strategy routing
-//! decisions, and the Simplex-Downhill minimiser.
+//! decisions, the Simplex-Downhill minimiser, and the wire path (frame
+//! encode/decode plus transport round trips).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
@@ -163,6 +164,106 @@ fn simplex(c: &mut Criterion) {
     g.finish();
 }
 
+fn wire_frames(c: &mut Criterion) {
+    use grouting_core::query::AccessStats;
+    use grouting_core::wire::{Completion, Frame};
+
+    let dispatch = Frame::Dispatch {
+        seq: 123_456,
+        query: Query::NeighborAggregation {
+            node: NodeId::new(42),
+            hops: 2,
+            label: None,
+        },
+    };
+    let completion = Frame::Completion(Completion {
+        seq: 123_456,
+        processor: 3,
+        result: grouting_core::query::QueryResult::Count(97),
+        stats: AccessStats {
+            cache_hits: 80,
+            cache_misses: 17,
+            miss_bytes: 4096,
+            evictions: 2,
+        },
+        arrived_ns: 1,
+        started_ns: 2,
+        completed_ns: 3,
+    });
+    let fetch_response = Frame::FetchResponse {
+        node: NodeId::new(42),
+        payload: Some((1, bytes::Bytes::from(vec![0xA5u8; 256]))),
+    };
+
+    let mut g = c.benchmark_group("wire_frame");
+    for (name, frame) in [
+        ("dispatch", &dispatch),
+        ("completion", &completion),
+        ("fetch_response_256B", &fetch_response),
+    ] {
+        g.bench_function(&format!("encode_{name}"), |b| {
+            b.iter(|| std::hint::black_box(frame.encode()))
+        });
+        let encoded = frame.encode();
+        g.bench_function(&format!("decode_{name}"), |b| {
+            b.iter(|| std::hint::black_box(Frame::decode(encoded.clone()).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn wire_round_trip(c: &mut Criterion) {
+    use grouting_core::wire::{
+        ConnectionPool, Frame, InProcTransport, TcpTransport, Transport, TransportKind,
+    };
+    use std::sync::Arc;
+
+    // An echo peer per transport; the bench measures one framed
+    // request/response exchange through a connection pool.
+    fn echo_endpoint(transport: &Arc<dyn Transport>) -> (String, std::thread::JoinHandle<()>) {
+        let mut listener = transport.listen(&transport.any_addr()).unwrap();
+        let addr = listener.addr();
+        let join = std::thread::spawn(move || {
+            let Ok(mut conn) = listener.accept() else {
+                return;
+            };
+            while let Ok(frame) = conn.recv() {
+                if matches!(frame, Frame::Shutdown) || conn.send(&frame).is_err() {
+                    break;
+                }
+            }
+        });
+        (addr, join)
+    }
+
+    let transports: Vec<(&str, Arc<dyn Transport>)> =
+        if TransportKind::from_env() == TransportKind::InProc {
+            vec![("inproc", Arc::new(InProcTransport::new()))]
+        } else {
+            vec![
+                ("tcp_loopback", Arc::new(TcpTransport::new())),
+                ("inproc", Arc::new(InProcTransport::new())),
+            ]
+        };
+
+    let mut g = c.benchmark_group("wire_round_trip");
+    for (name, transport) in transports {
+        let (addr, join) = echo_endpoint(&transport);
+        let mut pool = ConnectionPool::new(Arc::clone(&transport), addr, 1);
+        let request = Frame::FetchRequest {
+            node: NodeId::new(7),
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(pool.request(&request).unwrap()))
+        });
+        // Dropping the pool closes its parked connection; the echo peer's
+        // recv fails and its thread exits.
+        drop(pool);
+        let _ = join.join();
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     murmur,
@@ -170,6 +271,8 @@ criterion_group!(
     bfs,
     routing_decision,
     partitioning,
-    simplex
+    simplex,
+    wire_frames,
+    wire_round_trip
 );
 criterion_main!(benches);

@@ -11,6 +11,7 @@ use grouting_live::{run_live, LiveConfig, LiveReport};
 use grouting_query::Query;
 use grouting_route::RoutingKind;
 use grouting_sim::{simulate, SimAssets, SimConfig, SimReport};
+use grouting_wire::TransportKind;
 use grouting_workload::{hotspot_workload, QueryMix, WorkloadConfig};
 
 /// Builder for a [`GRouting`] cluster.
@@ -177,6 +178,22 @@ impl GRouting {
         self.routing
     }
 
+    /// A handle over the same preprocessed assets with a different routing
+    /// scheme — preprocessing is routing-agnostic, so scheme sweeps build
+    /// once and reconfigure cheaply (the assets are shared `Arc`s).
+    #[must_use]
+    pub fn with_routing(&self, routing: RoutingKind) -> GRouting {
+        GRouting {
+            assets: self.assets.clone(),
+            processors: self.processors,
+            routing,
+            cache_capacity: self.cache_capacity,
+            cache_policy: self.cache_policy,
+            alpha: self.alpha,
+            load_factor: self.load_factor,
+        }
+    }
+
     /// Generates a paper-style hotspot workload over this cluster's graph.
     pub fn hotspot_workload(
         &self,
@@ -222,9 +239,9 @@ impl GRouting {
         simulate(&self.assets, queries, config)
     }
 
-    /// Runs the queries on real threads (wall-clock measurements).
-    pub fn run_live(&self, queries: &[Query]) -> LiveReport {
-        let cfg = LiveConfig {
+    /// The live-runtime config equivalent to this cluster's settings.
+    fn live_config(&self) -> LiveConfig {
+        LiveConfig {
             processors: self.processors,
             routing: self.routing,
             cache_capacity: self.cache_capacity,
@@ -234,13 +251,43 @@ impl GRouting {
             stealing: true,
             admission_window: 0,
             seed: 0x11FE,
-        };
+        }
+    }
+
+    /// Runs the queries on real threads (wall-clock measurements).
+    pub fn run_live(&self, queries: &[Query]) -> LiveReport {
         run_live(
             Arc::clone(&self.assets.tier),
             Some(Arc::clone(&self.assets.landmarks)),
             Some(Arc::clone(&self.assets.embedding)),
             queries,
-            &cfg,
+            &self.live_config(),
+        )
+    }
+
+    /// Runs the queries on a wire cluster: the router, every processor,
+    /// and every storage server deployed as framed-transport peers
+    /// (real loopback sockets for [`TransportKind::Tcp`]), with all
+    /// dispatches, acknowledgements, and adjacency fetches crossing
+    /// connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wire-layer failures (bind/dial errors, peers dying
+    /// mid-run).
+    pub fn run_cluster(
+        &self,
+        queries: &[Query],
+        transport: TransportKind,
+    ) -> Result<LiveReport, grouting_wire::WireError> {
+        grouting_live::run_cluster(
+            Arc::clone(&self.assets.tier),
+            Some(Arc::clone(&self.assets.landmarks)),
+            Some(Arc::clone(&self.assets.embedding)),
+            queries,
+            &self.live_config(),
+            transport,
+            grouting_storage::Preset::Local,
         )
     }
 
@@ -308,6 +355,18 @@ mod tests {
                 assert_eq!(r.count(), Some(truth));
             }
         }
+    }
+
+    #[test]
+    fn socket_cluster_matches_live_results() {
+        let cluster = tiny_cluster(RoutingKind::Hash);
+        let queries = cluster.hotspot_workload(4, 4, 2, 2, 11);
+        let wire = cluster
+            .run_cluster(&queries, TransportKind::InProc)
+            .expect("cluster runs");
+        let live = cluster.run_live(&queries);
+        assert_eq!(wire.results, live.results);
+        assert_eq!(wire.results.len(), queries.len());
     }
 
     #[test]

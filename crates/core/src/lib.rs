@@ -47,6 +47,7 @@
 //! | [`engine`] | `grouting-engine` | the shared engine builder both runtimes drive |
 //! | [`sim`] | `grouting-sim` | deterministic discrete-event cluster |
 //! | [`live`] | `grouting-live` | real multi-threaded cluster |
+//! | [`wire`] | `grouting-wire` | framed RPC: transports, services, socket cluster |
 //! | [`baseline`] | `grouting-baseline` | SEDGE/Giraph-style BSP, PowerGraph-style GAS |
 //! | [`metrics`] | `grouting-metrics` | histograms, timelines, reporters |
 
@@ -63,6 +64,7 @@ pub use grouting_query as query;
 pub use grouting_route as route;
 pub use grouting_sim as sim;
 pub use grouting_storage as storage;
+pub use grouting_wire as wire;
 pub use grouting_workload as workload;
 
 pub mod cluster;
@@ -78,5 +80,6 @@ pub mod prelude {
     pub use grouting_query::{Query, QueryResult};
     pub use grouting_route::RoutingKind;
     pub use grouting_sim::{SimConfig, SimReport};
+    pub use grouting_wire::TransportKind;
     pub use grouting_workload::{hotspot_workload, QueryMix, WorkloadConfig};
 }

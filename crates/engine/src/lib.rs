@@ -33,7 +33,9 @@ use grouting_embed::landmarks::Landmarks;
 use grouting_embed::ProcessorDistanceTable;
 use grouting_metrics::timeline::QueryRecord;
 use grouting_metrics::Timeline;
-use grouting_query::{AccessStats, ExecOutcome, Executor, MissEvent, ProcessorCache, Query};
+use grouting_query::{
+    AccessStats, ExecOutcome, Executor, MissEvent, ProcessorCache, Query, RecordSource,
+};
 use grouting_route::{EmbedRouter, Router, RouterConfig, RoutingKind, Strategy};
 use grouting_storage::StorageTier;
 
@@ -87,6 +89,16 @@ impl EngineConfig {
             self.admission_window
         }
     }
+
+    /// Builds one processor's cache per this configuration (a null cache
+    /// for [`RoutingKind::NoCache`]).
+    pub fn build_cache(&self) -> ProcessorCache {
+        if self.routing.uses_cache() {
+            self.cache_policy.build(self.cache_capacity)
+        } else {
+            Box::new(NullCache::new())
+        }
+    }
 }
 
 /// Preprocessing products the engine wires into the routing strategies.
@@ -130,28 +142,45 @@ impl EngineAssets {
     }
 }
 
-/// A query processor's executable half: its cache plus a tier handle.
+/// A query processor's executable half: its cache plus a record source
+/// (the miss path behind the cache).
 ///
 /// Detached from the [`Engine`] with [`Engine::take_workers`] so each
 /// frontend can place it where execution happens — inline for the
-/// simulator, on a dedicated thread for the live runtime (`Worker: Send`).
+/// simulator, on a dedicated thread for the live runtime, or inside a
+/// socket service loop for a wire deployment (`Worker: Send`). The engine
+/// builds workers whose source is a direct [`StorageTier`] handle; a wire
+/// deployment builds them with [`Worker::from_parts`] around a
+/// transport-backed [`RecordSource`], so the same execution code drives
+/// bytes over real connections.
 pub struct Worker {
     id: usize,
-    tier: Arc<StorageTier>,
+    source: Box<dyn RecordSource + Send>,
     cache: ProcessorCache,
 }
 
 impl Worker {
+    /// Assembles a worker from explicit parts: a processor id, the miss
+    /// path the cache falls back to, and the cache itself (usually
+    /// [`EngineConfig::build_cache`]).
+    pub fn from_parts(
+        id: usize,
+        source: Box<dyn RecordSource + Send>,
+        cache: ProcessorCache,
+    ) -> Self {
+        Self { id, source, cache }
+    }
+
     /// The processor id this worker serves.
     pub fn id(&self) -> usize {
         self.id
     }
 
-    /// Executes one query against this processor's cache and the tier,
-    /// returning the outcome plus the ordered storage-miss log (the
-    /// simulator replays it through its contention model).
+    /// Executes one query against this processor's cache and its record
+    /// source, returning the outcome plus the ordered storage-miss log
+    /// (the simulator replays it through its contention model).
     pub fn run(&mut self, query: &Query) -> (ExecOutcome, Vec<MissEvent>) {
-        let mut ex = Executor::new(&self.tier, &mut self.cache);
+        let mut ex = Executor::new(self.source.as_mut(), &mut self.cache);
         let out = ex.run(query);
         let miss_log = ex.take_miss_log();
         (out, miss_log)
@@ -203,6 +232,26 @@ impl Engine {
     /// Panics if `config.processors == 0`, or if a smart scheme is
     /// requested without its preprocessing asset.
     pub fn new(assets: &EngineAssets, config: &EngineConfig) -> Self {
+        Self::build(assets, config, true)
+    }
+
+    /// Builds only the router half — strategy, queues, admission, and
+    /// completion accounting — with no local workers. This is the engine a
+    /// wire deployment's router node runs: the processors (and their
+    /// caches) live behind connections, so building local cache-owning
+    /// workers would waste memory on state nobody drives.
+    ///
+    /// [`Engine::take_workers`] must not be called on a router-only
+    /// engine.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Engine::new`].
+    pub fn new_router_only(assets: &EngineAssets, config: &EngineConfig) -> Self {
+        Self::build(assets, config, false)
+    }
+
+    fn build(assets: &EngineAssets, config: &EngineConfig, with_workers: bool) -> Self {
         assert!(config.processors > 0, "zero processors");
         let p = config.processors;
 
@@ -238,18 +287,15 @@ impl Engine {
             },
         );
 
-        let uses_cache = config.routing.uses_cache();
-        let workers = (0..p)
-            .map(|id| Worker {
-                id,
-                tier: Arc::clone(&assets.tier),
-                cache: if uses_cache {
-                    config.cache_policy.build(config.cache_capacity)
-                } else {
-                    Box::new(NullCache::new())
-                },
-            })
-            .collect();
+        let workers = if with_workers {
+            (0..p)
+                .map(|id| {
+                    Worker::from_parts(id, Box::new(Arc::clone(&assets.tier)), config.build_cache())
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         Self {
             config: *config,
@@ -480,5 +526,20 @@ mod tests {
     fn workers_are_send() {
         fn assert_send<T: Send>() {}
         assert_send::<Worker>();
+    }
+
+    #[test]
+    fn router_only_engine_routes_without_workers() {
+        let assets = loaded_assets(2);
+        let cfg = EngineConfig {
+            admission_window: 4,
+            ..EngineConfig::paper_default(2, RoutingKind::Hash)
+        };
+        let mut engine = Engine::new_router_only(&assets, &cfg);
+        let queries: Vec<Query> = (0..6u32).map(q).collect();
+        let mut backlog = queries.iter().copied().enumerate();
+        engine.admit(&mut backlog, |_| {});
+        assert_eq!(engine.pending(), 4);
+        assert!(engine.next_for(0).is_some(), "routing works workerless");
     }
 }

@@ -1,18 +1,28 @@
 //! Real multi-threaded deployment of the decoupled architecture.
 //!
 //! Where `grouting-sim` charges virtual time, this runtime actually spawns
-//! the tiers: one router thread, `P` query-processor threads (each owning
-//! its cache), and the shared thread-safe storage tier. Communication uses
-//! crossbeam channels; the dispatch protocol is the paper's ack-driven one —
-//! "the router sends the next query to a processor only when it receives an
-//! acknowledgement for the previous query from that processor" (§3.2) —
-//! which yields query stealing for free exactly as in the simulator.
+//! the tiers, in one of two deployments sharing a [`LiveConfig`]:
+//!
+//! * [`runtime::run_live`] — one process: a router thread, `P`
+//!   query-processor threads (each owning its cache), and the shared
+//!   thread-safe storage tier, wired with crossbeam channels;
+//! * [`deploy::run_cluster`] — the socket deployment: the same tiers as
+//!   independent `grouting-wire` endpoints (TCP loopback or the hermetic
+//!   in-proc fabric), with every dispatch and adjacency fetch crossing a
+//!   framed connection.
+//!
+//! Both follow the paper's ack-driven dispatch — "the router sends the
+//! next query to a processor only when it receives an acknowledgement for
+//! the previous query from that processor" (§3.2) — which yields query
+//! stealing for free exactly as in the simulator.
 //!
 //! Used by the examples and by concurrency tests; experiment benches use
 //! the simulator for determinism.
 
+pub mod deploy;
 pub mod report;
 pub mod runtime;
 
+pub use deploy::run_cluster;
 pub use report::LiveReport;
 pub use runtime::{run_live, LiveConfig};

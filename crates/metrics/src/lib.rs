@@ -10,12 +10,14 @@
 pub mod counter;
 pub mod histogram;
 pub mod report;
+pub mod snapshot;
 pub mod throughput;
 pub mod timeline;
 
 pub use counter::{CacheCounters, Counter};
 pub use histogram::Histogram;
 pub use report::{SeriesReport, TableReport};
+pub use snapshot::RunSnapshot;
 pub use throughput::ThroughputMeter;
 pub use timeline::Timeline;
 

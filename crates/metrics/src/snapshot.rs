@@ -1,0 +1,164 @@
+//! Serializable end-of-run measurement snapshots.
+//!
+//! When the cluster runs over a real wire (`grouting-wire`), the router is
+//! the only node that sees every completion, so the client learns the
+//! run's totals from a single snapshot frame the router emits at shutdown.
+//! The snapshot carries exactly the counters every runtime already
+//! accumulates — queries, hits, misses, evictions, steals, and the
+//! per-processor service counts — in a compact little-endian encoding.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Totals of one complete run, in a wire-encodable form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunSnapshot {
+    /// Queries completed.
+    pub queries: u64,
+    /// Cache hits across processors (Eq. 8 numerator).
+    pub cache_hits: u64,
+    /// Cache misses across processors (Eq. 9 numerator).
+    pub cache_misses: u64,
+    /// Cache evictions observed.
+    pub evictions: u64,
+    /// Queries served by a non-preferred processor.
+    pub stolen: u64,
+    /// Queries served per processor (index = processor id).
+    pub per_processor: Vec<u64>,
+}
+
+impl RunSnapshot {
+    /// Cache hit rate in `[0, 1]` (Eq. 8).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Encoded size in bytes (matches `encode().len()` exactly).
+    pub fn encoded_len(&self) -> usize {
+        5 * 8 + 4 + 8 * self.per_processor.len()
+    }
+
+    /// Encodes to the little-endian wire layout.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u64_le(self.queries);
+        buf.put_u64_le(self.cache_hits);
+        buf.put_u64_le(self.cache_misses);
+        buf.put_u64_le(self.evictions);
+        buf.put_u64_le(self.stolen);
+        buf.put_u32_le(self.per_processor.len() as u32);
+        for &c in &self.per_processor {
+            buf.put_u64_le(c);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes from the wire layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation on truncated or oversized
+    /// input.
+    pub fn decode(mut data: Bytes) -> Result<Self, String> {
+        if data.remaining() < 5 * 8 + 4 {
+            return Err(format!(
+                "snapshot header needs 44 bytes, have {}",
+                data.remaining()
+            ));
+        }
+        let queries = data.get_u64_le();
+        let cache_hits = data.get_u64_le();
+        let cache_misses = data.get_u64_le();
+        let evictions = data.get_u64_le();
+        let stolen = data.get_u64_le();
+        let processors = data.get_u32_le() as usize;
+        if data.remaining() != 8 * processors {
+            return Err(format!(
+                "snapshot body needs {} bytes for {processors} processors, have {}",
+                8 * processors,
+                data.remaining()
+            ));
+        }
+        let per_processor = (0..processors).map(|_| data.get_u64_le()).collect();
+        Ok(Self {
+            queries,
+            cache_hits,
+            cache_misses,
+            evictions,
+            stolen,
+            per_processor,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunSnapshot {
+        RunSnapshot {
+            queries: 1000,
+            cache_hits: 800,
+            cache_misses: 200,
+            evictions: 13,
+            stolen: 4,
+            per_processor: vec![250, 251, 249, 250],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = sample();
+        let bytes = s.encode();
+        assert_eq!(bytes.len(), s.encoded_len());
+        assert_eq!(RunSnapshot::decode(bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        assert!((sample().hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(RunSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                RunSnapshot::decode(bytes.slice(0..cut)).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut raw = bytes.to_vec();
+        raw.push(0);
+        assert!(RunSnapshot::decode(Bytes::from(raw)).is_err());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_round_trip(
+            queries in 0u64..u64::MAX / 2,
+            hits in 0u64..1 << 40,
+            misses in 0u64..1 << 40,
+            evictions in 0u64..1 << 30,
+            stolen in 0u64..1 << 30,
+            per in proptest::collection::vec(0u64..1 << 50, 0..12),
+        ) {
+            let s = RunSnapshot {
+                queries,
+                cache_hits: hits,
+                cache_misses: misses,
+                evictions,
+                stolen,
+                per_processor: per,
+            };
+            let bytes = s.encode();
+            proptest::prop_assert_eq!(bytes.len(), s.encoded_len());
+            proptest::prop_assert_eq!(RunSnapshot::decode(bytes).unwrap(), s);
+        }
+    }
+}

@@ -8,11 +8,10 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use grouting_graph::NodeId;
-use grouting_storage::StorageTier;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::fetch::{AccessStats, CacheBackedStore, ProcessorCache};
+use crate::fetch::{AccessStats, CacheBackedStore, ProcessorCache, RecordSource};
 use crate::types::{Query, QueryResult};
 
 /// The outcome of one query execution.
@@ -24,17 +23,19 @@ pub struct ExecOutcome {
     pub stats: AccessStats,
 }
 
-/// Executes queries against a processor cache plus the storage tier.
-pub struct Executor<'a> {
-    store: CacheBackedStore<'a>,
+/// Executes queries against a processor cache plus a record source (the
+/// storage tier in-process, or a remote wire path).
+pub struct Executor<'a, S: RecordSource> {
+    store: CacheBackedStore<'a, S>,
 }
 
-impl<'a> Executor<'a> {
+impl<'a, S: RecordSource> Executor<'a, S> {
     /// Creates an executor borrowing the processor's cache for one or more
-    /// query executions.
-    pub fn new(tier: &'a StorageTier, cache: &'a mut ProcessorCache) -> Self {
+    /// query executions. `source` is the miss path — pass `&tier` for the
+    /// classic in-process layout.
+    pub fn new(source: S, cache: &'a mut ProcessorCache) -> Self {
         Self {
-            store: CacheBackedStore::new(tier, cache),
+            store: CacheBackedStore::new(source, cache),
         }
     }
 
@@ -123,7 +124,7 @@ impl<'a> Executor<'a> {
                      d: u32,
                      dist: &mut HashMap<NodeId, u32>,
                      queue: &mut Frontier,
-                     store: &mut CacheBackedStore<'_>|
+                     store: &mut CacheBackedStore<'_, S>|
          -> u64 {
             if dist.contains_key(&w) {
                 return 0;
@@ -306,6 +307,7 @@ mod tests {
     use grouting_graph::traversal::{h_hop_neighborhood, hop_distance, Direction};
     use grouting_graph::{CsrGraph, GraphBuilder, NodeLabelId};
     use grouting_partition::HashPartitioner;
+    use grouting_storage::StorageTier;
     use std::sync::Arc;
 
     fn n(i: u32) -> NodeId {

@@ -1,17 +1,52 @@
 //! The cache-then-storage fetch layer.
 //!
 //! Every adjacency record a query touches flows through here: first the
-//! processor's local cache, then (on miss) the storage tier. The hit/miss
-//! tallies recorded per query are exactly the paper's cache-hit/cache-miss
-//! rates (Eq. 8/9), and the miss byte counts are what the simulator feeds
-//! into the network cost model.
+//! processor's local cache, then (on miss) a [`RecordSource`] — the storage
+//! tier when processors hold direct handles, or a remote socket path when
+//! the cluster is deployed over a wire transport. The hit/miss tallies
+//! recorded per query are exactly the paper's cache-hit/cache-miss rates
+//! (Eq. 8/9), and the miss byte counts are what the simulator feeds into
+//! the network cost model.
 
 use std::sync::Arc;
 
+use bytes::Bytes;
 use grouting_cache::Cache;
 use grouting_graph::codec::AdjacencyRecord;
 use grouting_graph::NodeId;
 use grouting_storage::StorageTier;
+
+/// Where missed adjacency records come from.
+///
+/// The decoupled architecture means a processor's miss path is pluggable:
+/// an in-process [`StorageTier`] handle (the simulator and the channel
+/// runtime), or a framed socket connection to remote storage servers (the
+/// `grouting-wire` deployment). Either way the contract is the same as
+/// [`StorageTier::get`]: the serving server id plus the *encoded* value, so
+/// byte-level cache accounting is identical on every path.
+pub trait RecordSource {
+    /// Fetches the encoded adjacency value for `node`, with the id of the
+    /// storage server that served it; `None` when the node is not stored.
+    fn fetch_raw(&mut self, node: NodeId) -> Option<(u16, Bytes)>;
+}
+
+impl RecordSource for &StorageTier {
+    fn fetch_raw(&mut self, node: NodeId) -> Option<(u16, Bytes)> {
+        self.get(node).map(|(s, b)| (s as u16, b))
+    }
+}
+
+impl RecordSource for Arc<StorageTier> {
+    fn fetch_raw(&mut self, node: NodeId) -> Option<(u16, Bytes)> {
+        self.get(node).map(|(s, b)| (s as u16, b))
+    }
+}
+
+impl<S: RecordSource + ?Sized> RecordSource for &mut S {
+    fn fetch_raw(&mut self, node: NodeId) -> Option<(u16, Bytes)> {
+        (**self).fetch_raw(node)
+    }
+}
 
 /// The concrete cache type a query processor holds: node id → shared
 /// decoded record, sized by its encoded byte length.
@@ -57,19 +92,21 @@ pub struct MissEvent {
     pub bytes: u32,
 }
 
-/// A processor's view of the graph: its cache in front of the storage tier.
-pub struct CacheBackedStore<'a> {
-    tier: &'a StorageTier,
+/// A processor's view of the graph: its cache in front of a record source.
+pub struct CacheBackedStore<'a, S: RecordSource> {
+    source: S,
     cache: &'a mut ProcessorCache,
     stats: AccessStats,
     miss_log: Vec<MissEvent>,
 }
 
-impl<'a> CacheBackedStore<'a> {
-    /// Wraps a cache and the shared storage tier for one query's execution.
-    pub fn new(tier: &'a StorageTier, cache: &'a mut ProcessorCache) -> Self {
+impl<'a, S: RecordSource> CacheBackedStore<'a, S> {
+    /// Wraps a cache and a miss-path source (`&StorageTier`, an
+    /// `Arc<StorageTier>`, or a remote transport-backed source) for one
+    /// query's execution.
+    pub fn new(source: S, cache: &'a mut ProcessorCache) -> Self {
         Self {
-            tier,
+            source,
             cache,
             stats: AccessStats::default(),
             miss_log: Vec::new(),
@@ -82,11 +119,11 @@ impl<'a> CacheBackedStore<'a> {
             self.stats.cache_hits += 1;
             return Some(Arc::clone(rec));
         }
-        let (server, bytes) = self.tier.get(node)?;
+        let (server, bytes) = self.source.fetch_raw(node)?;
         self.stats.cache_misses += 1;
         self.stats.miss_bytes += bytes.len() as u64;
         self.miss_log.push(MissEvent {
-            server: server as u16,
+            server,
             bytes: bytes.len() as u32,
         });
         let size = bytes.len();

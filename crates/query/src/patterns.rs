@@ -74,8 +74,8 @@ impl PatternMatch {
 ///
 /// Each frontier node's record is fetched through the processor cache, so
 /// the access accounting (Eq. 8/9) covers pattern queries too.
-pub fn match_pattern(
-    executor: &mut Executor<'_>,
+pub fn match_pattern<S: crate::fetch::RecordSource>(
+    executor: &mut Executor<'_, S>,
     anchor: NodeId,
     pattern: &PathPattern,
 ) -> PatternMatch {

@@ -20,7 +20,7 @@ pub mod server;
 pub mod tier;
 
 pub use log::LogStore;
-pub use net::NetworkModel;
+pub use net::{NetworkModel, Preset};
 pub use server::StorageServer;
 pub use tier::StorageTier;
 

@@ -6,21 +6,17 @@
 //! fetch; the live runtime can optionally spin for the same duration to
 //! emulate the relative gap on a laptop.
 
-mod serde_like {
-    /// Named presets, kept in a private module to avoid a serde dependency
-    /// for a three-variant enum.
-    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-    pub enum NetKind {
-        /// 40 Gbps Infiniband with RDMA (the paper's default).
-        InfinibandRdma,
-        /// 10 Gbps Ethernet (the paper's `gRouting-E`).
-        Ethernet10G,
-        /// Zero-cost network (single-machine control).
-        Local,
-    }
+/// Named network presets used by configs (`live`, `wire`, benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// 40 Gbps Infiniband with RDMA (the paper's default).
+    InfinibandRdma,
+    /// 10 Gbps Ethernet (the paper's `gRouting-E`).
+    Ethernet10G,
+    /// Zero-cost network (single-machine control).
+    #[default]
+    Local,
 }
-
-pub use serde_like::NetKind as Preset;
 
 /// Latency/bandwidth model for one request/response exchange.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,13 +54,14 @@ impl NetworkModel {
         }
     }
 
-    /// Builds a model from a preset.
+    /// Builds a model from a preset (alias for the [`From`] conversion).
     pub fn preset(p: Preset) -> Self {
-        match p {
-            Preset::InfinibandRdma => Self::infiniband_rdma(),
-            Preset::Ethernet10G => Self::ethernet_10g(),
-            Preset::Local => Self::local(),
-        }
+        Self::from(p)
+    }
+
+    /// Whether this model charges any time at all.
+    pub fn is_free(&self) -> bool {
+        self.rtt_ns == 0 && !self.gbps.is_finite()
     }
 
     /// Nanoseconds to fetch a `bytes`-sized value: RTT plus serialisation
@@ -76,6 +73,16 @@ impl NetworkModel {
             0
         };
         self.rtt_ns + transfer
+    }
+}
+
+impl From<Preset> for NetworkModel {
+    fn from(p: Preset) -> Self {
+        match p {
+            Preset::InfinibandRdma => Self::infiniband_rdma(),
+            Preset::Ethernet10G => Self::ethernet_10g(),
+            Preset::Local => Self::local(),
+        }
     }
 }
 
@@ -115,13 +122,21 @@ mod tests {
     #[test]
     fn presets_match_constructors() {
         assert_eq!(
-            NetworkModel::preset(Preset::InfinibandRdma),
+            NetworkModel::from(Preset::InfinibandRdma),
             NetworkModel::infiniband_rdma()
         );
         assert_eq!(
-            NetworkModel::preset(Preset::Ethernet10G),
+            NetworkModel::from(Preset::Ethernet10G),
             NetworkModel::ethernet_10g()
         );
         assert_eq!(NetworkModel::preset(Preset::Local), NetworkModel::local());
+        assert_eq!(Preset::default(), Preset::Local);
+    }
+
+    #[test]
+    fn only_local_is_free() {
+        assert!(NetworkModel::from(Preset::Local).is_free());
+        assert!(!NetworkModel::from(Preset::InfinibandRdma).is_free());
+        assert!(!NetworkModel::from(Preset::Ethernet10G).is_free());
     }
 }

@@ -113,6 +113,13 @@ impl StorageTier {
         self.servers.len()
     }
 
+    /// The partitioner placing records on servers. Query processors share
+    /// this placement function (it is stateless metadata), which is how a
+    /// remote fetch layer knows which storage endpoint owns a node.
+    pub fn partitioner(&self) -> Arc<dyn Partitioner> {
+        Arc::clone(&self.partitioner)
+    }
+
     /// The server owning `node`.
     pub fn server_of(&self, node: NodeId) -> usize {
         self.partitioner.assign(node)

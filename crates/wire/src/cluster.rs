@@ -1,0 +1,305 @@
+//! One-machine cluster harness: router + processors + storage as peers.
+//!
+//! [`launch_cluster`] deploys the full decoupled topology over a chosen
+//! transport — every router↔processor dispatch and every processor↔storage
+//! fetch crosses a framed connection — runs a workload through it from a
+//! client connection, and collects the results into a [`ClusterRun`].
+//!
+//! With [`TransportKind::Tcp`] the peers are real socket endpoints on
+//! loopback (the honest deployment); [`TransportKind::InProc`] swaps in
+//! the hermetic channel fabric for sandboxes without loopback — same
+//! services, same frames, same encoded bytes.
+
+use std::sync::Arc;
+
+use grouting_engine::{EngineAssets, EngineConfig};
+use grouting_metrics::timeline::QueryRecord;
+use grouting_metrics::{RunSnapshot, Timeline};
+use grouting_query::{Query, QueryResult};
+use grouting_storage::{NetworkModel, Preset};
+
+use crate::error::{WireError, WireResult};
+use crate::frame::{Frame, Role};
+use crate::service::{now_ns, run_router, ProcessorService, ServiceHandle, StorageService};
+use crate::transport::{InProcTransport, TcpTransport, Transport};
+
+/// Which connection fabric a cluster deployment runs on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Real loopback sockets (`std::net`).
+    #[default]
+    Tcp,
+    /// Hermetic in-process channels (same frames, same encoded bytes).
+    InProc,
+}
+
+impl TransportKind {
+    /// Honours the `GROUTING_NO_SOCKETS=1` escape hatch: TCP normally,
+    /// the in-proc fabric in sandboxes without loopback networking.
+    pub fn from_env() -> Self {
+        match std::env::var("GROUTING_NO_SOCKETS") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => TransportKind::InProc,
+            _ => TransportKind::Tcp,
+        }
+    }
+
+    /// Builds the transport instance.
+    pub fn build(self) -> Arc<dyn Transport> {
+        match self {
+            TransportKind::Tcp => Arc::new(TcpTransport::new()),
+            TransportKind::InProc => Arc::new(InProcTransport::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportKind::Tcp => write!(f, "tcp"),
+            TransportKind::InProc => write!(f, "inproc"),
+        }
+    }
+}
+
+/// Deployment shape of a wire cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// The engine knobs (processors, routing, caches, window, …) — the
+    /// same structure the in-proc runtimes consume, which is what makes
+    /// wire runs comparable to in-proc runs.
+    pub engine: EngineConfig,
+    /// Connection fabric.
+    pub transport: TransportKind,
+    /// Emulated processor↔storage network (charged per fetch at the
+    /// storage endpoints; [`Preset::Local`] charges nothing).
+    pub net: Preset,
+}
+
+impl ClusterConfig {
+    /// A cluster over `engine` on the given transport with a free network.
+    pub fn new(engine: EngineConfig, transport: TransportKind) -> Self {
+        Self {
+            engine,
+            transport,
+            net: Preset::Local,
+        }
+    }
+}
+
+/// Everything a cluster run produced, assembled client-side purely from
+/// frames received over the wire.
+#[derive(Debug)]
+pub struct ClusterRun {
+    /// Query results in sequence order.
+    pub results: Vec<QueryResult>,
+    /// Per-query lifecycle records (completion order).
+    pub timeline: Timeline,
+    /// The router's end-of-run totals.
+    pub snapshot: RunSnapshot,
+    /// Wall-clock duration observed by the client.
+    pub wall_ns: u64,
+}
+
+impl ClusterRun {
+    /// Cache hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        self.snapshot.hit_rate()
+    }
+
+    /// Wall-clock throughput in queries/second.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.results.len() as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// Launches router + `P` processors + `M` storage servers as transport
+/// peers, streams `queries` through the cluster, and tears everything
+/// down.
+///
+/// `M` is `assets.tier.server_count()` — one storage endpoint per tier
+/// server. The tier handle itself stays on the storage side of the wire;
+/// processors see only addresses and the placement function.
+///
+/// # Errors
+///
+/// Propagates transport failures, protocol violations, and router errors.
+///
+/// # Panics
+///
+/// Panics (like [`grouting_engine::Engine::new`]) when `config.engine`
+/// requests a smart scheme without its preprocessing asset.
+pub fn launch_cluster(
+    assets: &EngineAssets,
+    queries: &[Query],
+    config: &ClusterConfig,
+) -> WireResult<ClusterRun> {
+    let transport = config.transport.build();
+    let net = NetworkModel::from(config.net);
+    let p = config.engine.processors;
+
+    // Storage endpoints, one per tier server.
+    let mut storage_handles: Vec<ServiceHandle> = Vec::new();
+    for _ in 0..assets.tier.server_count() {
+        storage_handles.push(StorageService::spawn(
+            Arc::clone(&transport),
+            Arc::clone(&assets.tier),
+            net,
+        )?);
+    }
+    let storage_addrs: Vec<String> = storage_handles
+        .iter()
+        .map(|h| h.addr().to_string())
+        .collect();
+
+    // The router node.
+    let router_listener = transport.listen(&transport.any_addr())?;
+    let router_addr = router_listener.addr();
+    let router_assets = assets.clone();
+    let router_config = config.engine;
+    let router_transport = Arc::clone(&transport);
+    let router = std::thread::spawn(move || {
+        run_router(
+            router_transport,
+            router_listener,
+            &router_assets,
+            &router_config,
+        )
+    });
+
+    // The processor fleet.
+    let partitioner = assets.tier.partitioner();
+    let processors: Vec<_> = (0..p)
+        .map(|id| {
+            ProcessorService::spawn(
+                Arc::clone(&transport),
+                id,
+                router_addr.clone(),
+                storage_addrs.clone(),
+                Arc::clone(&partitioner),
+                config.engine,
+            )
+        })
+        .collect();
+
+    // The client: stream the workload, then collect completions.
+    let run = drive_client(&*transport, &router_addr, queries);
+    if run.is_err() {
+        // The router is still parked on its event loop; tell it to abort
+        // so the joins below cannot hang on a half-started run.
+        if let Ok(mut abort) = transport.dial(&router_addr) {
+            let _ = abort.send(&Frame::Shutdown);
+        }
+    }
+
+    // Teardown order: router exits on its own once the workload drains
+    // (or errored, or was aborted above); processors exit on its
+    // Shutdown; storage last. A panicked tier thread (e.g. a processor
+    // whose storage fetch path died) degrades to an error, not a panic.
+    let router_result = router
+        .join()
+        .map_err(|_| WireError::Protocol("router thread panicked".to_string()))?;
+    let mut dead_processors = 0usize;
+    for handle in processors {
+        // Both a panic and a processor that bailed with a wire error count
+        // as dead — only a clean Shutdown-driven exit is healthy.
+        if !matches!(handle.join(), Ok(Ok(()))) {
+            dead_processors += 1;
+        }
+    }
+    for handle in storage_handles {
+        handle.shutdown();
+    }
+
+    // Error precedence: the router supervises every peer, so its error is
+    // usually the root cause (the client only sees a generic "incomplete
+    // results") — unless the router merely echoes the abort *we* sent
+    // after the client failed, in which case the client error wins.
+    let snapshot = match router_result {
+        Ok(snapshot) => snapshot,
+        Err(WireError::Protocol(m)) if m.starts_with("run aborted") && run.is_err() => {
+            return Err(run.unwrap_err())
+        }
+        Err(router_err) => return Err(router_err),
+    };
+    let (results, timeline, client_snapshot, wall_ns) = run?;
+    if dead_processors > 0 {
+        return Err(WireError::Protocol(format!(
+            "{dead_processors} processor thread(s) died mid-run"
+        )));
+    }
+    debug_assert_eq!(
+        client_snapshot, snapshot,
+        "router sent a different snapshot"
+    );
+    Ok(ClusterRun {
+        results,
+        timeline,
+        snapshot,
+        wall_ns,
+    })
+}
+
+type ClientRun = (Vec<QueryResult>, Timeline, RunSnapshot, u64);
+
+fn drive_client(
+    transport: &dyn Transport,
+    router_addr: &str,
+    queries: &[Query],
+) -> WireResult<ClientRun> {
+    let started = now_ns();
+    let mut conn = transport.dial(router_addr)?;
+    conn.send(&Frame::Hello {
+        role: Role::Client,
+        id: 0,
+    })?;
+    for (seq, query) in queries.iter().enumerate() {
+        conn.send(&Frame::Submit {
+            seq: seq as u64,
+            query: *query,
+        })?;
+    }
+    conn.send(&Frame::SubmitEnd)?;
+
+    let mut results: Vec<Option<QueryResult>> = vec![None; queries.len()];
+    let mut timeline = Timeline::new();
+    let mut snapshot = None;
+    loop {
+        match conn.recv() {
+            Ok(Frame::Completion(c)) => {
+                let seq = c.seq as usize;
+                if seq >= results.len() || results[seq].is_some() {
+                    return Err(WireError::Protocol(format!(
+                        "unexpected completion for seq {seq}"
+                    )));
+                }
+                results[seq] = Some(c.result);
+                timeline.push(QueryRecord {
+                    seq: c.seq,
+                    arrived: c.arrived_ns,
+                    started: c.started_ns,
+                    completed: c.completed_ns,
+                    processor: c.processor as usize,
+                });
+            }
+            Ok(Frame::Metrics(s)) => snapshot = Some(s),
+            Ok(Frame::Shutdown) | Err(WireError::Closed) => break,
+            Ok(other) => return Err(WireError::Protocol(format!("client got {}", other.kind()))),
+            Err(e) => return Err(e),
+        }
+    }
+
+    let results: Option<Vec<QueryResult>> = results.into_iter().collect();
+    let results = results
+        .ok_or_else(|| WireError::Protocol("run ended with incomplete results".to_string()))?;
+    let snapshot =
+        snapshot.ok_or_else(|| WireError::Protocol("run ended without a snapshot".to_string()))?;
+    Ok((
+        results,
+        timeline,
+        snapshot,
+        now_ns().saturating_sub(started),
+    ))
+}

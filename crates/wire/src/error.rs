@@ -1,0 +1,78 @@
+//! Wire-layer errors.
+
+use std::fmt;
+
+/// Everything that can go wrong on the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket I/O failed.
+    Io(std::io::Error),
+    /// A frame failed to encode/decode (truncated, oversized, bad tag).
+    Codec(String),
+    /// The peer closed the connection.
+    Closed,
+    /// No endpoint is listening at the dialled address.
+    Unroutable(String),
+    /// A peer sent a frame the protocol does not allow in this state.
+    Protocol(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o: {e}"),
+            WireError::Codec(m) => write!(f, "wire codec: {m}"),
+            WireError::Closed => write!(f, "peer closed the connection"),
+            WireError::Unroutable(addr) => write!(f, "no listener at {addr}"),
+            WireError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => WireError::Closed,
+            _ => WireError::Io(e),
+        }
+    }
+}
+
+/// Result alias for wire operations.
+pub type WireResult<T> = Result<T, WireError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eof_maps_to_closed() {
+        let e = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(WireError::from(e), WireError::Closed));
+        let other = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "no");
+        assert!(matches!(WireError::from(other), WireError::Io(_)));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(WireError::Closed.to_string().contains("closed"));
+        assert!(WireError::Unroutable("x:1".into())
+            .to_string()
+            .contains("x:1"));
+        assert!(WireError::Codec("bad tag".into())
+            .to_string()
+            .contains("bad tag"));
+    }
+}

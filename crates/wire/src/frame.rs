@@ -1,0 +1,779 @@
+//! The cluster's message set and its binary encoding.
+//!
+//! Every exchange between the router, the query processors, and the
+//! storage servers is one of the frames below, encoded little-endian in
+//! the style of `grouting_graph::codec` (a tag byte, then fixed-width
+//! fields, variable-length sections carrying explicit counts). On the wire
+//! each frame travels behind a `u32` length prefix (see
+//! [`crate::transport`]); the encoding here is the payload only, so the
+//! in-process transport can carry the identical bytes without a length
+//! prefix and both paths exercise the same codec.
+//!
+//! Message set (paper §3.2's router/processor protocol, plus the decoupled
+//! storage fetch path):
+//!
+//! * [`Frame::Hello`] — a peer introduces itself to the router;
+//! * [`Frame::Submit`]/[`Frame::SubmitEnd`] — a client streams a workload;
+//! * [`Frame::Dispatch`] — the router hands one query to a processor
+//!   (ack-driven: at most one outstanding per processor);
+//! * [`Frame::Completion`] — the processor's acknowledgement: result,
+//!   access stats, lifecycle timestamps;
+//! * [`Frame::FetchRequest`]/[`Frame::FetchResponse`] — a processor's
+//!   cache-miss path to a storage server (the value is the *encoded*
+//!   adjacency record, so byte accounting matches the in-proc engine);
+//! * [`Frame::MetricsRequest`]/[`Frame::Metrics`] — run-total snapshots;
+//! * [`Frame::Shutdown`] — orderly teardown.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use grouting_graph::{NodeId, NodeLabelId};
+use grouting_metrics::RunSnapshot;
+use grouting_query::{AccessStats, Query, QueryResult};
+
+use crate::error::{WireError, WireResult};
+
+/// Hard cap on a single frame's payload; anything larger is treated as
+/// stream corruption rather than an allocation request.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+const TAG_HELLO: u8 = 1;
+const TAG_SUBMIT: u8 = 2;
+const TAG_SUBMIT_END: u8 = 3;
+const TAG_DISPATCH: u8 = 4;
+const TAG_COMPLETION: u8 = 5;
+const TAG_FETCH_REQUEST: u8 = 6;
+const TAG_FETCH_RESPONSE: u8 = 7;
+const TAG_METRICS_REQUEST: u8 = 8;
+const TAG_METRICS: u8 = 9;
+const TAG_SHUTDOWN: u8 = 10;
+
+/// Who a connection speaks for, announced in [`Frame::Hello`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// A workload driver submitting queries and collecting completions.
+    Client,
+    /// A query processor ready for ack-driven dispatch.
+    Processor,
+}
+
+/// One finished query's record, as acknowledged over the wire.
+///
+/// The processor fills everything except `arrived_ns` (only the router
+/// knows when the query arrived); the router stamps it before forwarding
+/// the completion to the client, making the forwarded frame a complete
+/// lifecycle record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// Workload sequence number.
+    pub seq: u64,
+    /// Processor that served the query.
+    pub processor: u32,
+    /// The query's answer.
+    pub result: QueryResult,
+    /// Cache/storage access statistics.
+    pub stats: AccessStats,
+    /// Router arrival timestamp (0 until the router stamps it).
+    pub arrived_ns: u64,
+    /// Execution start timestamp.
+    pub started_ns: u64,
+    /// Execution completion timestamp.
+    pub completed_ns: u64,
+}
+
+/// A protocol message between cluster peers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Peer introduction: role plus processor id (0 for clients).
+    Hello {
+        /// What the peer is.
+        role: Role,
+        /// Processor id (`0` for clients).
+        id: u32,
+    },
+    /// Client → router: one workload query.
+    Submit {
+        /// Workload sequence number.
+        seq: u64,
+        /// The query.
+        query: Query,
+    },
+    /// Client → router: no more submissions will follow.
+    SubmitEnd,
+    /// Router → processor: execute one query.
+    Dispatch {
+        /// Workload sequence number.
+        seq: u64,
+        /// The query.
+        query: Query,
+    },
+    /// Processor → router → client: one finished query.
+    Completion(Completion),
+    /// Processor → storage: adjacency record wanted.
+    FetchRequest {
+        /// The node whose record is wanted.
+        node: NodeId,
+    },
+    /// Storage → processor: the encoded record, or a miss.
+    FetchResponse {
+        /// The requested node (lets a pool detect desynced streams).
+        node: NodeId,
+        /// Serving server id and encoded adjacency value, `None` when the
+        /// node is not stored.
+        payload: Option<(u16, Bytes)>,
+    },
+    /// Client → router: ask for the current run snapshot.
+    MetricsRequest,
+    /// Router → client: run totals.
+    Metrics(RunSnapshot),
+    /// Orderly teardown of the receiving peer/connection.
+    Shutdown,
+}
+
+impl Frame {
+    /// Short frame name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::Submit { .. } => "submit",
+            Frame::SubmitEnd => "submit-end",
+            Frame::Dispatch { .. } => "dispatch",
+            Frame::Completion(_) => "completion",
+            Frame::FetchRequest { .. } => "fetch-request",
+            Frame::FetchResponse { .. } => "fetch-response",
+            Frame::MetricsRequest => "metrics-request",
+            Frame::Metrics(_) => "metrics",
+            Frame::Shutdown => "shutdown",
+        }
+    }
+
+    /// Encodes this frame to its payload bytes (no length prefix).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32);
+        match self {
+            Frame::Hello { role, id } => {
+                buf.put_u8(TAG_HELLO);
+                buf.put_u8(match role {
+                    Role::Client => 0,
+                    Role::Processor => 1,
+                });
+                buf.put_u32_le(*id);
+            }
+            Frame::Submit { seq, query } => {
+                buf.put_u8(TAG_SUBMIT);
+                buf.put_u64_le(*seq);
+                put_query(&mut buf, query);
+            }
+            Frame::SubmitEnd => buf.put_u8(TAG_SUBMIT_END),
+            Frame::Dispatch { seq, query } => {
+                buf.put_u8(TAG_DISPATCH);
+                buf.put_u64_le(*seq);
+                put_query(&mut buf, query);
+            }
+            Frame::Completion(c) => {
+                buf.put_u8(TAG_COMPLETION);
+                buf.put_u64_le(c.seq);
+                buf.put_u32_le(c.processor);
+                put_result(&mut buf, &c.result);
+                buf.put_u64_le(c.stats.cache_hits);
+                buf.put_u64_le(c.stats.cache_misses);
+                buf.put_u64_le(c.stats.miss_bytes);
+                buf.put_u64_le(c.stats.evictions);
+                buf.put_u64_le(c.arrived_ns);
+                buf.put_u64_le(c.started_ns);
+                buf.put_u64_le(c.completed_ns);
+            }
+            Frame::FetchRequest { node } => {
+                buf.put_u8(TAG_FETCH_REQUEST);
+                buf.put_u32_le(node.raw());
+            }
+            Frame::FetchResponse { node, payload } => {
+                buf.put_u8(TAG_FETCH_RESPONSE);
+                buf.put_u32_le(node.raw());
+                match payload {
+                    None => buf.put_u8(0),
+                    Some((server, value)) => {
+                        buf.put_u8(1);
+                        buf.put_u16_le(*server);
+                        buf.put_u32_le(value.len() as u32);
+                        buf.put_slice(value);
+                    }
+                }
+            }
+            Frame::MetricsRequest => buf.put_u8(TAG_METRICS_REQUEST),
+            Frame::Metrics(snapshot) => {
+                buf.put_u8(TAG_METRICS);
+                buf.put_slice(&snapshot.encode());
+            }
+            Frame::Shutdown => buf.put_u8(TAG_SHUTDOWN),
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a frame from payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Codec`] on truncated, trailing, or malformed
+    /// input.
+    pub fn decode(mut data: Bytes) -> WireResult<Frame> {
+        need(&data, 1)?;
+        let tag = data.get_u8();
+        let frame = match tag {
+            TAG_HELLO => {
+                need(&data, 5)?;
+                let role = match data.get_u8() {
+                    0 => Role::Client,
+                    1 => Role::Processor,
+                    r => return Err(WireError::Codec(format!("unknown role {r}"))),
+                };
+                Frame::Hello {
+                    role,
+                    id: data.get_u32_le(),
+                }
+            }
+            TAG_SUBMIT | TAG_DISPATCH => {
+                need(&data, 8)?;
+                let seq = data.get_u64_le();
+                let query = get_query(&mut data)?;
+                if tag == TAG_SUBMIT {
+                    Frame::Submit { seq, query }
+                } else {
+                    Frame::Dispatch { seq, query }
+                }
+            }
+            TAG_SUBMIT_END => Frame::SubmitEnd,
+            TAG_COMPLETION => {
+                need(&data, 12)?;
+                let seq = data.get_u64_le();
+                let processor = data.get_u32_le();
+                let result = get_result(&mut data)?;
+                need(&data, 7 * 8)?;
+                let stats = AccessStats {
+                    cache_hits: data.get_u64_le(),
+                    cache_misses: data.get_u64_le(),
+                    miss_bytes: data.get_u64_le(),
+                    evictions: data.get_u64_le(),
+                };
+                Frame::Completion(Completion {
+                    seq,
+                    processor,
+                    result,
+                    stats,
+                    arrived_ns: data.get_u64_le(),
+                    started_ns: data.get_u64_le(),
+                    completed_ns: data.get_u64_le(),
+                })
+            }
+            TAG_FETCH_REQUEST => {
+                need(&data, 4)?;
+                Frame::FetchRequest {
+                    node: NodeId::new(data.get_u32_le()),
+                }
+            }
+            TAG_FETCH_RESPONSE => {
+                need(&data, 5)?;
+                let node = NodeId::new(data.get_u32_le());
+                let payload = match data.get_u8() {
+                    0 => None,
+                    1 => {
+                        need(&data, 6)?;
+                        let server = data.get_u16_le();
+                        let len = data.get_u32_le() as usize;
+                        need(&data, len)?;
+                        let value = data.slice(0..len);
+                        data.advance(len);
+                        Some((server, value))
+                    }
+                    f => return Err(WireError::Codec(format!("bad payload flag {f}"))),
+                };
+                Frame::FetchResponse { node, payload }
+            }
+            TAG_METRICS_REQUEST => Frame::MetricsRequest,
+            TAG_METRICS => {
+                let rest = data.slice(..);
+                data.advance(rest.len());
+                Frame::Metrics(RunSnapshot::decode(rest).map_err(WireError::Codec)?)
+            }
+            TAG_SHUTDOWN => Frame::Shutdown,
+            t => return Err(WireError::Codec(format!("unknown frame tag {t}"))),
+        };
+        if data.has_remaining() {
+            return Err(WireError::Codec(format!(
+                "{} trailing bytes after {} frame",
+                data.remaining(),
+                frame.kind()
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+const QUERY_AGG: u8 = 0;
+const QUERY_RWR: u8 = 1;
+const QUERY_REACH: u8 = 2;
+const QUERY_LREACH: u8 = 3;
+
+fn put_query(buf: &mut BytesMut, query: &Query) {
+    match query {
+        Query::NeighborAggregation { node, hops, label } => {
+            buf.put_u8(QUERY_AGG);
+            buf.put_u32_le(node.raw());
+            buf.put_u32_le(*hops);
+            match label {
+                None => buf.put_u8(0),
+                Some(l) => {
+                    buf.put_u8(1);
+                    buf.put_u16_le(l.0);
+                }
+            }
+        }
+        Query::RandomWalk {
+            node,
+            steps,
+            restart_prob,
+            seed,
+        } => {
+            buf.put_u8(QUERY_RWR);
+            buf.put_u32_le(node.raw());
+            buf.put_u32_le(*steps);
+            buf.put_u64_le(restart_prob.to_bits());
+            buf.put_u64_le(*seed);
+        }
+        Query::Reachability {
+            source,
+            target,
+            hops,
+        } => {
+            buf.put_u8(QUERY_REACH);
+            buf.put_u32_le(source.raw());
+            buf.put_u32_le(target.raw());
+            buf.put_u32_le(*hops);
+        }
+        Query::ConstrainedReachability {
+            source,
+            target,
+            hops,
+            via_label,
+        } => {
+            buf.put_u8(QUERY_LREACH);
+            buf.put_u32_le(source.raw());
+            buf.put_u32_le(target.raw());
+            buf.put_u32_le(*hops);
+            buf.put_u16_le(via_label.0);
+        }
+    }
+}
+
+fn get_query(data: &mut Bytes) -> WireResult<Query> {
+    need(data, 1)?;
+    match data.get_u8() {
+        QUERY_AGG => {
+            need(data, 9)?;
+            let node = NodeId::new(data.get_u32_le());
+            let hops = data.get_u32_le();
+            let label = match data.get_u8() {
+                0 => None,
+                1 => {
+                    need(data, 2)?;
+                    Some(NodeLabelId::new(data.get_u16_le()))
+                }
+                f => return Err(WireError::Codec(format!("bad label flag {f}"))),
+            };
+            Ok(Query::NeighborAggregation { node, hops, label })
+        }
+        QUERY_RWR => {
+            need(data, 24)?;
+            Ok(Query::RandomWalk {
+                node: NodeId::new(data.get_u32_le()),
+                steps: data.get_u32_le(),
+                restart_prob: f64::from_bits(data.get_u64_le()),
+                seed: data.get_u64_le(),
+            })
+        }
+        QUERY_REACH => {
+            need(data, 12)?;
+            Ok(Query::Reachability {
+                source: NodeId::new(data.get_u32_le()),
+                target: NodeId::new(data.get_u32_le()),
+                hops: data.get_u32_le(),
+            })
+        }
+        QUERY_LREACH => {
+            need(data, 14)?;
+            Ok(Query::ConstrainedReachability {
+                source: NodeId::new(data.get_u32_le()),
+                target: NodeId::new(data.get_u32_le()),
+                hops: data.get_u32_le(),
+                via_label: NodeLabelId::new(data.get_u16_le()),
+            })
+        }
+        t => Err(WireError::Codec(format!("unknown query tag {t}"))),
+    }
+}
+
+const RESULT_COUNT: u8 = 0;
+const RESULT_WALK: u8 = 1;
+const RESULT_REACHABLE: u8 = 2;
+
+fn put_result(buf: &mut BytesMut, result: &QueryResult) {
+    match result {
+        QueryResult::Count(c) => {
+            buf.put_u8(RESULT_COUNT);
+            buf.put_u64_le(*c);
+        }
+        QueryResult::Walk { end, visited } => {
+            buf.put_u8(RESULT_WALK);
+            buf.put_u32_le(end.raw());
+            buf.put_u64_le(*visited);
+        }
+        QueryResult::Reachable(r) => {
+            buf.put_u8(RESULT_REACHABLE);
+            buf.put_u8(u8::from(*r));
+        }
+    }
+}
+
+fn get_result(data: &mut Bytes) -> WireResult<QueryResult> {
+    need(data, 1)?;
+    match data.get_u8() {
+        RESULT_COUNT => {
+            need(data, 8)?;
+            Ok(QueryResult::Count(data.get_u64_le()))
+        }
+        RESULT_WALK => {
+            need(data, 12)?;
+            Ok(QueryResult::Walk {
+                end: NodeId::new(data.get_u32_le()),
+                visited: data.get_u64_le(),
+            })
+        }
+        RESULT_REACHABLE => {
+            need(data, 1)?;
+            match data.get_u8() {
+                0 => Ok(QueryResult::Reachable(false)),
+                1 => Ok(QueryResult::Reachable(true)),
+                b => Err(WireError::Codec(format!("bad bool {b}"))),
+            }
+        }
+        t => Err(WireError::Codec(format!("unknown result tag {t}"))),
+    }
+}
+
+fn need(data: &Bytes, n: usize) -> WireResult<()> {
+    if data.remaining() < n {
+        Err(WireError::Codec(format!(
+            "need {n} bytes, have {}",
+            data.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                role: Role::Client,
+                id: 0,
+            },
+            Frame::Hello {
+                role: Role::Processor,
+                id: 6,
+            },
+            Frame::Submit {
+                seq: 42,
+                query: Query::NeighborAggregation {
+                    node: n(7),
+                    hops: 2,
+                    label: Some(NodeLabelId::new(3)),
+                },
+            },
+            Frame::SubmitEnd,
+            Frame::Dispatch {
+                seq: 43,
+                query: Query::RandomWalk {
+                    node: n(9),
+                    steps: 16,
+                    restart_prob: 0.15,
+                    seed: 99,
+                },
+            },
+            Frame::Completion(Completion {
+                seq: 43,
+                processor: 2,
+                result: QueryResult::Walk {
+                    end: n(4),
+                    visited: 11,
+                },
+                stats: AccessStats {
+                    cache_hits: 5,
+                    cache_misses: 6,
+                    miss_bytes: 300,
+                    evictions: 1,
+                },
+                arrived_ns: 10,
+                started_ns: 20,
+                completed_ns: 30,
+            }),
+            Frame::FetchRequest { node: n(123) },
+            Frame::FetchResponse {
+                node: n(123),
+                payload: Some((1, Bytes::from(vec![1u8, 2, 3]))),
+            },
+            Frame::FetchResponse {
+                node: n(999),
+                payload: None,
+            },
+            Frame::MetricsRequest,
+            Frame::Metrics(RunSnapshot {
+                queries: 10,
+                cache_hits: 7,
+                cache_misses: 3,
+                evictions: 0,
+                stolen: 1,
+                per_processor: vec![5, 5],
+            }),
+            Frame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in sample_frames() {
+            let bytes = frame.encode();
+            let back = Frame::decode(bytes).unwrap();
+            assert_eq!(back, frame, "{}", frame.kind());
+        }
+    }
+
+    #[test]
+    fn every_query_kind_round_trips() {
+        let queries = [
+            Query::NeighborAggregation {
+                node: n(1),
+                hops: 3,
+                label: None,
+            },
+            Query::Reachability {
+                source: n(1),
+                target: n(2),
+                hops: 4,
+            },
+            Query::ConstrainedReachability {
+                source: n(3),
+                target: n(4),
+                hops: 2,
+                via_label: NodeLabelId::new(9),
+            },
+        ];
+        for q in queries {
+            let f = Frame::Submit { seq: 1, query: q };
+            assert_eq!(Frame::decode(f.encode()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected_everywhere() {
+        for frame in sample_frames() {
+            let bytes = frame.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Frame::decode(bytes.slice(0..cut)).is_err(),
+                    "{} cut at {cut} decoded",
+                    frame.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        for frame in sample_frames() {
+            let mut raw = frame.encode().to_vec();
+            raw.push(0xAB);
+            assert!(
+                Frame::decode(Bytes::from(raw)).is_err(),
+                "{} accepted trailing byte",
+                frame.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(Frame::decode(Bytes::from(vec![200u8])).is_err());
+        assert!(Frame::decode(Bytes::new()).is_err());
+        // Unknown query tag inside a submit.
+        assert!(Frame::decode(Bytes::from(vec![TAG_SUBMIT, 0, 0, 0, 0, 0, 0, 0, 0, 77])).is_err());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_submit_round_trip(
+            seq in 0u64..u64::MAX,
+            kind in 0u8..4,
+            a in 0u32..1_000_000,
+            b in 0u32..1_000_000,
+            hops in 0u32..16,
+            label in proptest::option::of(0u16..512),
+            prob in 0.0f64..1.0,
+            seed in 0u64..u64::MAX,
+        ) {
+            let query = match kind {
+                0 => Query::NeighborAggregation {
+                    node: n(a),
+                    hops,
+                    label: label.map(NodeLabelId::new),
+                },
+                1 => Query::RandomWalk { node: n(a), steps: hops, restart_prob: prob, seed },
+                2 => Query::Reachability { source: n(a), target: n(b), hops },
+                _ => Query::ConstrainedReachability {
+                    source: n(a),
+                    target: n(b),
+                    hops,
+                    via_label: NodeLabelId::new(label.unwrap_or(1)),
+                },
+            };
+            let f = Frame::Submit { seq, query };
+            proptest::prop_assert_eq!(Frame::decode(f.encode()).unwrap(), f);
+        }
+
+        #[test]
+        fn prop_completion_round_trip(
+            seq in 0u64..u64::MAX,
+            processor in 0u32..64,
+            rkind in 0u8..3,
+            v in 0u64..1 << 50,
+            node in 0u32..1_000_000,
+            hits in 0u64..1 << 40,
+            misses in 0u64..1 << 40,
+            bytes_ in 0u64..1 << 40,
+            ts in 0u64..1 << 50,
+        ) {
+            let result = match rkind {
+                0 => QueryResult::Count(v),
+                1 => QueryResult::Walk { end: n(node), visited: v },
+                _ => QueryResult::Reachable(v % 2 == 0),
+            };
+            let f = Frame::Completion(Completion {
+                seq,
+                processor,
+                result,
+                stats: AccessStats {
+                    cache_hits: hits,
+                    cache_misses: misses,
+                    miss_bytes: bytes_,
+                    evictions: misses / 7,
+                },
+                arrived_ns: ts,
+                started_ns: ts + 1,
+                completed_ns: ts + 2,
+            });
+            proptest::prop_assert_eq!(Frame::decode(f.encode()).unwrap(), f);
+        }
+
+        #[test]
+        fn prop_fetch_response_round_trip(
+            node in 0u32..1_000_000,
+            server in 0u16..256,
+            payload in proptest::option::of(proptest::collection::vec(0u8..=255, 0..200)),
+        ) {
+            let f = Frame::FetchResponse {
+                node: n(node),
+                payload: payload.map(|v| (server, Bytes::from(v))),
+            };
+            proptest::prop_assert_eq!(Frame::decode(f.encode()).unwrap(), f);
+        }
+
+        #[test]
+        fn prop_metrics_round_trip(
+            queries in 0u64..1 << 50,
+            hits in 0u64..1 << 50,
+            per in proptest::collection::vec(0u64..1 << 40, 0..10),
+        ) {
+            let f = Frame::Metrics(RunSnapshot {
+                queries,
+                cache_hits: hits,
+                cache_misses: queries / 3,
+                evictions: hits / 5,
+                stolen: queries / 9,
+                per_processor: per,
+            });
+            proptest::prop_assert_eq!(Frame::decode(f.encode()).unwrap(), f);
+        }
+
+        #[test]
+        fn prop_random_bytes_never_panic(
+            raw in proptest::collection::vec(0u8..=255, 0..64),
+        ) {
+            // Decoding arbitrary garbage must error, not panic.
+            let _ = Frame::decode(Bytes::from(raw));
+        }
+
+        /// Every frame type in the protocol round-trips, with randomised
+        /// field values where the type has any.
+        #[test]
+        fn prop_any_frame_round_trips(
+            kind in 0u8..10,
+            seq in 0u64..u64::MAX,
+            id in 0u32..1024,
+            node in 0u32..1_000_000,
+            server in 0u16..512,
+            payload in proptest::collection::vec(0u8..=255, 0..64),
+            count in 0u64..1 << 50,
+        ) {
+            let frame = match kind {
+                0 => Frame::Hello {
+                    role: if id % 2 == 0 { Role::Client } else { Role::Processor },
+                    id,
+                },
+                1 => Frame::Submit {
+                    seq,
+                    query: Query::NeighborAggregation { node: n(node), hops: id % 8, label: None },
+                },
+                2 => Frame::SubmitEnd,
+                3 => Frame::Dispatch {
+                    seq,
+                    query: Query::Reachability { source: n(node), target: n(id), hops: 3 },
+                },
+                4 => Frame::Completion(Completion {
+                    seq,
+                    processor: id,
+                    result: QueryResult::Count(count),
+                    stats: AccessStats {
+                        cache_hits: count / 2,
+                        cache_misses: count / 3,
+                        miss_bytes: count,
+                        evictions: count / 9,
+                    },
+                    arrived_ns: seq / 3,
+                    started_ns: seq / 2,
+                    completed_ns: seq,
+                }),
+                5 => Frame::FetchRequest { node: n(node) },
+                6 => Frame::FetchResponse {
+                    node: n(node),
+                    payload: Some((server, Bytes::from(payload))),
+                },
+                7 => Frame::MetricsRequest,
+                8 => Frame::Metrics(RunSnapshot {
+                    queries: count,
+                    cache_hits: count / 2,
+                    cache_misses: count / 3,
+                    evictions: count / 5,
+                    stolen: count / 7,
+                    per_processor: vec![count; (id % 6) as usize],
+                }),
+                _ => Frame::Shutdown,
+            };
+            proptest::prop_assert_eq!(Frame::decode(frame.encode()).unwrap(), frame);
+        }
+    }
+}

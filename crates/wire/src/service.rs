@@ -1,0 +1,506 @@
+//! Service loops exposing the engine's tiers as wire endpoints.
+//!
+//! Three loops turn the in-process cluster into independently runnable
+//! peers, one per tier of the paper's Figure 2:
+//!
+//! * [`StorageService`] — wraps a [`StorageTier`] handle and answers
+//!   [`Frame::FetchRequest`]s, one thread per inbound connection, with an
+//!   optional [`NetworkModel`] delay charged per fetch (the `gRouting-E`
+//!   emulation knob);
+//! * [`ProcessorService`] — a query processor: an engine [`Worker`] whose
+//!   miss path is a [`RemoteStorageSource`] (connection pools to the
+//!   storage endpoints), driven by ack-based dispatch from the router;
+//! * [`run_router`] — the router node: accepts client and processor
+//!   connections, drives the shared [`Engine`] (admission window,
+//!   strategy, queues, stealing), stamps arrivals, forwards completions,
+//!   and emits the final [`RunSnapshot`].
+//!
+//! All three speak only [`Frame`]s over [`Transport`] connections, so the
+//! same loops run over TCP loopback and the hermetic in-proc fabric.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use crossbeam::channel::unbounded;
+use grouting_engine::{Engine, EngineAssets, EngineConfig, Worker};
+use grouting_graph::NodeId;
+use grouting_metrics::timeline::QueryRecord;
+use grouting_metrics::RunSnapshot;
+use grouting_partition::Partitioner;
+use grouting_query::RecordSource;
+use grouting_storage::{NetworkModel, StorageTier};
+
+use crate::error::{WireError, WireResult};
+use crate::frame::{Completion, Frame, Role};
+use crate::transport::{ConnectionPool, FrameSink, Listener, Transport};
+
+/// Monotonic nanoseconds since a process-wide epoch, shared by every
+/// service so lifecycle timestamps are comparable within one machine.
+pub fn now_ns() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+/// Handle to a spawned background service (storage or router).
+pub struct ServiceHandle {
+    addr: String,
+    stop: Arc<AtomicBool>,
+    transport: Arc<dyn Transport>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The address peers dial to reach this service.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Stops the accept loop and joins the service thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock `accept` with one throwaway connection.
+        let _ = self.transport.dial(&self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = self.transport.dial(&self.addr);
+            let _ = join.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Storage
+// ---------------------------------------------------------------------------
+
+/// A storage server endpoint serving adjacency fetches over the wire.
+pub struct StorageService;
+
+impl StorageService {
+    /// Spawns a storage endpoint on `transport`, serving `tier` with an
+    /// emulated per-fetch `net` delay ([`NetworkModel::local`] charges
+    /// nothing). Each inbound connection gets its own serving thread.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the transport cannot bind a listener.
+    pub fn spawn(
+        transport: Arc<dyn Transport>,
+        tier: Arc<StorageTier>,
+        net: NetworkModel,
+    ) -> WireResult<ServiceHandle> {
+        let mut listener = transport.listen(&transport.any_addr())?;
+        let addr = listener.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let join = std::thread::spawn(move || {
+            while let Ok(conn) = listener.accept() {
+                if stop_accept.load(Ordering::SeqCst) {
+                    break;
+                }
+                let tier = Arc::clone(&tier);
+                std::thread::spawn(move || serve_storage_conn(conn, &tier, net));
+            }
+        });
+        Ok(ServiceHandle {
+            addr,
+            stop,
+            transport,
+            join: Some(join),
+        })
+    }
+}
+
+fn serve_storage_conn(
+    mut conn: crate::transport::Connection,
+    tier: &StorageTier,
+    net: NetworkModel,
+) {
+    loop {
+        match conn.recv() {
+            Ok(Frame::FetchRequest { node }) => {
+                let payload = tier.get(node).map(|(server, value)| (server as u16, value));
+                if !net.is_free() {
+                    let bytes = payload.as_ref().map_or(0, |(_, v)| v.len());
+                    spin_for_ns(net.fetch_ns(bytes));
+                }
+                if conn.send(&Frame::FetchResponse { node, payload }).is_err() {
+                    break;
+                }
+            }
+            Ok(Frame::Shutdown) | Err(_) => break,
+            Ok(_) => {
+                // A storage server only understands fetches; answer the
+                // confusion explicitly, then drop the peer.
+                let _ = conn.send(&Frame::Shutdown);
+                break;
+            }
+        }
+    }
+}
+
+/// Busy-waits `ns` nanoseconds — the emulation is about *relative* cost,
+/// and sleeping has far too coarse a floor for microsecond RTTs.
+fn spin_for_ns(ns: u64) {
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Processor
+// ---------------------------------------------------------------------------
+
+/// A [`RecordSource`] that fetches adjacency records from remote storage
+/// endpoints over pooled framed connections.
+///
+/// The placement function (the tier's partitioner) is stateless metadata
+/// every processor knows — exactly how the paper's processors address
+/// RAMCloud servers — so a fetch dials the owning endpoint directly.
+pub struct RemoteStorageSource {
+    partitioner: Arc<dyn Partitioner>,
+    pools: Vec<ConnectionPool>,
+}
+
+impl RemoteStorageSource {
+    /// A source fetching from `storage_addrs` (index = storage server id)
+    /// with `partitioner` as the placement function.
+    pub fn new(
+        transport: Arc<dyn Transport>,
+        storage_addrs: &[String],
+        partitioner: Arc<dyn Partitioner>,
+    ) -> Self {
+        let pools = storage_addrs
+            .iter()
+            .map(|a| ConnectionPool::new(Arc::clone(&transport), a.clone(), 2))
+            .collect();
+        Self { partitioner, pools }
+    }
+
+    /// Total reconnects across the per-server pools.
+    pub fn reconnects(&self) -> u64 {
+        self.pools.iter().map(ConnectionPool::reconnects).sum()
+    }
+}
+
+impl RecordSource for RemoteStorageSource {
+    fn fetch_raw(&mut self, node: NodeId) -> Option<(u16, Bytes)> {
+        let home = self.partitioner.assign(node) % self.pools.len();
+        match self.pools[home].request(&Frame::FetchRequest { node }) {
+            Ok(Frame::FetchResponse { node: got, payload }) => {
+                assert_eq!(got, node, "storage stream desynced");
+                payload
+            }
+            Ok(other) => panic!("storage sent {} to a fetch", other.kind()),
+            Err(e) => panic!("storage fetch failed: {e}"),
+        }
+    }
+}
+
+/// A query processor endpoint: executes dispatched queries against its
+/// cache, missing to remote storage.
+pub struct ProcessorService;
+
+impl ProcessorService {
+    /// Spawns processor `id`: dials the router and the storage endpoints,
+    /// then serves ack-driven dispatch until the router says
+    /// [`Frame::Shutdown`].
+    ///
+    /// The worker is built exactly as the in-proc engine builds its own
+    /// ([`EngineConfig::build_cache`]), with the miss path swapped for a
+    /// [`RemoteStorageSource`] — which is why wire runs agree with in-proc
+    /// runs on every cache statistic.
+    pub fn spawn(
+        transport: Arc<dyn Transport>,
+        id: usize,
+        router_addr: String,
+        storage_addrs: Vec<String>,
+        partitioner: Arc<dyn Partitioner>,
+        config: EngineConfig,
+    ) -> std::thread::JoinHandle<WireResult<()>> {
+        std::thread::spawn(move || {
+            let source =
+                RemoteStorageSource::new(Arc::clone(&transport), &storage_addrs, partitioner);
+            let mut worker = Worker::from_parts(id, Box::new(source), config.build_cache());
+            let mut router = transport.dial(&router_addr)?;
+            router.send(&Frame::Hello {
+                role: Role::Processor,
+                id: id as u32,
+            })?;
+            loop {
+                match router.recv() {
+                    Ok(Frame::Dispatch { seq, query }) => {
+                        let started_ns = now_ns();
+                        let (out, _miss_log) = worker.run(&query);
+                        let completed_ns = now_ns();
+                        router.send(&Frame::Completion(Completion {
+                            seq,
+                            processor: id as u32,
+                            result: out.result,
+                            stats: out.stats,
+                            arrived_ns: 0,
+                            started_ns,
+                            completed_ns,
+                        }))?;
+                    }
+                    Ok(Frame::Shutdown) | Err(WireError::Closed) => return Ok(()),
+                    Ok(other) => {
+                        return Err(WireError::Protocol(format!(
+                            "processor {id} got {}",
+                            other.kind()
+                        )))
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+enum RouterEvent {
+    Connected(u64, Box<dyn FrameSink>),
+    Frame(u64, WireResult<Frame>),
+}
+
+/// Runs the router node over `listener` until the workload completes.
+///
+/// The router owns the same [`Engine`] the in-proc runtimes drive — the
+/// strategy, the per-processor queues, admission windowing, stealing, and
+/// completion accounting all run through identical code; only the job and
+/// ack channels are replaced by framed connections. Returns the run's
+/// totals (also sent to the client as a [`Frame::Metrics`]).
+///
+/// Protocol: processors connect and announce `Hello{Processor, id}`; one
+/// client connects, announces `Hello{Client}`, streams `Submit`s, and ends
+/// with `SubmitEnd`. When every submitted query has completed, the router
+/// forwards the snapshot and `Shutdown` to the client, shuts processors
+/// down, and returns.
+///
+/// # Errors
+///
+/// Fails on transport errors towards the client, a premature client/
+/// processor disconnect, or protocol violations.
+///
+/// # Panics
+///
+/// Panics if `config` requests a smart routing scheme but `assets` lacks
+/// the matching preprocessing product (same contract as [`Engine::new`]).
+pub fn run_router(
+    transport: Arc<dyn Transport>,
+    mut listener: Box<dyn Listener>,
+    assets: &EngineAssets,
+    config: &EngineConfig,
+) -> WireResult<RunSnapshot> {
+    let addr = listener.addr();
+    let p = config.processors;
+    // Router half only: the processors (and their caches) are remote.
+    let mut engine = Engine::new_router_only(assets, config);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_accept = Arc::clone(&stop);
+    let (event_tx, event_rx) = unbounded::<RouterEvent>();
+    let accept_tx = event_tx.clone();
+    let acceptor = std::thread::spawn(move || {
+        let mut next_conn = 0u64;
+        while let Ok(conn) = listener.accept() {
+            if stop_accept.load(Ordering::SeqCst) {
+                break;
+            }
+            let conn_id = next_conn;
+            next_conn += 1;
+            let (sink, mut stream) = conn.split();
+            if accept_tx
+                .send(RouterEvent::Connected(conn_id, sink))
+                .is_err()
+            {
+                break;
+            }
+            let reader_tx = accept_tx.clone();
+            std::thread::spawn(move || loop {
+                let frame = stream.recv();
+                let done = frame.is_err();
+                if reader_tx.send(RouterEvent::Frame(conn_id, frame)).is_err() || done {
+                    break;
+                }
+            });
+        }
+    });
+    drop(event_tx);
+
+    // Router state: which connection is which peer.
+    let mut sinks: HashMap<u64, Box<dyn FrameSink>> = HashMap::new();
+    let mut processor_conn: Vec<Option<u64>> = vec![None; p];
+    let mut idle: Vec<bool> = vec![false; p];
+    let mut client_conn: Option<u64> = None;
+    let mut backlog: VecDeque<(usize, grouting_query::Query)> = VecDeque::new();
+    let mut arrivals: HashMap<u64, u64> = HashMap::new();
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    let mut submit_done = false;
+
+    let result: WireResult<()> = (|| {
+        loop {
+            // Admission + dispatch between events.
+            {
+                let mut drain = std::iter::from_fn(|| backlog.pop_front());
+                engine.admit(&mut drain, |seq| {
+                    arrivals.insert(seq as u64, now_ns());
+                });
+            }
+            for proc_id in 0..p {
+                if !idle[proc_id] {
+                    continue;
+                }
+                let Some(conn_id) = processor_conn[proc_id] else {
+                    continue;
+                };
+                if let Some((seq, query)) = engine.next_for(proc_id) {
+                    let sink = sinks.get_mut(&conn_id).expect("registered sink");
+                    sink.send(&Frame::Dispatch { seq, query })?;
+                    idle[proc_id] = false;
+                }
+            }
+
+            // Finished? Everything submitted is done and no more will come.
+            if submit_done && completed == submitted && backlog.is_empty() && engine.pending() == 0
+            {
+                break;
+            }
+
+            let Ok(event) = event_rx.recv() else {
+                return Err(WireError::Closed);
+            };
+            match event {
+                RouterEvent::Connected(conn_id, sink) => {
+                    sinks.insert(conn_id, sink);
+                }
+                RouterEvent::Frame(conn_id, Ok(frame)) => match frame {
+                    Frame::Hello {
+                        role: Role::Processor,
+                        id,
+                    } => {
+                        let id = id as usize;
+                        if id >= p {
+                            return Err(WireError::Protocol(format!(
+                                "processor id {id} out of range (P = {p})"
+                            )));
+                        }
+                        processor_conn[id] = Some(conn_id);
+                        idle[id] = true;
+                    }
+                    Frame::Hello {
+                        role: Role::Client, ..
+                    } => client_conn = Some(conn_id),
+                    Frame::Submit { seq, query } => {
+                        backlog.push_back((seq as usize, query));
+                        submitted += 1;
+                    }
+                    Frame::SubmitEnd => submit_done = true,
+                    Frame::Completion(mut completion) => {
+                        let proc_id = completion.processor as usize;
+                        // `remove`, not `get`: each seq completes exactly
+                        // once, so this bounds the map at the admission
+                        // window instead of the whole workload.
+                        completion.arrived_ns = arrivals.remove(&completion.seq).unwrap_or(0);
+                        engine.complete(
+                            QueryRecord {
+                                seq: completion.seq,
+                                arrived: completion.arrived_ns,
+                                started: completion.started_ns,
+                                completed: completion.completed_ns,
+                                processor: proc_id,
+                            },
+                            &completion.stats,
+                        );
+                        completed += 1;
+                        if proc_id < p {
+                            idle[proc_id] = true;
+                        }
+                        if let Some(client) = client_conn {
+                            if let Some(sink) = sinks.get_mut(&client) {
+                                sink.send(&Frame::Completion(completion))?;
+                            }
+                        }
+                    }
+                    Frame::MetricsRequest => {
+                        // Mid-run snapshots are a follow-on; only the final
+                        // snapshot is emitted today.
+                    }
+                    Frame::Shutdown => {
+                        // Any peer may abort the run (the harness uses this
+                        // when its client fails before connecting properly).
+                        return Err(WireError::Protocol(format!(
+                            "run aborted by conn {conn_id}"
+                        )));
+                    }
+                    other => {
+                        return Err(WireError::Protocol(format!(
+                            "router got {} from conn {conn_id}",
+                            other.kind()
+                        )))
+                    }
+                },
+                RouterEvent::Frame(conn_id, Err(_)) => {
+                    // A registered peer dropped. The loop only runs while
+                    // the workload is unfinished, so losing the client (the
+                    // rest of the submissions and every result) or a
+                    // processor (future queries would be routed to its
+                    // queue and never dispatched) is always fatal here;
+                    // masking a processor death via Router::mark_down is a
+                    // ROADMAP follow-on. A stray dial or a peer that never
+                    // said hello is ignorable.
+                    sinks.remove(&conn_id);
+                    if client_conn == Some(conn_id) || processor_conn.contains(&Some(conn_id)) {
+                        return Err(WireError::Closed);
+                    }
+                }
+            }
+        }
+        Ok(())
+    })();
+
+    // Teardown: snapshot to the client, shutdown to everyone, stop accepting.
+    let run = engine.finish();
+    let snapshot = RunSnapshot {
+        queries: run.timeline.len() as u64,
+        cache_hits: run.totals.cache_hits,
+        cache_misses: run.totals.cache_misses,
+        evictions: run.totals.evictions,
+        stolen: run.stolen,
+        per_processor: run.timeline.per_processor_counts(p),
+    };
+    if let Some(client) = client_conn {
+        if let Some(sink) = sinks.get_mut(&client) {
+            let _ = sink.send(&Frame::Metrics(snapshot.clone()));
+            let _ = sink.send(&Frame::Shutdown);
+        }
+    }
+    for conn_id in processor_conn.into_iter().flatten() {
+        if let Some(sink) = sinks.get_mut(&conn_id) {
+            let _ = sink.send(&Frame::Shutdown);
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    let _ = transport.dial(&addr);
+    let _ = acceptor.join();
+
+    result.map(|()| snapshot)
+}

@@ -1,0 +1,610 @@
+//! Pluggable byte transports carrying [`Frame`]s between cluster peers.
+//!
+//! A [`Transport`] hands out [`Listener`]s and dials [`Connection`]s; the
+//! services in [`crate::service`] are written against these traits only,
+//! so the same router/processor/storage loops run over:
+//!
+//! * [`TcpTransport`] — real loopback/LAN sockets via `std::net`, each
+//!   connection a length-prefixed framed stream (`u32` little-endian
+//!   payload length, then the [`Frame`] payload), with bounded-backoff
+//!   dialling so peers may start in any order;
+//! * [`InProcTransport`] — a hermetic in-process fabric over channels for
+//!   tests and sandboxes without loopback. It still moves *encoded* bytes
+//!   (not `Frame` values), so the codec is exercised on both paths.
+//!
+//! [`ConnectionPool`] adds the client-side discipline processors use
+//! towards storage: keep idle connections, re-dial on failure, retry a
+//! request exactly once on a fresh connection.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::error::{WireError, WireResult};
+use crate::frame::{Frame, MAX_FRAME_BYTES};
+
+/// The sending half of a framed connection.
+pub trait FrameSink: Send {
+    /// Writes one frame.
+    fn send(&mut self, frame: &Frame) -> WireResult<()>;
+}
+
+/// The receiving half of a framed connection.
+pub trait FrameStream: Send {
+    /// Blocks for the next frame.
+    fn recv(&mut self) -> WireResult<Frame>;
+}
+
+/// A bidirectional framed connection between two peers.
+pub struct Connection {
+    sink: Box<dyn FrameSink>,
+    stream: Box<dyn FrameStream>,
+}
+
+impl Connection {
+    /// Assembles a connection from its halves.
+    pub fn from_halves(sink: Box<dyn FrameSink>, stream: Box<dyn FrameStream>) -> Self {
+        Self { sink, stream }
+    }
+
+    /// Writes one frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures ([`WireError::Closed`] when the peer
+    /// is gone).
+    pub fn send(&mut self, frame: &Frame) -> WireResult<()> {
+        self.sink.send(frame)
+    }
+
+    /// Blocks for the next frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures ([`WireError::Closed`] when the peer
+    /// is gone).
+    pub fn recv(&mut self) -> WireResult<Frame> {
+        self.stream.recv()
+    }
+
+    /// Sends one frame and waits for the reply — the unary-RPC shape of
+    /// the storage fetch path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures from either direction.
+    pub fn request(&mut self, frame: &Frame) -> WireResult<Frame> {
+        self.send(frame)?;
+        self.recv()
+    }
+
+    /// Splits into independently owned halves so a reader thread can block
+    /// on `recv` while another thread writes.
+    pub fn split(self) -> (Box<dyn FrameSink>, Box<dyn FrameStream>) {
+        (self.sink, self.stream)
+    }
+}
+
+/// An endpoint accepting inbound connections.
+pub trait Listener: Send {
+    /// Blocks for the next inbound connection.
+    fn accept(&mut self) -> WireResult<Connection>;
+
+    /// The address peers dial to reach this listener.
+    fn addr(&self) -> String;
+}
+
+/// A connection fabric: names addresses, listens, dials.
+pub trait Transport: Send + Sync {
+    /// Opens a listener. Pass [`Transport::any_addr`] to let the transport
+    /// pick a free concrete address (returned by [`Listener::addr`]).
+    fn listen(&self, addr: &str) -> WireResult<Box<dyn Listener>>;
+
+    /// Dials a listening endpoint, retrying briefly so peers may start in
+    /// any order.
+    fn dial(&self, addr: &str) -> WireResult<Connection>;
+
+    /// The wildcard address for [`Transport::listen`].
+    fn any_addr(&self) -> String;
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+
+/// Real sockets via `std::net`, framed with a `u32` length prefix.
+#[derive(Debug, Clone)]
+pub struct TcpTransport {
+    dial_attempts: u32,
+    dial_backoff: Duration,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        Self {
+            // ~2 s of patience: covers listener threads that have not
+            // reached `accept` yet and services restarting mid-run.
+            dial_attempts: 80,
+            dial_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+impl TcpTransport {
+    /// A transport with default dial patience.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides how long `dial` keeps retrying a refused connection.
+    pub fn with_dial_patience(attempts: u32, backoff: Duration) -> Self {
+        Self {
+            dial_attempts: attempts.max(1),
+            dial_backoff: backoff,
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn listen(&self, addr: &str) -> WireResult<Box<dyn Listener>> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Box::new(TcpFrameListener { listener }))
+    }
+
+    fn dial(&self, addr: &str) -> WireResult<Connection> {
+        let mut last = None;
+        for attempt in 0..self.dial_attempts {
+            match TcpStream::connect(addr) {
+                Ok(stream) => return tcp_connection(stream),
+                Err(e) => {
+                    last = Some(e);
+                    if attempt + 1 < self.dial_attempts {
+                        std::thread::sleep(self.dial_backoff);
+                    }
+                }
+            }
+        }
+        Err(match last {
+            Some(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                WireError::Unroutable(addr.to_string())
+            }
+            Some(e) => e.into(),
+            None => WireError::Unroutable(addr.to_string()),
+        })
+    }
+
+    fn any_addr(&self) -> String {
+        "127.0.0.1:0".to_string()
+    }
+}
+
+fn tcp_connection(stream: TcpStream) -> WireResult<Connection> {
+    stream.set_nodelay(true)?;
+    let writer = stream.try_clone()?;
+    Ok(Connection::from_halves(
+        Box::new(TcpSink { stream: writer }),
+        Box::new(TcpStreamHalf { stream }),
+    ))
+}
+
+struct TcpFrameListener {
+    listener: TcpListener,
+}
+
+impl Listener for TcpFrameListener {
+    fn accept(&mut self) -> WireResult<Connection> {
+        let (stream, _) = self.listener.accept()?;
+        tcp_connection(stream)
+    }
+
+    fn addr(&self) -> String {
+        self.listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default()
+    }
+}
+
+struct TcpSink {
+    stream: TcpStream,
+}
+
+impl FrameSink for TcpSink {
+    fn send(&mut self, frame: &Frame) -> WireResult<()> {
+        let payload = frame.encode();
+        let len = payload.len() as u32;
+        self.stream.write_all(&len.to_le_bytes())?;
+        self.stream.write_all(&payload)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+}
+
+struct TcpStreamHalf {
+    stream: TcpStream,
+}
+
+impl FrameStream for TcpStreamHalf {
+    fn recv(&mut self) -> WireResult<Frame> {
+        let mut len_buf = [0u8; 4];
+        self.stream.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::Codec(format!(
+                "frame length {len} exceeds cap {MAX_FRAME_BYTES}"
+            )));
+        }
+        let mut payload = vec![0u8; len];
+        self.stream.read_exact(&mut payload)?;
+        Frame::decode(Bytes::from(payload))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process
+// ---------------------------------------------------------------------------
+
+type Registry = Arc<Mutex<HashMap<String, Sender<Connection>>>>;
+
+/// A hermetic in-process fabric: listeners are names in a shared registry,
+/// connections are channel pairs carrying *encoded* frames.
+#[derive(Clone, Default)]
+pub struct InProcTransport {
+    registry: Registry,
+    next_name: Arc<AtomicU64>,
+}
+
+impl InProcTransport {
+    /// A fresh, empty fabric (addresses are scoped to this instance).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transport for InProcTransport {
+    fn listen(&self, addr: &str) -> WireResult<Box<dyn Listener>> {
+        let name = if addr.is_empty() || addr == self.any_addr() {
+            format!("inproc:{}", self.next_name.fetch_add(1, Ordering::Relaxed))
+        } else {
+            addr.to_string()
+        };
+        let (tx, rx) = unbounded();
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        if reg.contains_key(&name) {
+            return Err(WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::AddrInUse,
+                format!("inproc address {name} already bound"),
+            )));
+        }
+        reg.insert(name.clone(), tx);
+        drop(reg);
+        Ok(Box::new(InProcListener {
+            name,
+            inbox: rx,
+            registry: Arc::clone(&self.registry),
+        }))
+    }
+
+    fn dial(&self, addr: &str) -> WireResult<Connection> {
+        let acceptor = {
+            let reg = self.registry.lock().expect("registry poisoned");
+            reg.get(addr).cloned()
+        };
+        let Some(acceptor) = acceptor else {
+            return Err(WireError::Unroutable(addr.to_string()));
+        };
+        let (client_tx, server_rx) = unbounded::<Bytes>();
+        let (server_tx, client_rx) = unbounded::<Bytes>();
+        let server_side = Connection::from_halves(
+            Box::new(ChanSink { tx: server_tx }),
+            Box::new(ChanStream { rx: server_rx }),
+        );
+        acceptor
+            .send(server_side)
+            .map_err(|_| WireError::Unroutable(addr.to_string()))?;
+        Ok(Connection::from_halves(
+            Box::new(ChanSink { tx: client_tx }),
+            Box::new(ChanStream { rx: client_rx }),
+        ))
+    }
+
+    fn any_addr(&self) -> String {
+        "inproc:any".to_string()
+    }
+}
+
+struct InProcListener {
+    name: String,
+    inbox: Receiver<Connection>,
+    registry: Registry,
+}
+
+impl Listener for InProcListener {
+    fn accept(&mut self) -> WireResult<Connection> {
+        self.inbox.recv().map_err(|_| WireError::Closed)
+    }
+
+    fn addr(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl Drop for InProcListener {
+    fn drop(&mut self) {
+        if let Ok(mut reg) = self.registry.lock() {
+            reg.remove(&self.name);
+        }
+    }
+}
+
+struct ChanSink {
+    tx: Sender<Bytes>,
+}
+
+impl FrameSink for ChanSink {
+    fn send(&mut self, frame: &Frame) -> WireResult<()> {
+        self.tx.send(frame.encode()).map_err(|_| WireError::Closed)
+    }
+}
+
+struct ChanStream {
+    rx: Receiver<Bytes>,
+}
+
+impl FrameStream for ChanStream {
+    fn recv(&mut self) -> WireResult<Frame> {
+        let payload = self.rx.recv().map_err(|_| WireError::Closed)?;
+        Frame::decode(payload)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool
+// ---------------------------------------------------------------------------
+
+/// A small client-side connection pool to one address, with reconnect.
+///
+/// Used by processors towards storage endpoints: requests check a
+/// connection out, run one send/recv exchange, and check it back in. A
+/// failed exchange drops the (presumed dead) connection and retries once
+/// on a freshly dialled one, which masks storage restarts.
+pub struct ConnectionPool {
+    transport: Arc<dyn Transport>,
+    addr: String,
+    idle: Vec<Connection>,
+    max_idle: usize,
+    reconnects: u64,
+}
+
+impl ConnectionPool {
+    /// A pool towards `addr` keeping at most `max_idle` parked connections.
+    pub fn new(transport: Arc<dyn Transport>, addr: impl Into<String>, max_idle: usize) -> Self {
+        Self {
+            transport,
+            addr: addr.into(),
+            idle: Vec::new(),
+            max_idle: max_idle.max(1),
+            reconnects: 0,
+        }
+    }
+
+    /// The address this pool dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Times a request hit a dead connection and was retried on a fresh
+    /// dial.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn checkout(&mut self) -> WireResult<Connection> {
+        match self.idle.pop() {
+            Some(conn) => Ok(conn),
+            None => self.transport.dial(&self.addr),
+        }
+    }
+
+    fn checkin(&mut self, conn: Connection) {
+        if self.idle.len() < self.max_idle {
+            self.idle.push(conn);
+        }
+    }
+
+    /// One unary exchange with reconnect-once semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the second failure when both the pooled connection and a
+    /// fresh dial fail.
+    pub fn request(&mut self, frame: &Frame) -> WireResult<Frame> {
+        let had_idle = !self.idle.is_empty();
+        let mut conn = self.checkout()?;
+        match conn.request(frame) {
+            Ok(reply) => {
+                self.checkin(conn);
+                Ok(reply)
+            }
+            Err(_) if had_idle => {
+                // The parked connection went stale (peer restarted):
+                // drop it and retry exactly once on a fresh dial.
+                drop(conn);
+                self.reconnects += 1;
+                let mut fresh = self.transport.dial(&self.addr)?;
+                let reply = fresh.request(frame)?;
+                self.checkin(fresh);
+                Ok(reply)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouting_graph::NodeId;
+
+    fn echo_server(listener: Box<dyn Listener>, serve_conns: usize) -> std::thread::JoinHandle<()> {
+        let mut listener = listener;
+        std::thread::spawn(move || {
+            for _ in 0..serve_conns {
+                let Ok(mut conn) = listener.accept() else {
+                    return;
+                };
+                std::thread::spawn(move || {
+                    while let Ok(frame) = conn.recv() {
+                        if matches!(frame, Frame::Shutdown) {
+                            break;
+                        }
+                        if conn.send(&frame).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        })
+    }
+
+    fn frame(i: u32) -> Frame {
+        Frame::FetchRequest {
+            node: NodeId::new(i),
+        }
+    }
+
+    fn round_trips_over(transport: Arc<dyn Transport>) {
+        let listener = transport.listen(&transport.any_addr()).unwrap();
+        let addr = listener.addr();
+        let server = echo_server(listener, 1);
+        let mut conn = transport.dial(&addr).unwrap();
+        for i in 0..50 {
+            assert_eq!(conn.request(&frame(i)).unwrap(), frame(i));
+        }
+        conn.send(&Frame::Shutdown).unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn inproc_round_trips() {
+        round_trips_over(Arc::new(InProcTransport::new()));
+    }
+
+    #[test]
+    fn tcp_round_trips() {
+        round_trips_over(Arc::new(TcpTransport::new()));
+    }
+
+    #[test]
+    fn inproc_dial_unknown_address_fails() {
+        let t = InProcTransport::new();
+        assert!(matches!(
+            t.dial("inproc:nobody"),
+            Err(WireError::Unroutable(_))
+        ));
+    }
+
+    #[test]
+    fn inproc_listener_drop_unbinds() {
+        let t = InProcTransport::new();
+        let listener = t.listen("inproc:tmp").unwrap();
+        drop(listener);
+        assert!(t.dial("inproc:tmp").is_err());
+        // The name is free again.
+        let again = t.listen("inproc:tmp").unwrap();
+        assert_eq!(again.addr(), "inproc:tmp");
+    }
+
+    #[test]
+    fn inproc_rejects_double_bind() {
+        let t = InProcTransport::new();
+        let _keep = t.listen("inproc:one").unwrap();
+        assert!(t.listen("inproc:one").is_err());
+    }
+
+    #[test]
+    fn tcp_dial_without_listener_errors() {
+        let t = TcpTransport::with_dial_patience(2, Duration::from_millis(1));
+        assert!(t.dial("127.0.0.1:1").is_err());
+    }
+
+    #[test]
+    fn recv_reports_closed_when_peer_drops() {
+        let t = InProcTransport::new();
+        let mut listener = t.listen(&t.any_addr()).unwrap();
+        let addr = listener.addr();
+        let conn = t.dial(&addr).unwrap();
+        let mut server_side = listener.accept().unwrap();
+        drop(conn);
+        assert!(matches!(server_side.recv(), Err(WireError::Closed)));
+    }
+
+    fn pool_reconnects_over(transport: Arc<dyn Transport>) {
+        let listener = transport.listen(&transport.any_addr()).unwrap();
+        let addr = listener.addr();
+        // Serve two connections in sequence: the pool's first connection
+        // dies after one exchange, forcing a reconnect for the second.
+        let mut listener = listener;
+        let server = std::thread::spawn(move || {
+            for served in 0..2 {
+                let mut conn = listener.accept().unwrap();
+                loop {
+                    match conn.recv() {
+                        Ok(Frame::Shutdown) | Err(_) => break,
+                        Ok(f) => {
+                            conn.send(&f).unwrap();
+                            if served == 0 {
+                                break; // Die after the first reply.
+                            }
+                        }
+                    }
+                }
+            }
+        });
+
+        let mut pool = ConnectionPool::new(transport, addr, 2);
+        assert_eq!(pool.request(&frame(1)).unwrap(), frame(1));
+        // The parked connection is now dead server-side; the next request
+        // must transparently re-dial.
+        assert_eq!(pool.request(&frame(2)).unwrap(), frame(2));
+        assert_eq!(pool.reconnects(), 1);
+        // Dropping the pool closes its parked connection; the server's
+        // second serving loop sees the close and exits.
+        drop(pool);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn inproc_pool_reconnects_after_peer_death() {
+        pool_reconnects_over(Arc::new(InProcTransport::new()));
+    }
+
+    #[test]
+    fn tcp_pool_reconnects_after_peer_death() {
+        pool_reconnects_over(Arc::new(TcpTransport::new()));
+    }
+
+    #[test]
+    fn oversized_tcp_frame_is_rejected() {
+        let t = TcpTransport::new();
+        let mut listener = t.listen(&t.any_addr()).unwrap();
+        let addr = listener.addr();
+        let writer = std::thread::spawn(move || {
+            let mut raw = TcpStream::connect(addr).unwrap();
+            let huge = (MAX_FRAME_BYTES as u32) + 1;
+            raw.write_all(&huge.to_le_bytes()).unwrap();
+            raw.flush().unwrap();
+            // Hold the socket open until the reader has judged the length.
+            std::thread::sleep(Duration::from_millis(100));
+        });
+        let mut conn = listener.accept().unwrap();
+        assert!(matches!(conn.recv(), Err(WireError::Codec(_))));
+        writer.join().unwrap();
+    }
+}

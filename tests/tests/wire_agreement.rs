@@ -1,0 +1,161 @@
+//! A TCP socket cluster and the in-process engine must agree on routing.
+//!
+//! The wire deployment (`grouting-wire`) replaces every in-process hop —
+//! dispatch, acknowledgement, adjacency fetch — with framed connections,
+//! but it drives the *same* engine: same strategy, same admission window,
+//! same caches, same byte accounting. With a deterministic scheme (hash
+//! routing, stealing off) the two deployments must therefore make
+//! identical per-query routing decisions and produce identical cache
+//! statistics on the same seeded workload, regardless of socket timing.
+
+use std::sync::Arc;
+
+use grouting_core::gen::{DatasetProfile, ProfileName};
+use grouting_core::graph::CsrGraph;
+use grouting_core::live::{run_cluster, run_live, LiveConfig, LiveReport};
+use grouting_core::partition::HashPartitioner;
+use grouting_core::query::Query;
+use grouting_core::route::RoutingKind;
+use grouting_core::storage::{Preset, StorageTier};
+use grouting_core::wire::TransportKind;
+use grouting_core::workload::{hotspot_workload, QueryMix, WorkloadConfig};
+
+fn seeded_setup() -> (Arc<StorageTier>, Vec<Query>) {
+    let graph: CsrGraph = DatasetProfile::tiny(ProfileName::WebGraph).generate();
+    let tier = Arc::new(StorageTier::new(Arc::new(HashPartitioner::new(3))));
+    tier.load_graph(&graph).unwrap();
+    let queries = hotspot_workload(
+        &graph,
+        &WorkloadConfig {
+            hotspots: 8,
+            per_hotspot: 8,
+            radius: 2,
+            hops: 2,
+            mix: QueryMix::uniform(),
+            restart_prob: 0.15,
+            seed: 41,
+        },
+    )
+    .queries;
+    (tier, queries)
+}
+
+/// Hash routing with stealing disabled is fully deterministic: the
+/// assignment is a pure function of the query node, and each processor
+/// serves its own queue in submission order. Both deployments must land on
+/// byte-identical routing decisions and cache statistics.
+fn deterministic_config() -> LiveConfig {
+    LiveConfig {
+        processors: 4,
+        stealing: false,
+        cache_capacity: 8 << 20,
+        ..LiveConfig::paper_default(4, RoutingKind::Hash)
+    }
+}
+
+/// Per-query processor assignments, in sequence order.
+fn assignments(report: &LiveReport, queries: usize) -> Vec<usize> {
+    let mut by_seq = vec![usize::MAX; queries];
+    for r in report.timeline.records() {
+        assert_eq!(by_seq[r.seq as usize], usize::MAX, "duplicate completion");
+        by_seq[r.seq as usize] = r.processor;
+    }
+    assert!(
+        by_seq.iter().all(|&p| p != usize::MAX),
+        "every query must complete"
+    );
+    by_seq
+}
+
+fn assert_agreement(transport: TransportKind) {
+    let (tier, queries) = seeded_setup();
+    let cfg = deterministic_config();
+
+    let inproc = run_live(Arc::clone(&tier), None, None, &queries, &cfg);
+    let wired = run_cluster(
+        Arc::clone(&tier),
+        None,
+        None,
+        &queries,
+        &cfg,
+        transport,
+        Preset::Local,
+    )
+    .expect("wire cluster completes");
+
+    // Identical answers…
+    assert_eq!(wired.results, inproc.results);
+    // …identical per-query routing decisions…
+    assert_eq!(
+        assignments(&wired, queries.len()),
+        assignments(&inproc, queries.len()),
+        "routing assignments diverged over {transport}"
+    );
+    // …and identical cache statistics (hence identical hit rates).
+    assert_eq!(wired.cache_hits, inproc.cache_hits, "hit counts diverged");
+    assert_eq!(wired.cache_misses, inproc.cache_misses);
+    assert_eq!(wired.stolen, 0);
+    assert_eq!(inproc.stolen, 0);
+    assert!(wired.hit_rate() > 0.0, "workload should produce hits");
+}
+
+#[test]
+fn tcp_cluster_agrees_with_inproc_engine() {
+    // `GROUTING_NO_SOCKETS=1` falls back to the in-proc fabric so
+    // sandboxes without loopback still exercise the full protocol path.
+    assert_agreement(TransportKind::from_env());
+}
+
+#[test]
+fn inproc_fabric_agrees_with_inproc_engine() {
+    assert_agreement(TransportKind::InProc);
+}
+
+#[test]
+fn no_cache_scheme_has_zero_hits_over_the_wire() {
+    let (tier, queries) = seeded_setup();
+    let cfg = LiveConfig {
+        stealing: false,
+        ..LiveConfig::paper_default(3, RoutingKind::NoCache)
+    };
+    let wired = run_cluster(
+        Arc::clone(&tier),
+        None,
+        None,
+        &queries,
+        &cfg,
+        TransportKind::from_env(),
+        Preset::Local,
+    )
+    .expect("wire cluster completes");
+    let inproc = run_live(tier, None, None, &queries, &cfg);
+    assert_eq!(wired.cache_hits, 0);
+    assert_eq!(inproc.cache_hits, 0);
+    assert_eq!(wired.cache_misses, inproc.cache_misses);
+    assert_eq!(wired.results, inproc.results);
+}
+
+#[test]
+fn stealing_over_the_wire_still_answers_identically() {
+    // With stealing on, *assignments* may legally differ between
+    // deployments (they depend on real-time idleness), but answers and
+    // total work conservation may not.
+    let (tier, queries) = seeded_setup();
+    let cfg = LiveConfig {
+        cache_capacity: 8 << 20,
+        ..LiveConfig::paper_default(4, RoutingKind::Hash)
+    };
+    let wired = run_cluster(
+        Arc::clone(&tier),
+        None,
+        None,
+        &queries,
+        &cfg,
+        TransportKind::from_env(),
+        Preset::Local,
+    )
+    .expect("wire cluster completes");
+    let inproc = run_live(tier, None, None, &queries, &cfg);
+    assert_eq!(wired.results, inproc.results);
+    assert_eq!(wired.timeline.len(), queries.len());
+}
