@@ -264,6 +264,104 @@ fn wire_round_trip(c: &mut Criterion) {
     g.finish();
 }
 
+fn wire_frontier_fetch(c: &mut Criterion) {
+    use grouting_core::cache::NullCache;
+    use grouting_core::engine::Worker;
+    use grouting_core::query::{BatchSource, ProcessorCache, RecordSource};
+    use grouting_core::storage::{NetworkModel, StorageTier};
+    use grouting_core::wire::{
+        MultiplexedStorageSource, RemoteStorageSource, StorageService, TcpTransport, Transport,
+        TransportKind,
+    };
+    use std::sync::Arc;
+
+    if TransportKind::from_env() == TransportKind::InProc {
+        // No loopback in this sandbox; the comparison is meaningless over
+        // channels, so skip rather than publish misleading numbers.
+        return;
+    }
+
+    // A real storage deployment on TCP loopback: the graph sharded over 3
+    // socket endpoints, queried by a worker whose cache never retains
+    // (NullCache), so every frontier node is a wire fetch each iteration.
+    let graph = bench_graph();
+    let tier = Arc::new(StorageTier::new(Arc::new(HashPartitioner::new(3))));
+    tier.load_graph(&graph).unwrap();
+    let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new());
+    let handles: Vec<_> = (0..tier.server_count())
+        .map(|_| {
+            StorageService::spawn(
+                Arc::clone(&transport),
+                Arc::clone(&tier),
+                NetworkModel::local(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+
+    // A frontier of 64 known-stored nodes — every one a miss under
+    // NullCache, so "per_node" pays 64 serialised RTTs where "batched"
+    // pays one pipelined exchange per server.
+    let frontier: Vec<NodeId> = (0..64u32).map(NodeId::new).collect();
+    let mut scalar_source =
+        RemoteStorageSource::new(Arc::clone(&transport), &addrs, tier.partitioner());
+    let mut batched_source =
+        MultiplexedStorageSource::new(Arc::clone(&transport), &addrs, tier.partitioner());
+
+    let mut g = c.benchmark_group("wire_fetch_frontier64");
+    g.sample_size(20);
+    g.bench_function("per_node", |b| {
+        b.iter(|| {
+            for &node in &frontier {
+                std::hint::black_box(scalar_source.fetch_raw(node));
+            }
+        })
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| std::hint::black_box(batched_source.fetch_batch(&frontier)))
+    });
+    g.finish();
+
+    // The end-to-end shape the subsystem exists for: a multi-hop BFS whose
+    // every discovered node crosses the wire. The 2-hop neighbourhood on
+    // the community graph is hundreds of nodes, far past the 64-miss bar.
+    let query = Query::NeighborAggregation {
+        node: NodeId::new(1),
+        hops: 2,
+        label: None,
+    };
+    let mut g = c.benchmark_group("wire_bfs_2hop");
+    g.sample_size(10);
+    for name in ["per_node", "batched"] {
+        let cache: ProcessorCache = Box::new(NullCache::new());
+        let source: Box<dyn BatchSource + Send> = if name == "per_node" {
+            Box::new(RemoteStorageSource::new(
+                Arc::clone(&transport),
+                &addrs,
+                tier.partitioner(),
+            ))
+        } else {
+            Box::new(MultiplexedStorageSource::new(
+                Arc::clone(&transport),
+                &addrs,
+                tier.partitioner(),
+            ))
+        };
+        let mut worker = Worker::from_parts(0, source, cache);
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(worker.run(&query)))
+        });
+    }
+    g.finish();
+
+    drop(scalar_source);
+    drop(batched_source);
+    for h in handles {
+        h.shutdown();
+    }
+}
+
 criterion_group!(
     benches,
     murmur,
@@ -273,6 +371,7 @@ criterion_group!(
     partitioning,
     simplex,
     wire_frames,
-    wire_round_trip
+    wire_round_trip,
+    wire_frontier_fetch
 );
 criterion_main!(benches);

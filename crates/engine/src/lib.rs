@@ -32,9 +32,10 @@ use grouting_embed::embedding::Embedding;
 use grouting_embed::landmarks::Landmarks;
 use grouting_embed::ProcessorDistanceTable;
 use grouting_metrics::timeline::QueryRecord;
+use grouting_metrics::RunSnapshot;
 use grouting_metrics::Timeline;
 use grouting_query::{
-    AccessStats, ExecOutcome, Executor, MissEvent, ProcessorCache, Query, RecordSource,
+    AccessStats, BatchSource, ExecOutcome, Executor, MissEvent, ProcessorCache, Query,
 };
 use grouting_route::{EmbedRouter, Router, RouterConfig, RoutingKind, Strategy};
 use grouting_storage::StorageTier;
@@ -155,17 +156,20 @@ impl EngineAssets {
 /// bytes over real connections.
 pub struct Worker {
     id: usize,
-    source: Box<dyn RecordSource + Send>,
+    source: Box<dyn BatchSource + Send>,
     cache: ProcessorCache,
 }
 
 impl Worker {
     /// Assembles a worker from explicit parts: a processor id, the miss
     /// path the cache falls back to, and the cache itself (usually
-    /// [`EngineConfig::build_cache`]).
+    /// [`EngineConfig::build_cache`]). The source's
+    /// [`BatchSource::fetch_batch`] is what the frontier-batched traversal
+    /// drives — in-process tier handles serve it directly, wire sources
+    /// turn it into one pipelined batch frame per storage server.
     pub fn from_parts(
         id: usize,
-        source: Box<dyn RecordSource + Send>,
+        source: Box<dyn BatchSource + Send>,
         cache: ProcessorCache,
     ) -> Self {
         Self { id, source, cache }
@@ -365,6 +369,34 @@ impl Engine {
         self.totals.cache_misses += stats.cache_misses;
         self.totals.evictions += stats.evictions;
         self.timeline.push(record);
+    }
+
+    /// Takes a processor out of rotation: its queued work is redistributed
+    /// through the strategy, and no further queries are routed to it. Used
+    /// by the wire router to mask a processor that died mid-run.
+    pub fn mark_down(&mut self, processor: usize) {
+        self.router.mark_down(processor);
+    }
+
+    /// Re-enqueues a query that was dispatched but never acknowledged
+    /// (its processor died); routing sees it as a fresh submission under
+    /// its original sequence number.
+    pub fn resubmit(&mut self, seq: u64, query: Query) {
+        self.router.submit(seq, query);
+    }
+
+    /// The measurements accumulated *so far*, as a wire-encodable
+    /// snapshot — the router answers mid-run [`RunSnapshot`] requests with
+    /// this without finishing the run.
+    pub fn snapshot(&self) -> RunSnapshot {
+        RunSnapshot {
+            queries: self.timeline.len() as u64,
+            cache_hits: self.totals.cache_hits,
+            cache_misses: self.totals.cache_misses,
+            evictions: self.totals.evictions,
+            stolen: self.router.stolen(),
+            per_processor: self.timeline.per_processor_counts(self.config.processors),
+        }
     }
 
     /// Finishes the run, yielding the accumulated measurements.

@@ -8,6 +8,7 @@
 //! (Eq. 8/9), and the miss byte counts are what the simulator feeds into
 //! the network cost model.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -45,6 +46,50 @@ impl RecordSource for Arc<StorageTier> {
 impl<S: RecordSource + ?Sized> RecordSource for &mut S {
     fn fetch_raw(&mut self, node: NodeId) -> Option<(u16, Bytes)> {
         (**self).fetch_raw(node)
+    }
+}
+
+/// A record source that can serve many nodes in one exchange.
+///
+/// This is the fetch-path contract the frontier-batched traversal relies
+/// on: the executor collects the cache-miss portion of a whole BFS
+/// frontier and hands it over in one call, so a wire-backed source can
+/// group the nodes per storage server and ship a single pipelined batch
+/// frame per server per hop instead of one blocking round trip per node.
+/// The default implementation degrades to per-node [`RecordSource`]
+/// fetches, which is exactly the scalar behaviour — in-process tier
+/// handles override it with a direct multi-get, remote sources with the
+/// `grouting-wire` batch protocol.
+pub trait BatchSource: RecordSource {
+    /// Fetches the encoded adjacency values for `nodes`, one entry per
+    /// requested node in the same order (`None` where the node is not
+    /// stored).
+    fn fetch_batch(&mut self, nodes: &[NodeId]) -> Vec<Option<(u16, Bytes)>> {
+        nodes.iter().map(|&n| self.fetch_raw(n)).collect()
+    }
+}
+
+impl BatchSource for &StorageTier {
+    fn fetch_batch(&mut self, nodes: &[NodeId]) -> Vec<Option<(u16, Bytes)>> {
+        self.get_many(nodes)
+            .into_iter()
+            .map(|p| p.map(|(s, b)| (s as u16, b)))
+            .collect()
+    }
+}
+
+impl BatchSource for Arc<StorageTier> {
+    fn fetch_batch(&mut self, nodes: &[NodeId]) -> Vec<Option<(u16, Bytes)>> {
+        self.get_many(nodes)
+            .into_iter()
+            .map(|p| p.map(|(s, b)| (s as u16, b)))
+            .collect()
+    }
+}
+
+impl<S: BatchSource + ?Sized> BatchSource for &mut S {
+    fn fetch_batch(&mut self, nodes: &[NodeId]) -> Vec<Option<(u16, Bytes)>> {
+        (**self).fetch_batch(nodes)
     }
 }
 
@@ -115,11 +160,28 @@ impl<'a, S: RecordSource> CacheBackedStore<'a, S> {
 
     /// Fetches the adjacency record of `node`, counting a hit or miss.
     pub fn fetch(&mut self, node: NodeId) -> Option<Arc<AdjacencyRecord>> {
+        self.fetch_prefetched(node, &mut HashMap::new())
+    }
+
+    /// One cache-then-source access, optionally satisfied from a prefetch
+    /// map. This is the *only* place hits, misses, bytes, evictions, and
+    /// the miss log are recorded, so the scalar and batched paths cannot
+    /// drift: [`CacheBackedStore::fetch_many`] replays exactly this
+    /// sequence per node, merely sourcing the miss payloads from one batch
+    /// exchange instead of one round trip each.
+    fn fetch_prefetched(
+        &mut self,
+        node: NodeId,
+        prefetched: &mut HashMap<NodeId, Option<(u16, Bytes)>>,
+    ) -> Option<Arc<AdjacencyRecord>> {
         if let Some(rec) = self.cache.get(&node) {
             self.stats.cache_hits += 1;
             return Some(Arc::clone(rec));
         }
-        let (server, bytes) = self.source.fetch_raw(node)?;
+        let payload = prefetched
+            .remove(&node)
+            .unwrap_or_else(|| self.source.fetch_raw(node));
+        let (server, bytes) = payload?;
         self.stats.cache_misses += 1;
         self.stats.miss_bytes += bytes.len() as u64;
         self.miss_log.push(MissEvent {
@@ -133,6 +195,49 @@ impl<'a, S: RecordSource> CacheBackedStore<'a, S> {
         // eviction of previously cached data.
         self.stats.evictions += evicted.iter().filter(|(k, _)| *k != node).count() as u64;
         Some(rec)
+    }
+
+    /// Fetches a whole frontier of adjacency records through the cache,
+    /// batching the miss portion into one [`BatchSource::fetch_batch`]
+    /// call.
+    ///
+    /// Accounting is byte-identical to calling [`CacheBackedStore::fetch`]
+    /// on each node in order (the Eq. 8/9 contract the agreement tests
+    /// pin): a first, side-effect-free pass classifies each node with
+    /// [`Cache::contains`] to assemble the miss set, then a second pass
+    /// replays the exact scalar get/insert sequence per node — so LRU
+    /// recency order, eviction counts, and the miss log all evolve exactly
+    /// as they would have one node at a time. Rare mid-batch
+    /// reclassifications (a predicted hit evicted by an earlier insert in
+    /// the same batch, or a duplicate whose first insert bounced) fall
+    /// back to a scalar source fetch, which is again what the scalar path
+    /// would have done.
+    pub fn fetch_many(&mut self, nodes: &[NodeId]) -> Vec<Option<Arc<AdjacencyRecord>>>
+    where
+        S: BatchSource,
+    {
+        // Pass 1: classify without touching recency/frequency state.
+        let mut miss_nodes: Vec<NodeId> = Vec::new();
+        let mut miss_set: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        for &node in nodes {
+            if !self.cache.contains(&node) && miss_set.insert(node) {
+                miss_nodes.push(node);
+            }
+        }
+        let mut prefetched: HashMap<NodeId, Option<(u16, Bytes)>> = if miss_nodes.is_empty() {
+            HashMap::new()
+        } else {
+            miss_nodes
+                .iter()
+                .copied()
+                .zip(self.source.fetch_batch(&miss_nodes))
+                .collect()
+        };
+        // Pass 2: replay the scalar access sequence in node order.
+        nodes
+            .iter()
+            .map(|&node| self.fetch_prefetched(node, &mut prefetched))
+            .collect()
     }
 
     /// Statistics accumulated so far.
@@ -217,6 +322,158 @@ mod tests {
         store.fetch(n(1));
         store.fetch(n(2));
         assert!(store.stats().evictions > 0);
+    }
+
+    #[test]
+    fn fetch_many_batches_misses_and_matches_scalar_order() {
+        let t = tier();
+        let nodes: Vec<NodeId> = (0..8).map(n).collect();
+
+        // Scalar reference: one fetch per node, in order.
+        let mut scalar_cache: ProcessorCache = Box::new(LruCache::new(1 << 20));
+        let mut scalar = CacheBackedStore::new(&t, &mut scalar_cache);
+        let scalar_recs: Vec<_> = nodes.iter().map(|&v| scalar.fetch(v)).collect();
+        let scalar_stats = scalar.stats();
+        let scalar_log = scalar.take_miss_log();
+
+        // Batched: the same nodes as one frontier.
+        let mut cache: ProcessorCache = Box::new(LruCache::new(1 << 20));
+        let mut store = CacheBackedStore::new(&t, &mut cache);
+        let recs = store.fetch_many(&nodes);
+        assert_eq!(recs, scalar_recs);
+        assert_eq!(store.stats(), scalar_stats);
+        assert_eq!(store.take_miss_log(), scalar_log);
+
+        // A second pass over the same frontier is all hits on both paths.
+        let again = store.fetch_many(&nodes);
+        assert_eq!(again, recs);
+        assert_eq!(store.stats().cache_hits, nodes.len() as u64);
+    }
+
+    #[test]
+    fn fetch_many_handles_duplicates_and_missing_nodes() {
+        let t = tier();
+        // Duplicate inside the batch: first occurrence misses, second
+        // hits (exactly what serial fetches would do); the unknown node
+        // yields None without counting an access.
+        let nodes = [n(2), n(500), n(2), n(3)];
+        let mut cache: ProcessorCache = Box::new(LruCache::new(1 << 20));
+        let mut store = CacheBackedStore::new(&t, &mut cache);
+        let recs = store.fetch_many(&nodes);
+        assert!(recs[0].is_some());
+        assert!(recs[1].is_none());
+        assert_eq!(recs[2], recs[0]);
+        assert!(recs[3].is_some());
+        let s = store.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 2);
+    }
+
+    #[test]
+    fn fetch_many_with_null_cache_misses_everything() {
+        let t = tier();
+        let mut cache: ProcessorCache = Box::new(NullCache::new());
+        let mut store = CacheBackedStore::new(&t, &mut cache);
+        let nodes: Vec<NodeId> = (0..5).map(n).collect();
+        store.fetch_many(&nodes);
+        store.fetch_many(&nodes);
+        let s = store.stats();
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.cache_misses, 10);
+    }
+
+    /// A recording source: proves the batched path issues exactly one
+    /// batch per fetch_many call, containing only the miss portion.
+    struct CountingSource<'a> {
+        tier: &'a StorageTier,
+        batches: Vec<Vec<NodeId>>,
+        scalar_calls: usize,
+    }
+
+    impl RecordSource for CountingSource<'_> {
+        fn fetch_raw(&mut self, node: NodeId) -> Option<(u16, Bytes)> {
+            self.scalar_calls += 1;
+            self.tier.get(node).map(|(s, b)| (s as u16, b))
+        }
+    }
+
+    impl BatchSource for CountingSource<'_> {
+        fn fetch_batch(&mut self, nodes: &[NodeId]) -> Vec<Option<(u16, Bytes)>> {
+            self.batches.push(nodes.to_vec());
+            nodes
+                .iter()
+                .map(|&v| self.tier.get(v).map(|(s, b)| (s as u16, b)))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn fetch_many_ships_only_the_miss_portion() {
+        let t = tier();
+        let mut cache: ProcessorCache = Box::new(LruCache::new(1 << 20));
+        // Warm nodes 0 and 1.
+        {
+            let mut store = CacheBackedStore::new(&t, &mut cache);
+            store.fetch(n(0));
+            store.fetch(n(1));
+        }
+        let mut source = CountingSource {
+            tier: &t,
+            batches: Vec::new(),
+            scalar_calls: 0,
+        };
+        let mut store = CacheBackedStore::new(&mut source, &mut cache);
+        let nodes = [n(0), n(4), n(1), n(5)];
+        let recs = store.fetch_many(&nodes);
+        assert!(recs.iter().all(Option::is_some));
+        let s = store.stats();
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 2);
+        drop(store);
+        assert_eq!(source.batches, vec![vec![n(4), n(5)]], "misses only");
+        assert_eq!(source.scalar_calls, 0, "no per-node fallback needed");
+    }
+
+    proptest::proptest! {
+        /// The batched fetch path produces byte-identical accounting to
+        /// serial scalar fetches for ANY access sequence, batch split, and
+        /// (tiny) cache capacity — including mid-batch evictions and
+        /// duplicates, the cases where the two paths could plausibly
+        /// diverge.
+        #[test]
+        fn prop_fetch_many_accounting_equals_scalar(
+            accesses in proptest::collection::vec(0u32..12, 1..60),
+            splits in proptest::collection::vec(1usize..8, 1..12),
+            capacity_pick in 0usize..4,
+        ) {
+            let capacity = [40usize, 80, 200, 1 << 20][capacity_pick];
+            let t = tier();
+
+            // Scalar reference.
+            let mut scalar_cache: ProcessorCache = Box::new(LruCache::new(capacity));
+            let mut scalar = CacheBackedStore::new(&t, &mut scalar_cache);
+            let scalar_recs: Vec<_> = accesses.iter().map(|&v| scalar.fetch(n(v))).collect();
+            let scalar_stats = scalar.stats();
+            let scalar_log = scalar.take_miss_log();
+
+            // Batched: the same sequence chopped into arbitrary frontiers.
+            let mut cache: ProcessorCache = Box::new(LruCache::new(capacity));
+            let mut store = CacheBackedStore::new(&t, &mut cache);
+            let mut recs = Vec::new();
+            let mut offset = 0;
+            let mut split_iter = splits.iter().copied().cycle();
+            while offset < accesses.len() {
+                let width = split_iter.next().unwrap().min(accesses.len() - offset);
+                let frontier: Vec<NodeId> =
+                    accesses[offset..offset + width].iter().map(|&v| n(v)).collect();
+                recs.extend(store.fetch_many(&frontier));
+                offset += width;
+            }
+
+            proptest::prop_assert_eq!(recs, scalar_recs);
+            proptest::prop_assert_eq!(store.stats(), scalar_stats);
+            proptest::prop_assert_eq!(store.take_miss_log(), scalar_log);
+        }
     }
 
     #[test]

@@ -22,6 +22,8 @@ pub mod patterns;
 pub mod types;
 
 pub use executor::{ExecOutcome, Executor};
-pub use fetch::{AccessStats, CacheBackedStore, MissEvent, ProcessorCache, RecordSource};
+pub use fetch::{
+    AccessStats, BatchSource, CacheBackedStore, MissEvent, ProcessorCache, RecordSource,
+};
 pub use patterns::{match_pattern, PathPattern, PatternMatch};
 pub use types::{Query, QueryResult};

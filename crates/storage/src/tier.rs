@@ -159,6 +159,15 @@ impl StorageTier {
         None
     }
 
+    /// Fetches the raw adjacency values for many nodes at once, one entry
+    /// per requested node in order — the storage half of a frontier-batched
+    /// fetch. A wire deployment serves this from one batch frame per
+    /// server; the in-process tier answers it directly, so both paths share
+    /// the same multi-get contract.
+    pub fn get_many(&self, nodes: &[NodeId]) -> Vec<Option<(usize, Bytes)>> {
+        nodes.iter().map(|&n| self.get(n)).collect()
+    }
+
     /// Fetches and decodes the adjacency record for `node`.
     pub fn get_record(&self, node: NodeId) -> Option<(usize, AdjacencyRecord)> {
         let (s, bytes) = self.get(node)?;

@@ -19,8 +19,11 @@ use grouting_query::{Query, QueryResult};
 use grouting_storage::{NetworkModel, Preset};
 
 use crate::error::{WireError, WireResult};
+use crate::flow::FetchMode;
 use crate::frame::{Frame, Role};
-use crate::service::{now_ns, run_router, ProcessorService, ServiceHandle, StorageService};
+use crate::service::{
+    now_ns, run_router, ProcessorService, RouterOptions, ServiceHandle, StorageService,
+};
 use crate::transport::{InProcTransport, TcpTransport, Transport};
 
 /// Which connection fabric a cluster deployment runs on.
@@ -73,16 +76,33 @@ pub struct ClusterConfig {
     /// Emulated processor↔storage network (charged per fetch at the
     /// storage endpoints; [`Preset::Local`] charges nothing).
     pub net: Preset,
+    /// The processor↔storage fetch path: scalar per-node round trips, or
+    /// pipelined frontier batches ([`FetchMode::from_env`] honours
+    /// `GROUTING_BATCH=0`).
+    pub fetch: FetchMode,
+    /// Emit a mid-run metrics snapshot to the client every this many
+    /// completions (`0` = final snapshot only).
+    pub snapshot_every: u64,
 }
 
 impl ClusterConfig {
-    /// A cluster over `engine` on the given transport with a free network.
+    /// A cluster over `engine` on the given transport with a free network
+    /// and the default (batched) fetch path.
     pub fn new(engine: EngineConfig, transport: TransportKind) -> Self {
         Self {
             engine,
             transport,
             net: Preset::Local,
+            fetch: FetchMode::default(),
+            snapshot_every: 0,
         }
+    }
+
+    /// Overrides the processor↔storage fetch path.
+    #[must_use]
+    pub fn with_fetch(mut self, fetch: FetchMode) -> Self {
+        self.fetch = fetch;
+        self
     }
 }
 
@@ -96,6 +116,9 @@ pub struct ClusterRun {
     pub timeline: Timeline,
     /// The router's end-of-run totals.
     pub snapshot: RunSnapshot,
+    /// Periodic mid-run snapshots, in emission order (empty unless
+    /// [`ClusterConfig::snapshot_every`] was set).
+    pub mid_snapshots: Vec<RunSnapshot>,
     /// Wall-clock duration observed by the client.
     pub wall_ns: u64,
 }
@@ -159,6 +182,9 @@ pub fn launch_cluster(
     let router_addr = router_listener.addr();
     let router_assets = assets.clone();
     let router_config = config.engine;
+    let router_opts = RouterOptions {
+        snapshot_every: config.snapshot_every,
+    };
     let router_transport = Arc::clone(&transport);
     let router = std::thread::spawn(move || {
         run_router(
@@ -166,6 +192,7 @@ pub fn launch_cluster(
             router_listener,
             &router_assets,
             &router_config,
+            &router_opts,
         )
     });
 
@@ -180,6 +207,7 @@ pub fn launch_cluster(
                 storage_addrs.clone(),
                 Arc::clone(&partitioner),
                 config.engine,
+                config.fetch,
             )
         })
         .collect();
@@ -224,7 +252,7 @@ pub fn launch_cluster(
         }
         Err(router_err) => return Err(router_err),
     };
-    let (results, timeline, client_snapshot, wall_ns) = run?;
+    let (results, timeline, client_snapshot, mid_snapshots, wall_ns) = run?;
     if dead_processors > 0 {
         return Err(WireError::Protocol(format!(
             "{dead_processors} processor thread(s) died mid-run"
@@ -238,11 +266,18 @@ pub fn launch_cluster(
         results,
         timeline,
         snapshot,
+        mid_snapshots,
         wall_ns,
     })
 }
 
-type ClientRun = (Vec<QueryResult>, Timeline, RunSnapshot, u64);
+type ClientRun = (
+    Vec<QueryResult>,
+    Timeline,
+    RunSnapshot,
+    Vec<RunSnapshot>,
+    u64,
+);
 
 fn drive_client(
     transport: &dyn Transport,
@@ -265,7 +300,9 @@ fn drive_client(
 
     let mut results: Vec<Option<QueryResult>> = vec![None; queries.len()];
     let mut timeline = Timeline::new();
-    let mut snapshot = None;
+    // The last Metrics frame before Shutdown is the run's final snapshot;
+    // anything earlier is a periodic mid-run emission.
+    let mut snapshots: Vec<RunSnapshot> = Vec::new();
     loop {
         match conn.recv() {
             Ok(Frame::Completion(c)) => {
@@ -284,7 +321,7 @@ fn drive_client(
                     processor: c.processor as usize,
                 });
             }
-            Ok(Frame::Metrics(s)) => snapshot = Some(s),
+            Ok(Frame::Metrics(s)) => snapshots.push(s),
             Ok(Frame::Shutdown) | Err(WireError::Closed) => break,
             Ok(other) => return Err(WireError::Protocol(format!("client got {}", other.kind()))),
             Err(e) => return Err(e),
@@ -294,12 +331,14 @@ fn drive_client(
     let results: Option<Vec<QueryResult>> = results.into_iter().collect();
     let results = results
         .ok_or_else(|| WireError::Protocol("run ended with incomplete results".to_string()))?;
-    let snapshot =
-        snapshot.ok_or_else(|| WireError::Protocol("run ended without a snapshot".to_string()))?;
+    let snapshot = snapshots
+        .pop()
+        .ok_or_else(|| WireError::Protocol("run ended without a snapshot".to_string()))?;
     Ok((
         results,
         timeline,
         snapshot,
+        snapshots,
         now_ns().saturating_sub(started),
     ))
 }

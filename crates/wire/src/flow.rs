@@ -1,0 +1,669 @@
+//! `grouting-flow`: pipelined, frontier-batched adjacency fetching.
+//!
+//! The scalar fetch path ([`crate::service::RemoteStorageSource`]) issues
+//! one blocking request/reply exchange per frontier node, so a multi-hop
+//! BFS pays one loopback RTT (~16 µs) per discovered node, serialised.
+//! This module keeps many fetches in flight per processor instead:
+//!
+//! * [`BatchMux`] — a connection multiplexer holding one framed connection
+//!   per storage server. Batches are *submitted* (written, correlation id
+//!   assigned) separately from being *collected*, so a caller can put one
+//!   [`Frame::FetchBatchRequest`] on the wire towards every storage server
+//!   before waiting for any reply. Collection runs a readiness loop over
+//!   the pending connections — non-blocking polls
+//!   ([`crate::transport::FrameStream::try_recv`], `set_nonblocking`
+//!   under TCP) draining whichever server answers first, with replies
+//!   matched to requests by `req_id` so out-of-order completion is fine;
+//! * [`MultiplexedStorageSource`] — the [`BatchSource`] a batched-mode
+//!   processor plugs behind its cache: it groups a frontier's miss set by
+//!   the placement function and ships exactly one batch per storage
+//!   server per hop;
+//! * [`FetchMode`] — the scalar/batched toggle carried by cluster
+//!   configuration, `GROUTING_BATCH=0` in the environment forcing the
+//!   scalar path for comparison runs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use grouting_graph::NodeId;
+use grouting_partition::Partitioner;
+use grouting_query::{BatchSource, RecordSource};
+
+use crate::error::{WireError, WireResult};
+use crate::frame::Frame;
+use crate::transport::{FrameSink, FrameStream, Transport};
+
+/// Which processor↔storage fetch path a deployment runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FetchMode {
+    /// One blocking request/reply round trip per node (the PR 2 path).
+    Scalar,
+    /// Frontier-batched, pipelined fetching through [`BatchMux`].
+    #[default]
+    Batched,
+}
+
+impl FetchMode {
+    /// Honours the `GROUTING_BATCH` toggle: batched by default,
+    /// `GROUTING_BATCH=0` (or `false`/`off`) forcing the scalar path so CI
+    /// and benches can exercise both.
+    pub fn from_env() -> Self {
+        match std::env::var("GROUTING_BATCH") {
+            Ok(v)
+                if v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off") =>
+            {
+                FetchMode::Scalar
+            }
+            _ => FetchMode::Batched,
+        }
+    }
+}
+
+impl std::fmt::Display for FetchMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchMode::Scalar => write!(f, "scalar"),
+            FetchMode::Batched => write!(f, "batched"),
+        }
+    }
+}
+
+/// One batch's worth of per-node payloads: the serving server id and
+/// encoded adjacency value, `None` where the node is not stored.
+pub type BatchPayloads = Vec<Option<(u16, Bytes)>>;
+
+/// One storage connection's multiplexer state.
+struct MuxConn {
+    sink: Box<dyn FrameSink>,
+    stream: Box<dyn FrameStream>,
+    /// Payloads received so far per correlation id. A storage server may
+    /// stream one batch's answer as *several* [`Frame::FetchBatchResponse`]
+    /// frames (it chunks responses that would otherwise exceed the frame
+    /// cap), so entries accumulate here until the requested node count is
+    /// reached — including replies to requests the caller is not currently
+    /// waiting on.
+    ready: HashMap<u64, BatchPayloads>,
+    /// The nodes of each outstanding request, recorded at submit: a
+    /// request is complete when its `ready` entry reaches this length,
+    /// and a reconnected connection resubmits exactly these.
+    pending: HashMap<u64, Vec<NodeId>>,
+}
+
+/// A pipelined batch-fetch multiplexer over the storage endpoints.
+///
+/// One lazily dialled connection per storage server; any number of
+/// batches may be in flight per connection, correlated by `req_id`. The
+/// submit/collect split is the pipelining: submitting writes the request
+/// and returns immediately, so a frontier's batches reach every storage
+/// server before the first reply is awaited.
+pub struct BatchMux {
+    transport: Arc<dyn Transport>,
+    addrs: Vec<String>,
+    conns: Vec<Option<MuxConn>>,
+    next_req_id: u64,
+    reconnects: u64,
+}
+
+impl BatchMux {
+    /// A multiplexer towards `storage_addrs` (index = storage server id).
+    pub fn new(transport: Arc<dyn Transport>, storage_addrs: &[String]) -> Self {
+        Self {
+            transport,
+            addrs: storage_addrs.to_vec(),
+            conns: storage_addrs.iter().map(|_| None).collect(),
+            next_req_id: 0,
+            reconnects: 0,
+        }
+    }
+
+    /// Number of storage servers this multiplexer addresses.
+    pub fn server_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Times a dead connection was replaced by a fresh dial (with its
+    /// outstanding requests resubmitted) — the batched counterpart of
+    /// [`crate::transport::ConnectionPool::reconnects`].
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn conn(&mut self, server: usize) -> WireResult<&mut MuxConn> {
+        if self.conns[server].is_none() {
+            let (sink, stream) = self.transport.dial(&self.addrs[server])?.split();
+            self.conns[server] = Some(MuxConn {
+                sink,
+                stream,
+                ready: HashMap::new(),
+                pending: HashMap::new(),
+            });
+        }
+        Ok(self.conns[server].as_mut().expect("just dialled"))
+    }
+
+    /// Replaces a dead connection with a fresh dial and resubmits every
+    /// outstanding request on it, masking a storage restart exactly as the
+    /// scalar path's pooled reconnect does. Partially accumulated chunks
+    /// are discarded — the fresh connection re-answers each request in
+    /// full, so nothing is double-counted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dial/resubmission failures (the peer is really gone).
+    fn reconnect(&mut self, server: usize) -> WireResult<()> {
+        let pending = self.conns[server]
+            .take()
+            .map(|c| c.pending)
+            .unwrap_or_default();
+        let (sink, stream) = self.transport.dial(&self.addrs[server])?.split();
+        let mut conn = MuxConn {
+            sink,
+            stream,
+            ready: HashMap::new(),
+            pending,
+        };
+        for (req_id, nodes) in &conn.pending {
+            conn.sink.send(&Frame::FetchBatchRequest {
+                req_id: *req_id,
+                nodes: nodes.clone(),
+            })?;
+        }
+        self.conns[server] = Some(conn);
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    /// Puts one batch request on the wire towards `server` and returns its
+    /// correlation id without waiting for the reply. A send failure on a
+    /// kept connection (peer restarted since the last exchange) is retried
+    /// exactly once on a fresh dial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dial failures and repeated send failures.
+    pub fn submit(&mut self, server: usize, nodes: &[NodeId]) -> WireResult<u64> {
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        let frame = Frame::FetchBatchRequest {
+            req_id,
+            nodes: nodes.to_vec(),
+        };
+        let conn = self.conn(server)?;
+        conn.pending.insert(req_id, nodes.to_vec());
+        if conn.sink.send(&frame).is_err() {
+            // The reconnect resubmits everything pending, this request
+            // included.
+            self.reconnect(server)?;
+        }
+        Ok(req_id)
+    }
+
+    /// Waits for one submitted batch (see [`BatchMux::collect_many`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and protocol violations.
+    pub fn collect(&mut self, server: usize, req_id: u64) -> WireResult<BatchPayloads> {
+        let mut out = self.collect_many(&[(server, req_id)])?;
+        Ok(out.pop().expect("one requested, one returned"))
+    }
+
+    /// Readiness loop: waits until every `(server, req_id)` in `wanted`
+    /// has its response, returning payload vectors in `wanted` order.
+    ///
+    /// Each iteration polls every still-pending connection without
+    /// blocking, so whichever storage server answers first is drained
+    /// first; replies for *other* outstanding requests on the same
+    /// connection are stashed by correlation id rather than rejected,
+    /// which is what makes out-of-order completion safe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures, and [`WireError::Protocol`] when a
+    /// storage server sends anything but a batch response.
+    pub fn collect_many(&mut self, wanted: &[(usize, u64)]) -> WireResult<Vec<BatchPayloads>> {
+        let mut out: Vec<Option<BatchPayloads>> = vec![None; wanted.len()];
+        let mut remaining = wanted.len();
+        let mut idle_rounds = 0u32;
+        // One reconnect attempt per server per collect: masks a storage
+        // restart without looping forever against a peer that is gone.
+        let mut reconnected = vec![false; self.conns.len()];
+        while remaining > 0 {
+            let mut progressed = false;
+            for (slot, &(server, req_id)) in wanted.iter().enumerate() {
+                if out[slot].is_some() {
+                    continue;
+                }
+                let conn = self.conns[server].as_mut().ok_or_else(|| {
+                    WireError::Protocol(format!("server {server}: collect before submit"))
+                })?;
+                let expected = conn.pending.get(&req_id).map(Vec::len).ok_or_else(|| {
+                    WireError::Protocol(format!(
+                        "server {server}: collect of unknown request {req_id}"
+                    ))
+                })?;
+                // Complete once every requested node has been answered —
+                // possibly across several chunked response frames. The
+                // server sends at least one frame even for an empty batch,
+                // so presence of the entry marks "response began".
+                if let Some(got) = conn.ready.get(&req_id) {
+                    match got.len().cmp(&expected) {
+                        std::cmp::Ordering::Equal => {
+                            out[slot] = conn.ready.remove(&req_id);
+                            conn.pending.remove(&req_id);
+                            remaining -= 1;
+                            progressed = true;
+                            continue;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            return Err(WireError::Protocol(format!(
+                                "storage server {server} answered {} nodes to a {expected}-node \
+                                 batch",
+                                got.len()
+                            )))
+                        }
+                        std::cmp::Ordering::Less => {}
+                    }
+                }
+                match conn.stream.try_recv() {
+                    Ok(Some(Frame::FetchBatchResponse {
+                        req_id: got,
+                        payloads,
+                    })) => {
+                        progressed = true;
+                        conn.ready.entry(got).or_default().extend(payloads);
+                    }
+                    Ok(Some(other)) => {
+                        return Err(WireError::Protocol(format!(
+                            "storage server {server} sent {} to a batch fetch",
+                            other.kind()
+                        )))
+                    }
+                    Ok(None) => {}
+                    Err(_) if !reconnected[server] => {
+                        reconnected[server] = true;
+                        self.reconnect(server)?;
+                        progressed = true;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            // Spin briefly (replies on loopback land within microseconds),
+            // then back off so a genuinely slow server doesn't cost a core.
+            if progressed {
+                idle_rounds = 0;
+            } else {
+                idle_rounds += 1;
+                if idle_rounds < 64 {
+                    std::hint::spin_loop();
+                } else if idle_rounds < 256 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(20));
+                }
+            }
+        }
+        Ok(out.into_iter().map(|p| p.expect("collected")).collect())
+    }
+}
+
+/// The batched-mode miss path behind a processor's cache: a frontier's
+/// miss set grouped per storage server, one pipelined batch frame each.
+///
+/// Single-node fetches (reachability expansions, random-walk steps) travel
+/// as one-element batches over the same multiplexed connections, so a
+/// batched processor speaks only the batch protocol.
+pub struct MultiplexedStorageSource {
+    partitioner: Arc<dyn Partitioner>,
+    mux: BatchMux,
+}
+
+impl MultiplexedStorageSource {
+    /// A source fetching from `storage_addrs` (index = storage server id)
+    /// with `partitioner` as the placement function.
+    pub fn new(
+        transport: Arc<dyn Transport>,
+        storage_addrs: &[String],
+        partitioner: Arc<dyn Partitioner>,
+    ) -> Self {
+        Self {
+            partitioner,
+            mux: BatchMux::new(transport, storage_addrs),
+        }
+    }
+
+    fn home(&self, node: NodeId) -> usize {
+        self.partitioner.assign(node) % self.mux.server_count()
+    }
+}
+
+impl RecordSource for MultiplexedStorageSource {
+    fn fetch_raw(&mut self, node: NodeId) -> Option<(u16, Bytes)> {
+        let home = self.home(node);
+        let exchange = self
+            .mux
+            .submit(home, std::slice::from_ref(&node))
+            .and_then(|req_id| self.mux.collect(home, req_id));
+        match exchange {
+            Ok(mut payloads) => {
+                assert_eq!(payloads.len(), 1, "one node in, one payload out");
+                payloads.pop().expect("length checked")
+            }
+            Err(e) => panic!("storage batch fetch failed: {e}"),
+        }
+    }
+}
+
+/// Most nodes a single [`Frame::FetchBatchRequest`] may carry: keeps the
+/// encoded request (13 + 4·N bytes) around 4 MiB, far under
+/// [`crate::frame::MAX_FRAME_BYTES`], however large the frontier — a
+/// per-server miss set beyond this is simply pipelined as several
+/// requests on the same connection.
+pub const MAX_BATCH_REQUEST_NODES: usize = 1 << 20;
+
+impl BatchSource for MultiplexedStorageSource {
+    fn fetch_batch(&mut self, nodes: &[NodeId]) -> Vec<Option<(u16, Bytes)>> {
+        if nodes.is_empty() {
+            return Vec::new();
+        }
+        // Group the frontier per storage server, remembering where each
+        // node sits in the caller's order.
+        let servers = self.mux.server_count();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); servers];
+        for (i, &node) in nodes.iter().enumerate() {
+            groups[self.home(node)].push(i);
+        }
+        // Submit phase: every involved server's batch goes on the wire
+        // before any reply is awaited — the pipelining that amortises the
+        // per-exchange RTT across the whole frontier. Requests past the
+        // per-frame node cap become several pipelined requests.
+        let mut wanted: Vec<(usize, u64, &[usize])> = Vec::new();
+        let mut batch: Vec<NodeId> = Vec::new();
+        for (server, group) in groups.iter().enumerate() {
+            for slots in group.chunks(MAX_BATCH_REQUEST_NODES) {
+                batch.clear();
+                batch.extend(slots.iter().map(|&i| nodes[i]));
+                match self.mux.submit(server, &batch) {
+                    Ok(req_id) => wanted.push((server, req_id, slots)),
+                    Err(e) => panic!("storage batch submit failed: {e}"),
+                }
+            }
+        }
+        // Collect phase: readiness loop over every pending connection.
+        let requests: Vec<(usize, u64)> = wanted.iter().map(|&(s, r, _)| (s, r)).collect();
+        let responses = match self.mux.collect_many(&requests) {
+            Ok(r) => r,
+            Err(e) => panic!("storage batch fetch failed: {e}"),
+        };
+        let mut out: Vec<Option<(u16, Bytes)>> = vec![None; nodes.len()];
+        for (&(server, _, slots), payloads) in wanted.iter().zip(responses) {
+            assert_eq!(
+                payloads.len(),
+                slots.len(),
+                "server {server} answered a different batch size"
+            );
+            for (&slot, payload) in slots.iter().zip(payloads) {
+                out[slot] = payload;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{InProcTransport, Listener, TcpTransport};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn payload(i: u32) -> Option<(u16, Bytes)> {
+        Some((0, Bytes::from(i.to_le_bytes().to_vec())))
+    }
+
+    /// A storage stand-in that answers every batch with one payload per
+    /// node, optionally holding replies back to force reordering.
+    fn batch_server(
+        mut listener: Box<dyn Listener>,
+        reverse_pairs: bool,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            let Ok(mut conn) = listener.accept() else {
+                return;
+            };
+            let mut held: Vec<Frame> = Vec::new();
+            loop {
+                match conn.recv() {
+                    Ok(Frame::FetchBatchRequest { req_id, nodes }) => {
+                        let payloads = nodes.iter().map(|w| payload(w.raw())).collect();
+                        let response = Frame::FetchBatchResponse { req_id, payloads };
+                        if reverse_pairs {
+                            // Answer requests two at a time, newest first,
+                            // to prove req_id correlation.
+                            held.push(response);
+                            if held.len() == 2 {
+                                for f in held.drain(..).rev() {
+                                    if conn.send(&f).is_err() {
+                                        return;
+                                    }
+                                }
+                            }
+                        } else if conn.send(&response).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(Frame::Shutdown) | Err(_) => return,
+                    Ok(_) => return,
+                }
+            }
+        })
+    }
+
+    fn mux_round_trips_over(transport: Arc<dyn Transport>) {
+        let listener = transport.listen(&transport.any_addr()).unwrap();
+        let addr = listener.addr();
+        let server = batch_server(listener, false);
+        let mut mux = BatchMux::new(Arc::clone(&transport), &[addr]);
+        let nodes: Vec<NodeId> = (0..100).map(n).collect();
+        let req = mux.submit(0, &nodes).unwrap();
+        let payloads = mux.collect(0, req).unwrap();
+        assert_eq!(payloads.len(), nodes.len());
+        for (node, got) in nodes.iter().zip(&payloads) {
+            assert_eq!(*got, payload(node.raw()));
+        }
+        drop(mux);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn inproc_mux_round_trips() {
+        mux_round_trips_over(Arc::new(InProcTransport::new()));
+    }
+
+    #[test]
+    fn tcp_mux_round_trips() {
+        mux_round_trips_over(Arc::new(TcpTransport::new()));
+    }
+
+    fn out_of_order_replies_correlate_over(transport: Arc<dyn Transport>) {
+        let listener = transport.listen(&transport.any_addr()).unwrap();
+        let addr = listener.addr();
+        let server = batch_server(listener, true);
+        let mut mux = BatchMux::new(Arc::clone(&transport), &[addr]);
+
+        // Two batches pipelined on one connection; the server replies to
+        // the *second* first, so collecting in submit order exercises the
+        // stash-and-match path both ways.
+        let first = mux.submit(0, &[n(1), n(2)]).unwrap();
+        let second = mux.submit(0, &[n(7)]).unwrap();
+        assert_ne!(first, second);
+        let got_first = mux.collect(0, first).unwrap();
+        let got_second = mux.collect(0, second).unwrap();
+        assert_eq!(got_first, vec![payload(1), payload(2)]);
+        assert_eq!(got_second, vec![payload(7)]);
+        drop(mux);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn inproc_out_of_order_replies_correlate() {
+        out_of_order_replies_correlate_over(Arc::new(InProcTransport::new()));
+    }
+
+    #[test]
+    fn tcp_out_of_order_replies_correlate() {
+        out_of_order_replies_correlate_over(Arc::new(TcpTransport::new()));
+    }
+
+    #[test]
+    fn chunked_responses_reassemble_by_node_count() {
+        // A server may stream one batch's answer as several frames (the
+        // storage service does this past its soft byte budget); the mux
+        // must concatenate them — even interleaved with another request's
+        // chunks — until every node is answered.
+        let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        let mut listener = transport.listen(&transport.any_addr()).unwrap();
+        let addr = listener.addr();
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let mut held: Vec<(u64, Vec<NodeId>)> = Vec::new();
+            for _ in 0..2 {
+                match conn.recv().unwrap() {
+                    Frame::FetchBatchRequest { req_id, nodes } => held.push((req_id, nodes)),
+                    other => panic!("server got {}", other.kind()),
+                }
+            }
+            // Answer both requests in per-node chunks, alternating between
+            // the two correlation ids.
+            let mut cursors = [0usize, 0];
+            loop {
+                let mut sent = false;
+                for (i, (req_id, nodes)) in held.iter().enumerate() {
+                    if cursors[i] < nodes.len() {
+                        let w = nodes[cursors[i]];
+                        cursors[i] += 1;
+                        conn.send(&Frame::FetchBatchResponse {
+                            req_id: *req_id,
+                            payloads: vec![payload(w.raw())],
+                        })
+                        .unwrap();
+                        sent = true;
+                    }
+                }
+                if !sent {
+                    break;
+                }
+            }
+        });
+
+        let mut mux = BatchMux::new(Arc::clone(&transport), &[addr]);
+        let first = mux.submit(0, &[n(1), n(2), n(3)]).unwrap();
+        let second = mux.submit(0, &[n(10), n(11)]).unwrap();
+        assert_eq!(
+            mux.collect(0, first).unwrap(),
+            vec![payload(1), payload(2), payload(3)]
+        );
+        assert_eq!(
+            mux.collect(0, second).unwrap(),
+            vec![payload(10), payload(11)]
+        );
+        server.join().unwrap();
+    }
+
+    fn mux_reconnects_over(transport: Arc<dyn Transport>) {
+        let listener = transport.listen(&transport.any_addr()).unwrap();
+        let addr = listener.addr();
+        // Serve two connections in sequence: the first dies with a request
+        // unanswered, forcing the mux to redial and resubmit it.
+        let mut listener = listener;
+        let server = std::thread::spawn(move || {
+            // First connection: answer one batch, read the next request,
+            // then drop it on the floor.
+            let mut conn = listener.accept().unwrap();
+            match conn.recv().unwrap() {
+                Frame::FetchBatchRequest { req_id, nodes } => {
+                    let payloads = nodes.iter().map(|w| payload(w.raw())).collect();
+                    conn.send(&Frame::FetchBatchResponse { req_id, payloads })
+                        .unwrap();
+                }
+                other => panic!("server got {}", other.kind()),
+            }
+            let _ = conn.recv();
+            drop(conn);
+            // Second connection: serve whatever is resubmitted.
+            let mut conn = listener.accept().unwrap();
+            while let Ok(Frame::FetchBatchRequest { req_id, nodes }) = conn.recv() {
+                let payloads = nodes.iter().map(|w| payload(w.raw())).collect();
+                if conn
+                    .send(&Frame::FetchBatchResponse { req_id, payloads })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        });
+
+        let mut mux = BatchMux::new(Arc::clone(&transport), &[addr]);
+        let first = mux.submit(0, &[n(1)]).unwrap();
+        assert_eq!(mux.collect(0, first).unwrap(), vec![payload(1)]);
+        // The server dies holding this one; the mux must mask it.
+        let second = mux.submit(0, &[n(2), n(3)]).unwrap();
+        assert_eq!(
+            mux.collect(0, second).unwrap(),
+            vec![payload(2), payload(3)]
+        );
+        assert_eq!(mux.reconnects(), 1);
+        drop(mux);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn inproc_mux_reconnects_after_peer_death() {
+        mux_reconnects_over(Arc::new(InProcTransport::new()));
+    }
+
+    #[test]
+    fn tcp_mux_reconnects_after_peer_death() {
+        mux_reconnects_over(Arc::new(TcpTransport::new()));
+    }
+
+    #[test]
+    fn collect_many_drains_multiple_servers() {
+        let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        let mut addrs = Vec::new();
+        let mut servers = Vec::new();
+        for _ in 0..3 {
+            let listener = transport.listen(&transport.any_addr()).unwrap();
+            addrs.push(listener.addr());
+            servers.push(batch_server(listener, false));
+        }
+        let mut mux = BatchMux::new(Arc::clone(&transport), &addrs);
+        let wanted: Vec<(usize, u64)> = (0..3)
+            .map(|s| {
+                let nodes: Vec<NodeId> = (0..4).map(|i| n(s as u32 * 10 + i)).collect();
+                (s, mux.submit(s, &nodes).unwrap())
+            })
+            .collect();
+        let responses = mux.collect_many(&wanted).unwrap();
+        for (s, payloads) in responses.iter().enumerate() {
+            assert_eq!(payloads.len(), 4);
+            assert_eq!(payloads[0], payload(s as u32 * 10));
+        }
+        drop(mux);
+        for s in servers {
+            s.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn fetch_mode_env_values() {
+        // Only the parser; the env var itself belongs to CI.
+        assert_eq!(FetchMode::default(), FetchMode::Batched);
+        assert_eq!(FetchMode::Scalar.to_string(), "scalar");
+        assert_eq!(FetchMode::Batched.to_string(), "batched");
+    }
+}

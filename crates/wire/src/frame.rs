@@ -45,6 +45,8 @@ const TAG_FETCH_RESPONSE: u8 = 7;
 const TAG_METRICS_REQUEST: u8 = 8;
 const TAG_METRICS: u8 = 9;
 const TAG_SHUTDOWN: u8 = 10;
+const TAG_FETCH_BATCH_REQUEST: u8 = 11;
+const TAG_FETCH_BATCH_RESPONSE: u8 = 12;
 
 /// Who a connection speaks for, announced in [`Frame::Hello`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +122,27 @@ pub enum Frame {
         /// node is not stored.
         payload: Option<(u16, Bytes)>,
     },
+    /// Processor → storage: one frontier's worth of adjacency records
+    /// wanted in a single exchange (the `grouting-flow` batch path).
+    FetchBatchRequest {
+        /// Correlation id: echoed in the response so a pipelined
+        /// connection can match out-of-order replies to their requests.
+        req_id: u64,
+        /// The nodes whose records are wanted, in request order.
+        nodes: Vec<NodeId>,
+    },
+    /// Storage → processor: the batched records, in request order. A
+    /// server may stream one batch's answer as several of these frames
+    /// (chunked so no frame exceeds [`MAX_FRAME_BYTES`] however large the
+    /// frontier); the requester concatenates frames with the same `req_id`
+    /// until every requested node is answered.
+    FetchBatchResponse {
+        /// The correlation id of the request being answered.
+        req_id: u64,
+        /// Per-node serving server id and encoded adjacency value, `None`
+        /// where the node is not stored.
+        payloads: Vec<Option<(u16, Bytes)>>,
+    },
     /// Client → router: ask for the current run snapshot.
     MetricsRequest,
     /// Router → client: run totals.
@@ -139,6 +162,8 @@ impl Frame {
             Frame::Completion(_) => "completion",
             Frame::FetchRequest { .. } => "fetch-request",
             Frame::FetchResponse { .. } => "fetch-response",
+            Frame::FetchBatchRequest { .. } => "fetch-batch-request",
+            Frame::FetchBatchResponse { .. } => "fetch-batch-response",
             Frame::MetricsRequest => "metrics-request",
             Frame::Metrics(_) => "metrics",
             Frame::Shutdown => "shutdown",
@@ -195,6 +220,30 @@ impl Frame {
                         buf.put_u16_le(*server);
                         buf.put_u32_le(value.len() as u32);
                         buf.put_slice(value);
+                    }
+                }
+            }
+            Frame::FetchBatchRequest { req_id, nodes } => {
+                buf.put_u8(TAG_FETCH_BATCH_REQUEST);
+                buf.put_u64_le(*req_id);
+                buf.put_u32_le(nodes.len() as u32);
+                for node in nodes {
+                    buf.put_u32_le(node.raw());
+                }
+            }
+            Frame::FetchBatchResponse { req_id, payloads } => {
+                buf.put_u8(TAG_FETCH_BATCH_RESPONSE);
+                buf.put_u64_le(*req_id);
+                buf.put_u32_le(payloads.len() as u32);
+                for payload in payloads {
+                    match payload {
+                        None => buf.put_u8(0),
+                        Some((server, value)) => {
+                            buf.put_u8(1);
+                            buf.put_u16_le(*server);
+                            buf.put_u32_le(value.len() as u32);
+                            buf.put_slice(value);
+                        }
                     }
                 }
             }
@@ -286,6 +335,38 @@ impl Frame {
                     f => return Err(WireError::Codec(format!("bad payload flag {f}"))),
                 };
                 Frame::FetchResponse { node, payload }
+            }
+            TAG_FETCH_BATCH_REQUEST => {
+                need(&data, 12)?;
+                let req_id = data.get_u64_le();
+                let count = data.get_u32_le() as usize;
+                need(&data, count.saturating_mul(4))?;
+                let nodes = (0..count).map(|_| NodeId::new(data.get_u32_le())).collect();
+                Frame::FetchBatchRequest { req_id, nodes }
+            }
+            TAG_FETCH_BATCH_RESPONSE => {
+                need(&data, 12)?;
+                let req_id = data.get_u64_le();
+                let count = data.get_u32_le() as usize;
+                let mut payloads = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    need(&data, 1)?;
+                    let payload = match data.get_u8() {
+                        0 => None,
+                        1 => {
+                            need(&data, 6)?;
+                            let server = data.get_u16_le();
+                            let len = data.get_u32_le() as usize;
+                            need(&data, len)?;
+                            let value = data.slice(0..len);
+                            data.advance(len);
+                            Some((server, value))
+                        }
+                        f => return Err(WireError::Codec(format!("bad payload flag {f}"))),
+                    };
+                    payloads.push(payload);
+                }
+                Frame::FetchBatchResponse { req_id, payloads }
             }
             TAG_METRICS_REQUEST => Frame::MetricsRequest,
             TAG_METRICS => {
@@ -531,6 +612,26 @@ mod tests {
                 node: n(999),
                 payload: None,
             },
+            Frame::FetchBatchRequest {
+                req_id: 7,
+                nodes: vec![n(1), n(5), n(9)],
+            },
+            Frame::FetchBatchRequest {
+                req_id: 8,
+                nodes: Vec::new(),
+            },
+            Frame::FetchBatchResponse {
+                req_id: 7,
+                payloads: vec![
+                    Some((0, Bytes::from(vec![4u8, 5]))),
+                    None,
+                    Some((2, Bytes::new())),
+                ],
+            },
+            Frame::FetchBatchResponse {
+                req_id: 8,
+                payloads: Vec::new(),
+            },
             Frame::MetricsRequest,
             Frame::Metrics(RunSnapshot {
                 queries: 10,
@@ -614,7 +715,80 @@ mod tests {
         assert!(Frame::decode(Bytes::from(vec![TAG_SUBMIT, 0, 0, 0, 0, 0, 0, 0, 0, 77])).is_err());
     }
 
+    /// The largest batch a real deployment would ship (a whole hot
+    /// frontier): well beyond any test workload, still far under
+    /// `MAX_FRAME_BYTES`.
+    #[test]
+    fn max_size_batch_round_trips() {
+        let nodes: Vec<NodeId> = (0..100_000).map(n).collect();
+        let request = Frame::FetchBatchRequest {
+            req_id: u64::MAX,
+            nodes: nodes.clone(),
+        };
+        let encoded = request.encode();
+        assert!(encoded.len() < MAX_FRAME_BYTES);
+        assert_eq!(Frame::decode(encoded).unwrap(), request);
+
+        let payloads: Vec<Option<(u16, Bytes)>> = (0..100_000u32)
+            .map(|i| {
+                if i % 7 == 0 {
+                    None
+                } else {
+                    Some(((i % 5) as u16, Bytes::from(i.to_le_bytes().to_vec())))
+                }
+            })
+            .collect();
+        let response = Frame::FetchBatchResponse {
+            req_id: u64::MAX,
+            payloads,
+        };
+        let encoded = response.encode();
+        assert!(encoded.len() < MAX_FRAME_BYTES);
+        assert_eq!(Frame::decode(encoded).unwrap(), response);
+    }
+
+    #[test]
+    fn batch_request_with_absurd_count_is_rejected() {
+        // A claimed count far larger than the remaining bytes must error
+        // out of the `need` check, not attempt the allocation.
+        let mut raw = vec![TAG_FETCH_BATCH_REQUEST];
+        raw.extend_from_slice(&1u64.to_le_bytes());
+        raw.extend_from_slice(&u32::MAX.to_le_bytes());
+        raw.extend_from_slice(&[0u8; 8]);
+        assert!(Frame::decode(Bytes::from(raw)).is_err());
+    }
+
     proptest::proptest! {
+        #[test]
+        fn prop_fetch_batch_request_round_trip(
+            req_id in 0u64..u64::MAX,
+            nodes in proptest::collection::vec(0u32..1_000_000, 0..300),
+        ) {
+            let f = Frame::FetchBatchRequest {
+                req_id,
+                nodes: nodes.into_iter().map(n).collect(),
+            };
+            proptest::prop_assert_eq!(Frame::decode(f.encode()).unwrap(), f);
+        }
+
+        #[test]
+        fn prop_fetch_batch_response_round_trip(
+            req_id in 0u64..u64::MAX,
+            payloads in proptest::collection::vec(
+                proptest::option::of((0u16..512, proptest::collection::vec(0u8..=255, 0..64))),
+                0..100,
+            ),
+        ) {
+            let f = Frame::FetchBatchResponse {
+                req_id,
+                payloads: payloads
+                    .into_iter()
+                    .map(|p| p.map(|(s, v)| (s, Bytes::from(v))))
+                    .collect(),
+            };
+            proptest::prop_assert_eq!(Frame::decode(f.encode()).unwrap(), f);
+        }
+
         #[test]
         fn prop_submit_round_trip(
             seq in 0u64..u64::MAX,
@@ -721,7 +895,7 @@ mod tests {
         /// field values where the type has any.
         #[test]
         fn prop_any_frame_round_trips(
-            kind in 0u8..10,
+            kind in 0u8..12,
             seq in 0u64..u64::MAX,
             id in 0u32..1024,
             node in 0u32..1_000_000,
@@ -771,6 +945,18 @@ mod tests {
                     stolen: count / 7,
                     per_processor: vec![count; (id % 6) as usize],
                 }),
+                9 => Frame::FetchBatchRequest {
+                    req_id: seq,
+                    nodes: (0..id % 40).map(|i| n(node.wrapping_add(i))).collect(),
+                },
+                10 => Frame::FetchBatchResponse {
+                    req_id: seq,
+                    payloads: (0..id % 40)
+                        .map(|i| {
+                            (i % 3 != 0).then(|| (server, Bytes::from(payload.clone())))
+                        })
+                        .collect(),
+                },
                 _ => Frame::Shutdown,
             };
             proptest::prop_assert_eq!(Frame::decode(frame.encode()).unwrap(), frame);

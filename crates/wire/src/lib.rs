@@ -13,10 +13,16 @@
 //!   `std::net` sockets, framed streams, pooled connections with
 //!   reconnect) and [`InProcTransport`](transport::InProcTransport)
 //!   (hermetic channels that still move encoded bytes);
+//! * [`flow`] — pipelined, frontier-batched adjacency fetching: a
+//!   non-blocking connection multiplexer keeping one batch frame per
+//!   storage server in flight per BFS hop, correlated by request id,
+//!   instead of one blocking round trip per frontier node;
 //! * [`service`] — the three tiers as independently runnable endpoints:
-//!   storage servers answering fetches, processors executing ack-driven
-//!   dispatch with a remote miss path, and the router node driving the
-//!   *same* [`grouting_engine::Engine`] the in-proc runtimes drive;
+//!   storage servers answering fetches (scalar and batched), processors
+//!   executing ack-driven dispatch with a remote miss path, and the router
+//!   node driving the *same* [`grouting_engine::Engine`] the in-proc
+//!   runtimes drive — masking mid-run processor deaths and answering
+//!   mid-run metrics requests;
 //! * [`cluster`] — a one-machine harness launching router + `P`
 //!   processors + `M` storage servers as socket peers and streaming a
 //!   workload through them.
@@ -28,15 +34,18 @@
 
 pub mod cluster;
 pub mod error;
+pub mod flow;
 pub mod frame;
 pub mod service;
 pub mod transport;
 
 pub use cluster::{launch_cluster, ClusterConfig, ClusterRun, TransportKind};
 pub use error::{WireError, WireResult};
+pub use flow::{BatchMux, FetchMode, MultiplexedStorageSource};
 pub use frame::{Completion, Frame, Role};
 pub use service::{
-    now_ns, run_router, ProcessorService, RemoteStorageSource, ServiceHandle, StorageService,
+    now_ns, run_router, ProcessorService, RemoteStorageSource, RouterOptions, ServiceHandle,
+    StorageService,
 };
 pub use transport::{
     Connection, ConnectionPool, FrameSink, FrameStream, InProcTransport, Listener, TcpTransport,
@@ -48,6 +57,7 @@ mod tests {
     use super::*;
     use grouting_engine::{EngineAssets, EngineConfig};
     use grouting_graph::{GraphBuilder, NodeId};
+    use grouting_metrics::RunSnapshot;
     use grouting_partition::HashPartitioner;
     use grouting_query::{Query, RecordSource};
     use grouting_route::RoutingKind;
@@ -164,8 +174,15 @@ mod tests {
         let listener = transport.listen(&transport.any_addr()).unwrap();
         let addr = listener.addr();
         let router_transport = Arc::clone(&transport);
-        let router =
-            std::thread::spawn(move || run_router(router_transport, listener, &assets, &config));
+        let router = std::thread::spawn(move || {
+            run_router(
+                router_transport,
+                listener,
+                &assets,
+                &config,
+                &RouterOptions::default(),
+            )
+        });
 
         // A client that submits work and vanishes before SubmitEnd, with
         // no processors around: the router must fail fast, not park.
@@ -191,6 +208,282 @@ mod tests {
             router.join().unwrap(),
             Err(crate::WireError::Closed)
         ));
+    }
+
+    #[test]
+    fn batched_source_agrees_with_storage_service() {
+        let tier = loaded_tier(64, 3);
+        let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                StorageService::spawn(
+                    Arc::clone(&transport),
+                    Arc::clone(&tier),
+                    NetworkModel::local(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+
+        let mut source =
+            MultiplexedStorageSource::new(Arc::clone(&transport), &addrs, tier.partitioner());
+        // A frontier spanning every server, plus misses, in one batch.
+        let nodes: Vec<NodeId> = (0..70).map(n).collect();
+        let got = grouting_query::BatchSource::fetch_batch(&mut source, &nodes);
+        assert_eq!(got.len(), nodes.len());
+        for (&node, payload) in nodes.iter().zip(&got) {
+            let want = tier.get(node).map(|(s, b)| (s as u16, b));
+            assert_eq!(*payload, want, "node {node}");
+        }
+        // Scalar fetches ride the same multiplexed connections.
+        use grouting_query::RecordSource;
+        assert_eq!(
+            source.fetch_raw(n(5)),
+            tier.get(n(5)).map(|(s, b)| (s as u16, b))
+        );
+        assert!(source.fetch_raw(n(999)).is_none());
+        drop(source);
+        for h in handles {
+            h.shutdown();
+        }
+    }
+
+    #[test]
+    fn router_masks_processor_death_mid_run() {
+        // One flaky processor (serves one query, then vanishes with a
+        // second dispatch outstanding) and one healthy one: the router
+        // must mark the dead peer down, resubmit its in-flight query, and
+        // complete the whole workload on the survivor.
+        let tier = loaded_tier(32, 2);
+        let assets = EngineAssets::new(Arc::clone(&tier));
+        let config = EngineConfig {
+            stealing: false,
+            ..EngineConfig::paper_default(2, RoutingKind::NextReady)
+        };
+        let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        let listener = transport.listen(&transport.any_addr()).unwrap();
+        let addr = listener.addr();
+        let router_transport = Arc::clone(&transport);
+        let router_assets = assets.clone();
+        let router = std::thread::spawn(move || {
+            run_router(
+                router_transport,
+                listener,
+                &router_assets,
+                &config,
+                &RouterOptions::default(),
+            )
+        });
+
+        let storage = StorageService::spawn(
+            Arc::clone(&transport),
+            Arc::clone(&tier),
+            NetworkModel::local(),
+        )
+        .unwrap();
+
+        // The flaky processor: hello, execute exactly one dispatch, then
+        // die *without* acknowledging the next one.
+        let flaky_transport = Arc::clone(&transport);
+        let flaky_addr = addr.clone();
+        let flaky_tier = Arc::clone(&tier);
+        let flaky = std::thread::spawn(move || {
+            let mut conn = flaky_transport.dial(&flaky_addr).unwrap();
+            conn.send(&Frame::Hello {
+                role: Role::Processor,
+                id: 0,
+            })
+            .unwrap();
+            match conn.recv().unwrap() {
+                Frame::Dispatch { seq, query } => {
+                    let mut cache = config.build_cache();
+                    let out = grouting_query::Executor::new(&*flaky_tier, &mut cache).run(&query);
+                    conn.send(&Frame::Completion(Completion {
+                        seq,
+                        processor: 0,
+                        result: out.result,
+                        stats: out.stats,
+                        arrived_ns: 0,
+                        started_ns: 1,
+                        completed_ns: 2,
+                    }))
+                    .unwrap();
+                }
+                other => panic!("flaky processor got {}", other.kind()),
+            }
+            // Wait for the next frame (a dispatch), then die with it
+            // outstanding by dropping the connection.
+            let _ = conn.recv().unwrap();
+        });
+
+        // The healthy processor is the real service, batched fetch path.
+        let healthy = ProcessorService::spawn(
+            Arc::clone(&transport),
+            1,
+            addr.clone(),
+            vec![storage.addr().to_string()],
+            tier.partitioner(),
+            config,
+            FetchMode::Batched,
+        );
+
+        // The client streams enough work that the flaky processor is
+        // mid-flight when it dies.
+        let mut client = transport.dial(&addr).unwrap();
+        client
+            .send(&Frame::Hello {
+                role: Role::Client,
+                id: 0,
+            })
+            .unwrap();
+        let q = queries(32, 12);
+        for (seq, query) in q.iter().enumerate() {
+            client
+                .send(&Frame::Submit {
+                    seq: seq as u64,
+                    query: *query,
+                })
+                .unwrap();
+        }
+        client.send(&Frame::SubmitEnd).unwrap();
+
+        let mut completions = 0;
+        loop {
+            match client.recv() {
+                Ok(Frame::Completion(_)) => completions += 1,
+                Ok(Frame::Metrics(_)) => {}
+                Ok(Frame::Shutdown) | Err(WireError::Closed) => break,
+                Ok(other) => panic!("client got {}", other.kind()),
+                Err(e) => panic!("client recv failed: {e}"),
+            }
+        }
+        let snapshot = router.join().unwrap().expect("run completes despite death");
+        assert_eq!(completions, q.len(), "every query completed");
+        assert_eq!(snapshot.queries, q.len() as u64);
+        // The dead processor acknowledged exactly one query; everything
+        // else (including its resubmitted in-flight query) went to the
+        // survivor.
+        assert_eq!(snapshot.per_processor[0], 1);
+        assert_eq!(snapshot.per_processor[1], q.len() as u64 - 1);
+        flaky.join().unwrap();
+        let _ = healthy.join();
+        storage.shutdown();
+    }
+
+    #[test]
+    fn metrics_request_is_answered_mid_run() {
+        // Any peer may send Frame::MetricsRequest at any point and get the
+        // totals accumulated so far, ahead of the final snapshot.
+        let tier = loaded_tier(32, 1);
+        let assets = EngineAssets::new(Arc::clone(&tier));
+        let config = EngineConfig {
+            cache_capacity: 4 << 20,
+            ..EngineConfig::paper_default(1, RoutingKind::Hash)
+        };
+        let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        let listener = transport.listen(&transport.any_addr()).unwrap();
+        let addr = listener.addr();
+        let router_transport = Arc::clone(&transport);
+        let router_assets = assets.clone();
+        let router = std::thread::spawn(move || {
+            run_router(
+                router_transport,
+                listener,
+                &router_assets,
+                &config,
+                &RouterOptions::default(),
+            )
+        });
+        let storage = StorageService::spawn(
+            Arc::clone(&transport),
+            Arc::clone(&tier),
+            NetworkModel::local(),
+        )
+        .unwrap();
+        let processor = ProcessorService::spawn(
+            Arc::clone(&transport),
+            0,
+            addr.clone(),
+            vec![storage.addr().to_string()],
+            tier.partitioner(),
+            config,
+            FetchMode::Batched,
+        );
+
+        let mut client = transport.dial(&addr).unwrap();
+        client
+            .send(&Frame::Hello {
+                role: Role::Client,
+                id: 0,
+            })
+            .unwrap();
+        let q = queries(32, 8);
+        for (seq, query) in q.iter().enumerate() {
+            client
+                .send(&Frame::Submit {
+                    seq: seq as u64,
+                    query: *query,
+                })
+                .unwrap();
+        }
+        client.send(&Frame::SubmitEnd).unwrap();
+        // The request reaches the router's event queue ahead of most of
+        // the completions, so the reply is a genuinely mid-run snapshot.
+        client.send(&Frame::MetricsRequest).unwrap();
+
+        let mut metrics: Vec<RunSnapshot> = Vec::new();
+        let mut completions = 0;
+        loop {
+            match client.recv() {
+                Ok(Frame::Completion(_)) => completions += 1,
+                Ok(Frame::Metrics(s)) => metrics.push(s),
+                Ok(Frame::Shutdown) | Err(WireError::Closed) => break,
+                Ok(other) => panic!("client got {}", other.kind()),
+                Err(e) => panic!("client recv failed: {e}"),
+            }
+        }
+        assert_eq!(completions, q.len());
+        assert!(
+            metrics.len() >= 2,
+            "on-demand reply plus the final snapshot, got {}",
+            metrics.len()
+        );
+        // The on-demand snapshot precedes the final one and never
+        // overcounts it.
+        let last = metrics.last().unwrap();
+        assert_eq!(last.queries, q.len() as u64);
+        assert!(metrics[0].queries <= last.queries);
+        router.join().unwrap().unwrap();
+        processor.join().unwrap().unwrap();
+        storage.shutdown();
+    }
+
+    #[test]
+    fn periodic_snapshots_stream_to_the_client() {
+        // The snapshot_every knob emits unprompted mid-run snapshots; the
+        // final snapshot still arrives at shutdown.
+        let tier = loaded_tier(32, 1);
+        let assets = EngineAssets::new(tier);
+        let q = queries(32, 10);
+        let engine = EngineConfig {
+            cache_capacity: 4 << 20,
+            ..EngineConfig::paper_default(2, RoutingKind::Hash)
+        };
+        let mut config = ClusterConfig::new(engine, TransportKind::InProc);
+        config.snapshot_every = 3;
+        let run = launch_cluster(&assets, &q, &config).unwrap();
+        assert!(
+            !run.mid_snapshots.is_empty(),
+            "periodic snapshots must be emitted"
+        );
+        let mut last = 0;
+        for s in &run.mid_snapshots {
+            assert!(s.queries >= last, "snapshots move forward");
+            assert!(s.queries <= q.len() as u64);
+            last = s.queries;
+        }
+        assert_eq!(run.snapshot.queries, q.len() as u64);
     }
 
     #[test]

@@ -4,16 +4,21 @@
 //! peers, one per tier of the paper's Figure 2:
 //!
 //! * [`StorageService`] — wraps a [`StorageTier`] handle and answers
-//!   [`Frame::FetchRequest`]s, one thread per inbound connection, with an
-//!   optional [`NetworkModel`] delay charged per fetch (the `gRouting-E`
-//!   emulation knob);
+//!   [`Frame::FetchRequest`]s and [`Frame::FetchBatchRequest`]s, one
+//!   thread per inbound connection, with an optional [`NetworkModel`]
+//!   delay charged per exchange (the `gRouting-E` emulation knob);
 //! * [`ProcessorService`] — a query processor: an engine [`Worker`] whose
-//!   miss path is a [`RemoteStorageSource`] (connection pools to the
-//!   storage endpoints), driven by ack-based dispatch from the router;
+//!   miss path is a [`RemoteStorageSource`] (scalar: pooled connections,
+//!   one round trip per node) or a
+//!   [`MultiplexedStorageSource`] (batched: one pipelined frame per
+//!   storage server per frontier), driven by ack-based dispatch from the
+//!   router;
 //! * [`run_router`] — the router node: accepts client and processor
 //!   connections, drives the shared [`Engine`] (admission window,
 //!   strategy, queues, stealing), stamps arrivals, forwards completions,
-//!   and emits the final [`RunSnapshot`].
+//!   masks mid-run processor deaths (mark-down + resubmission of the
+//!   in-flight query), answers mid-run [`Frame::MetricsRequest`]s, and
+//!   emits the final [`RunSnapshot`].
 //!
 //! All three speak only [`Frame`]s over [`Transport`] connections, so the
 //! same loops run over TCP loopback and the hermetic in-proc fabric.
@@ -31,10 +36,11 @@ use grouting_graph::NodeId;
 use grouting_metrics::timeline::QueryRecord;
 use grouting_metrics::RunSnapshot;
 use grouting_partition::Partitioner;
-use grouting_query::RecordSource;
+use grouting_query::{BatchSource, RecordSource};
 use grouting_storage::{NetworkModel, StorageTier};
 
 use crate::error::{WireError, WireResult};
+use crate::flow::{FetchMode, MultiplexedStorageSource};
 use crate::frame::{Completion, Frame, Role};
 use crate::transport::{ConnectionPool, FrameSink, Listener, Transport};
 
@@ -141,6 +147,25 @@ fn serve_storage_conn(
                     break;
                 }
             }
+            Ok(Frame::FetchBatchRequest { req_id, nodes }) => {
+                let payloads: Vec<Option<(u16, bytes::Bytes)>> = tier
+                    .get_many(&nodes)
+                    .into_iter()
+                    .map(|p| p.map(|(server, value)| (server as u16, value)))
+                    .collect();
+                if !net.is_free() {
+                    // One modelled exchange for the whole batch — exactly
+                    // the RTT amortisation the batch path exists for.
+                    let bytes: usize = payloads
+                        .iter()
+                        .map(|p| p.as_ref().map_or(0, |(_, v)| v.len()))
+                        .sum();
+                    spin_for_ns(net.fetch_ns(bytes));
+                }
+                if send_batch_response(&mut conn, req_id, payloads).is_err() {
+                    break;
+                }
+            }
             Ok(Frame::Shutdown) | Err(_) => break,
             Ok(_) => {
                 // A storage server only understands fetches; answer the
@@ -149,6 +174,50 @@ fn serve_storage_conn(
                 break;
             }
         }
+    }
+}
+
+/// Soft byte budget per [`Frame::FetchBatchResponse`]: a batch whose
+/// payloads sum past this is streamed as several frames under the same
+/// `req_id` (the multiplexer reassembles by node count), keeping every
+/// frame comfortably under [`crate::frame::MAX_FRAME_BYTES`] no matter how
+/// large the requested frontier is. A *single* record larger than the
+/// frame cap still cannot be shipped — the same limit the scalar path has
+/// always had.
+pub const BATCH_RESPONSE_SOFT_BYTES: usize = 8 << 20;
+
+/// Per-payload framing overhead assumed by the response chunker (flag +
+/// server id + length prefix, rounded up).
+const PAYLOAD_OVERHEAD: usize = 8;
+
+fn send_batch_response(
+    conn: &mut crate::transport::Connection,
+    req_id: u64,
+    payloads: Vec<Option<(u16, Bytes)>>,
+) -> WireResult<()> {
+    let mut rest = payloads;
+    loop {
+        let mut bytes = 0usize;
+        let mut take = 0usize;
+        while take < rest.len() {
+            let sz = rest[take].as_ref().map_or(0, |(_, v)| v.len()) + PAYLOAD_OVERHEAD;
+            // Always ship at least one payload per frame, else an
+            // oversized record would loop forever.
+            if take > 0 && bytes + sz > BATCH_RESPONSE_SOFT_BYTES {
+                break;
+            }
+            bytes += sz;
+            take += 1;
+        }
+        let tail = rest.split_off(take);
+        conn.send(&Frame::FetchBatchResponse {
+            req_id,
+            payloads: rest,
+        })?;
+        if tail.is_empty() {
+            return Ok(());
+        }
+        rest = tail;
     }
 }
 
@@ -211,6 +280,11 @@ impl RecordSource for RemoteStorageSource {
     }
 }
 
+/// The scalar wire path deliberately keeps the default per-node loop: one
+/// blocking round trip per frontier node. [`MultiplexedStorageSource`] is
+/// the batched alternative.
+impl BatchSource for RemoteStorageSource {}
+
 /// A query processor endpoint: executes dispatched queries against its
 /// cache, missing to remote storage.
 pub struct ProcessorService;
@@ -222,8 +296,11 @@ impl ProcessorService {
     ///
     /// The worker is built exactly as the in-proc engine builds its own
     /// ([`EngineConfig::build_cache`]), with the miss path swapped for a
-    /// [`RemoteStorageSource`] — which is why wire runs agree with in-proc
-    /// runs on every cache statistic.
+    /// wire-backed source — [`RemoteStorageSource`] (one round trip per
+    /// node) in [`FetchMode::Scalar`], the pipelined
+    /// [`MultiplexedStorageSource`] in [`FetchMode::Batched`]. Both replay
+    /// identical cache accounting, which is why wire runs agree with
+    /// in-proc runs on every cache statistic in either mode.
     pub fn spawn(
         transport: Arc<dyn Transport>,
         id: usize,
@@ -231,11 +308,22 @@ impl ProcessorService {
         storage_addrs: Vec<String>,
         partitioner: Arc<dyn Partitioner>,
         config: EngineConfig,
+        fetch: FetchMode,
     ) -> std::thread::JoinHandle<WireResult<()>> {
         std::thread::spawn(move || {
-            let source =
-                RemoteStorageSource::new(Arc::clone(&transport), &storage_addrs, partitioner);
-            let mut worker = Worker::from_parts(id, Box::new(source), config.build_cache());
+            let source: Box<dyn BatchSource + Send> = match fetch {
+                FetchMode::Scalar => Box::new(RemoteStorageSource::new(
+                    Arc::clone(&transport),
+                    &storage_addrs,
+                    partitioner,
+                )),
+                FetchMode::Batched => Box::new(MultiplexedStorageSource::new(
+                    Arc::clone(&transport),
+                    &storage_addrs,
+                    partitioner,
+                )),
+            };
+            let mut worker = Worker::from_parts(id, source, config.build_cache());
             let mut router = transport.dial(&router_addr)?;
             router.send(&Frame::Hello {
                 role: Role::Processor,
@@ -280,6 +368,15 @@ enum RouterEvent {
     Frame(u64, WireResult<Frame>),
 }
 
+/// Router-loop behaviour knobs beyond the engine configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouterOptions {
+    /// Emit a [`Frame::Metrics`] snapshot to the client every this many
+    /// completions (`0` = only the final snapshot). Mid-run snapshots feed
+    /// live dashboards without waiting for the workload to drain.
+    pub snapshot_every: u64,
+}
+
 /// Runs the router node over `listener` until the workload completes.
 ///
 /// The router owns the same [`Engine`] the in-proc runtimes drive — the
@@ -292,12 +389,22 @@ enum RouterEvent {
 /// client connects, announces `Hello{Client}`, streams `Submit`s, and ends
 /// with `SubmitEnd`. When every submitted query has completed, the router
 /// forwards the snapshot and `Shutdown` to the client, shuts processors
-/// down, and returns.
+/// down, and returns. A [`Frame::MetricsRequest`] from any peer is
+/// answered immediately with the *current* snapshot, and
+/// [`RouterOptions::snapshot_every`] streams periodic snapshots to the
+/// client unprompted.
+///
+/// Fault masking: a processor that disconnects mid-run is marked down in
+/// the routing engine ([`Engine::mark_down`]), its queued work is
+/// redistributed through the strategy, and its outstanding dispatched
+/// query (if any) is resubmitted under its original sequence number — the
+/// run continues on the surviving processors. Losing the client, or the
+/// *last* processor, is still fatal.
 ///
 /// # Errors
 ///
-/// Fails on transport errors towards the client, a premature client/
-/// processor disconnect, or protocol violations.
+/// Fails on transport errors towards the client, a premature client
+/// disconnect, the death of every processor, or protocol violations.
 ///
 /// # Panics
 ///
@@ -308,6 +415,7 @@ pub fn run_router(
     mut listener: Box<dyn Listener>,
     assets: &EngineAssets,
     config: &EngineConfig,
+    opts: &RouterOptions,
 ) -> WireResult<RunSnapshot> {
     let addr = listener.addr();
     let p = config.processors;
@@ -349,6 +457,10 @@ pub fn run_router(
     let mut sinks: HashMap<u64, Box<dyn FrameSink>> = HashMap::new();
     let mut processor_conn: Vec<Option<u64>> = vec![None; p];
     let mut idle: Vec<bool> = vec![false; p];
+    // The one dispatched-but-unacknowledged query per processor, kept so a
+    // dying processor's in-flight work can be resubmitted.
+    let mut outstanding: Vec<Option<(u64, grouting_query::Query)>> = vec![None; p];
+    let mut ever_connected = 0usize;
     let mut client_conn: Option<u64> = None;
     let mut backlog: VecDeque<(usize, grouting_query::Query)> = VecDeque::new();
     let mut arrivals: HashMap<u64, u64> = HashMap::new();
@@ -376,6 +488,7 @@ pub fn run_router(
                     let sink = sinks.get_mut(&conn_id).expect("registered sink");
                     sink.send(&Frame::Dispatch { seq, query })?;
                     idle[proc_id] = false;
+                    outstanding[proc_id] = Some((seq, query));
                 }
             }
 
@@ -405,6 +518,7 @@ pub fn run_router(
                         }
                         processor_conn[id] = Some(conn_id);
                         idle[id] = true;
+                        ever_connected += 1;
                     }
                     Frame::Hello {
                         role: Role::Client, ..
@@ -433,16 +547,26 @@ pub fn run_router(
                         completed += 1;
                         if proc_id < p {
                             idle[proc_id] = true;
+                            outstanding[proc_id] = None;
                         }
                         if let Some(client) = client_conn {
                             if let Some(sink) = sinks.get_mut(&client) {
                                 sink.send(&Frame::Completion(completion))?;
+                                if opts.snapshot_every > 0
+                                    && completed.is_multiple_of(opts.snapshot_every)
+                                    && completed < submitted
+                                {
+                                    sink.send(&Frame::Metrics(engine.snapshot()))?;
+                                }
                             }
                         }
                     }
                     Frame::MetricsRequest => {
-                        // Mid-run snapshots are a follow-on; only the final
-                        // snapshot is emitted today.
+                        // Any peer may sample the run mid-flight; answer
+                        // with the totals accumulated so far.
+                        if let Some(sink) = sinks.get_mut(&conn_id) {
+                            sink.send(&Frame::Metrics(engine.snapshot()))?;
+                        }
                     }
                     Frame::Shutdown => {
                         // Any peer may abort the run (the harness uses this
@@ -459,17 +583,32 @@ pub fn run_router(
                     }
                 },
                 RouterEvent::Frame(conn_id, Err(_)) => {
-                    // A registered peer dropped. The loop only runs while
-                    // the workload is unfinished, so losing the client (the
-                    // rest of the submissions and every result) or a
-                    // processor (future queries would be routed to its
-                    // queue and never dispatched) is always fatal here;
-                    // masking a processor death via Router::mark_down is a
-                    // ROADMAP follow-on. A stray dial or a peer that never
-                    // said hello is ignorable.
+                    // A registered peer dropped. Losing the client (the
+                    // rest of the submissions and every result) is always
+                    // fatal. A processor death is masked: the engine marks
+                    // it down (redistributing its queued work through the
+                    // strategy) and its outstanding dispatched query is
+                    // resubmitted, so the run continues on the survivors —
+                    // unless none remain. A stray dial or a peer that
+                    // never said hello is ignorable.
                     sinks.remove(&conn_id);
-                    if client_conn == Some(conn_id) || processor_conn.contains(&Some(conn_id)) {
+                    if client_conn == Some(conn_id) {
                         return Err(WireError::Closed);
+                    }
+                    if let Some(proc_id) = processor_conn.iter().position(|&c| c == Some(conn_id)) {
+                        processor_conn[proc_id] = None;
+                        idle[proc_id] = false;
+                        engine.mark_down(proc_id);
+                        if let Some((seq, query)) = outstanding[proc_id].take() {
+                            engine.resubmit(seq, query);
+                        }
+                        let unfinished =
+                            !submit_done || completed < submitted || engine.pending() > 0;
+                        if processor_conn.iter().all(Option::is_none) && unfinished {
+                            return Err(WireError::Protocol(format!(
+                                "all {ever_connected} connected processor(s) died mid-run"
+                            )));
+                        }
                     }
                 }
             }
@@ -478,15 +617,7 @@ pub fn run_router(
     })();
 
     // Teardown: snapshot to the client, shutdown to everyone, stop accepting.
-    let run = engine.finish();
-    let snapshot = RunSnapshot {
-        queries: run.timeline.len() as u64,
-        cache_hits: run.totals.cache_hits,
-        cache_misses: run.totals.cache_misses,
-        evictions: run.totals.evictions,
-        stolen: run.stolen,
-        per_processor: run.timeline.per_processor_counts(p),
-    };
+    let snapshot = engine.snapshot();
     if let Some(client) = client_conn {
         if let Some(sink) = sinks.get_mut(&client) {
             let _ = sink.send(&Frame::Metrics(snapshot.clone()));
@@ -503,4 +634,62 @@ pub fn run_router(
     let _ = acceptor.join();
 
     result.map(|()| snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProcTransport;
+
+    #[test]
+    fn oversized_batch_responses_are_chunked_under_the_frame_cap() {
+        let transport = InProcTransport::new();
+        let mut listener = transport.listen(&transport.any_addr()).unwrap();
+        let mut sender = transport.dial(&listener.addr()).unwrap();
+        let mut receiver = listener.accept().unwrap();
+
+        // Five 3 MiB records: 15 MiB total against the 8 MiB soft budget
+        // must stream as several frames that concatenate losslessly.
+        let payloads: Vec<Option<(u16, Bytes)>> = (0..5u16)
+            .map(|i| Some((i, Bytes::from(vec![i as u8; 3 << 20]))))
+            .collect();
+        let expected = payloads.clone();
+        let writer = std::thread::spawn(move || {
+            send_batch_response(&mut sender, 42, payloads).unwrap();
+        });
+
+        let mut frames = 0;
+        let mut got: Vec<Option<(u16, Bytes)>> = Vec::new();
+        while got.len() < expected.len() {
+            match receiver.recv().unwrap() {
+                Frame::FetchBatchResponse { req_id, payloads } => {
+                    assert_eq!(req_id, 42);
+                    frames += 1;
+                    got.extend(payloads);
+                }
+                other => panic!("got {}", other.kind()),
+            }
+        }
+        writer.join().unwrap();
+        assert!(frames > 1, "15 MiB must not travel as one frame");
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empty_batch_response_still_sends_one_frame() {
+        // The multiplexer treats "entry present" as "response began", so
+        // even a zero-node batch must be answered with one (empty) frame.
+        let transport = InProcTransport::new();
+        let mut listener = transport.listen(&transport.any_addr()).unwrap();
+        let mut sender = transport.dial(&listener.addr()).unwrap();
+        let mut receiver = listener.accept().unwrap();
+        send_batch_response(&mut sender, 7, Vec::new()).unwrap();
+        match receiver.recv().unwrap() {
+            Frame::FetchBatchResponse { req_id, payloads } => {
+                assert_eq!(req_id, 7);
+                assert!(payloads.is_empty());
+            }
+            other => panic!("got {}", other.kind()),
+        }
+    }
 }

@@ -39,6 +39,13 @@ pub trait FrameSink: Send {
 pub trait FrameStream: Send {
     /// Blocks for the next frame.
     fn recv(&mut self) -> WireResult<Frame>;
+
+    /// Polls for a frame without blocking: `Ok(Some)` when a complete
+    /// frame was ready, `Ok(None)` when the peer has sent nothing (or only
+    /// a partial frame) yet. This is the primitive the batch multiplexer's
+    /// readiness loop spins on to keep many in-flight exchanges moving
+    /// without parking on any single connection.
+    fn try_recv(&mut self) -> WireResult<Option<Frame>>;
 }
 
 /// A bidirectional framed connection between two peers.
@@ -71,6 +78,16 @@ impl Connection {
     /// is gone).
     pub fn recv(&mut self) -> WireResult<Frame> {
         self.stream.recv()
+    }
+
+    /// Polls for a frame without blocking (see [`FrameStream::try_recv`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures ([`WireError::Closed`] when the peer
+    /// is gone).
+    pub fn try_recv(&mut self) -> WireResult<Option<Frame>> {
+        self.stream.try_recv()
     }
 
     /// Sends one frame and waits for the reply — the unary-RPC shape of
@@ -189,7 +206,11 @@ fn tcp_connection(stream: TcpStream) -> WireResult<Connection> {
     let writer = stream.try_clone()?;
     Ok(Connection::from_halves(
         Box::new(TcpSink { stream: writer }),
-        Box::new(TcpStreamHalf { stream }),
+        Box::new(TcpStreamHalf {
+            stream,
+            buf: Vec::new(),
+            nonblocking: false,
+        }),
     ))
 }
 
@@ -219,30 +240,123 @@ impl FrameSink for TcpSink {
     fn send(&mut self, frame: &Frame) -> WireResult<()> {
         let payload = frame.encode();
         let len = payload.len() as u32;
-        self.stream.write_all(&len.to_le_bytes())?;
-        self.stream.write_all(&payload)?;
+        write_all_blocking(&mut self.stream, &len.to_le_bytes())?;
+        write_all_blocking(&mut self.stream, &payload)?;
         self.stream.flush()?;
         Ok(())
     }
 }
 
-struct TcpStreamHalf {
-    stream: TcpStream,
+/// `write_all` that tolerates a socket left in non-blocking mode: the
+/// stream half of a polled connection switches the (shared) socket to
+/// non-blocking on its first `try_recv` and leaves it there, so sends on
+/// the same connection must treat `WouldBlock` as "kernel buffer full,
+/// retry" rather than an error.
+fn write_all_blocking(stream: &mut TcpStream, mut buf: &[u8]) -> WireResult<()> {
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => return Err(WireError::Closed),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::yield_now(),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
 }
 
-impl FrameStream for TcpStreamHalf {
-    fn recv(&mut self) -> WireResult<Frame> {
-        let mut len_buf = [0u8; 4];
-        self.stream.read_exact(&mut len_buf)?;
-        let len = u32::from_le_bytes(len_buf) as usize;
+struct TcpStreamHalf {
+    stream: TcpStream,
+    /// Bytes read off the socket but not yet assembled into a frame —
+    /// non-blocking reads can land mid-frame, so partial input parks here
+    /// between polls.
+    buf: Vec<u8>,
+    /// Whether the socket has been switched to non-blocking mode. Set on
+    /// the first `try_recv` and never reverted, so a polling caller pays
+    /// the fcntl once instead of twice per poll; a connection is driven
+    /// either blocking (service loops) or polled (the batch multiplexer),
+    /// never interleaved.
+    nonblocking: bool,
+}
+
+impl TcpStreamHalf {
+    /// Pops one complete frame off the front of `buf`, if present.
+    fn parse_buffered(&mut self) -> WireResult<Option<Frame>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
         if len > MAX_FRAME_BYTES {
             return Err(WireError::Codec(format!(
                 "frame length {len} exceeds cap {MAX_FRAME_BYTES}"
             )));
         }
-        let mut payload = vec![0u8; len];
-        self.stream.read_exact(&mut payload)?;
-        Frame::decode(Bytes::from(payload))
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        // Split the frame off the front with bulk moves, not per-byte
+        // iteration: `buf` keeps the tail, `payload` keeps the frame.
+        let tail = self.buf.split_off(4 + len);
+        let mut payload = std::mem::replace(&mut self.buf, tail);
+        payload.drain(..4);
+        Frame::decode(Bytes::from(payload)).map(Some)
+    }
+}
+
+impl FrameStream for TcpStreamHalf {
+    fn recv(&mut self) -> WireResult<Frame> {
+        loop {
+            if let Some(frame) = self.parse_buffered()? {
+                return Ok(frame);
+            }
+            let mut chunk = [0u8; 16 << 10];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(WireError::Closed),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                // Only reachable when `try_recv` has been used on this
+                // connection too; honour the blocking contract by waiting.
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::yield_now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> WireResult<Option<Frame>> {
+        if let Some(frame) = self.parse_buffered()? {
+            return Ok(Some(frame));
+        }
+        if !self.nonblocking {
+            self.stream.set_nonblocking(true)?;
+            self.nonblocking = true;
+        }
+        let mut closed = false;
+        loop {
+            let mut chunk = [0u8; 16 << 10];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // A frame completed by the final reads before EOF still counts;
+        // the close surfaces on the next poll.
+        if let Some(frame) = self.parse_buffered()? {
+            return Ok(Some(frame));
+        }
+        if closed {
+            return Err(WireError::Closed);
+        }
+        Ok(None)
     }
 }
 
@@ -361,6 +475,15 @@ impl FrameStream for ChanStream {
     fn recv(&mut self) -> WireResult<Frame> {
         let payload = self.rx.recv().map_err(|_| WireError::Closed)?;
         Frame::decode(payload)
+    }
+
+    fn try_recv(&mut self) -> WireResult<Option<Frame>> {
+        use crossbeam::channel::TryRecvError;
+        match self.rx.try_recv() {
+            Ok(payload) => Frame::decode(payload).map(Some),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(WireError::Closed),
+        }
     }
 }
 

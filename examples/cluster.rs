@@ -9,10 +9,13 @@
 //!
 //! Sandboxes without loopback networking can set `GROUTING_NO_SOCKETS=1`
 //! to fall back to the hermetic in-process transport (same services, same
-//! frames, same encoded bytes).
+//! frames, same encoded bytes). Adjacency fetches are frontier-batched and
+//! pipelined by default (`grouting-flow`); `GROUTING_BATCH=0` forces the
+//! scalar one-round-trip-per-node path for comparison.
 //!
 //! ```bash
 //! cargo run --release --example cluster
+//! GROUTING_BATCH=0 cargo run --release --example cluster
 //! GROUTING_NO_SOCKETS=1 cargo run --release --example cluster
 //! ```
 
@@ -21,9 +24,10 @@ use grouting_core::prelude::*;
 
 fn main() {
     let transport = TransportKind::from_env();
+    let fetch = grouting_core::wire::FetchMode::from_env();
     let graph = DatasetProfile::at_scale(ProfileName::WebGraph, 0.1).generate();
     println!(
-        "WebGraph-profile graph: {} nodes, {} edges; transport: {transport}",
+        "WebGraph-profile graph: {} nodes, {} edges; transport: {transport}; fetch: {fetch}",
         graph.node_count(),
         graph.edge_count()
     );

@@ -7,6 +7,11 @@
 //! routing, stealing off) the two deployments must therefore make
 //! identical per-query routing decisions and produce identical cache
 //! statistics on the same seeded workload, regardless of socket timing.
+//!
+//! The agreement must hold in *both* fetch modes: scalar (one round trip
+//! per frontier node) and batched (one pipelined batch per storage server
+//! per hop) — frontier batching changes how many times the wire is
+//! crossed, never what the caches count.
 
 use std::sync::Arc;
 
@@ -17,7 +22,7 @@ use grouting_core::partition::HashPartitioner;
 use grouting_core::query::Query;
 use grouting_core::route::RoutingKind;
 use grouting_core::storage::{Preset, StorageTier};
-use grouting_core::wire::TransportKind;
+use grouting_core::wire::{FetchMode, TransportKind};
 use grouting_core::workload::{hotspot_workload, QueryMix, WorkloadConfig};
 
 fn seeded_setup() -> (Arc<StorageTier>, Vec<Query>) {
@@ -67,7 +72,7 @@ fn assignments(report: &LiveReport, queries: usize) -> Vec<usize> {
     by_seq
 }
 
-fn assert_agreement(transport: TransportKind) {
+fn assert_agreement(transport: TransportKind, fetch: FetchMode) {
     let (tier, queries) = seeded_setup();
     let cfg = deterministic_config();
 
@@ -80,6 +85,7 @@ fn assert_agreement(transport: TransportKind) {
         &cfg,
         transport,
         Preset::Local,
+        fetch,
     )
     .expect("wire cluster completes");
 
@@ -89,10 +95,13 @@ fn assert_agreement(transport: TransportKind) {
     assert_eq!(
         assignments(&wired, queries.len()),
         assignments(&inproc, queries.len()),
-        "routing assignments diverged over {transport}"
+        "routing assignments diverged over {transport}/{fetch}"
     );
     // …and identical cache statistics (hence identical hit rates).
-    assert_eq!(wired.cache_hits, inproc.cache_hits, "hit counts diverged");
+    assert_eq!(
+        wired.cache_hits, inproc.cache_hits,
+        "hit counts diverged over {transport}/{fetch}"
+    );
     assert_eq!(wired.cache_misses, inproc.cache_misses);
     assert_eq!(wired.stolen, 0);
     assert_eq!(inproc.stolen, 0);
@@ -103,12 +112,25 @@ fn assert_agreement(transport: TransportKind) {
 fn tcp_cluster_agrees_with_inproc_engine() {
     // `GROUTING_NO_SOCKETS=1` falls back to the in-proc fabric so
     // sandboxes without loopback still exercise the full protocol path.
-    assert_agreement(TransportKind::from_env());
+    assert_agreement(TransportKind::from_env(), FetchMode::Scalar);
 }
 
 #[test]
 fn inproc_fabric_agrees_with_inproc_engine() {
-    assert_agreement(TransportKind::InProc);
+    assert_agreement(TransportKind::InProc, FetchMode::Scalar);
+}
+
+#[test]
+fn batched_tcp_cluster_agrees_with_inproc_engine() {
+    // The acceptance gate for `grouting-flow`: frontier-batched fetching
+    // over real sockets lands on the same routing assignments and the
+    // same hit/miss counts as the in-proc scalar engine.
+    assert_agreement(TransportKind::from_env(), FetchMode::Batched);
+}
+
+#[test]
+fn batched_inproc_fabric_agrees_with_inproc_engine() {
+    assert_agreement(TransportKind::InProc, FetchMode::Batched);
 }
 
 #[test]
@@ -126,6 +148,7 @@ fn no_cache_scheme_has_zero_hits_over_the_wire() {
         &cfg,
         TransportKind::from_env(),
         Preset::Local,
+        FetchMode::Batched,
     )
     .expect("wire cluster completes");
     let inproc = run_live(tier, None, None, &queries, &cfg);
@@ -153,6 +176,7 @@ fn stealing_over_the_wire_still_answers_identically() {
         &cfg,
         TransportKind::from_env(),
         Preset::Local,
+        FetchMode::Batched,
     )
     .expect("wire cluster completes");
     let inproc = run_live(tier, None, None, &queries, &cfg);
