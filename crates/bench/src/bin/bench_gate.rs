@@ -1,0 +1,137 @@
+//! Perf-regression gate over `BENCH_results.json` files.
+//!
+//! Compares a fresh bench-results file (written by the criterion shim when
+//! `GROUTING_BENCH_JSON` is set) against a checked-in baseline and fails
+//! when any selected benchmark regressed beyond the allowed factor:
+//!
+//! ```bash
+//! GROUTING_BENCH_JSON=BENCH_results.json cargo bench --bench micro -- reactor_dispatch_latency
+//! cargo run -p grouting-bench --bin bench_gate -- \
+//!     crates/bench/BENCH_baseline.json BENCH_results.json reactor_dispatch_latency 2.0
+//! ```
+//!
+//! The baseline is intentionally coarse (medians from one reference
+//! machine) and the factor generous (CI hardware varies); the gate exists
+//! to catch order-of-magnitude regressions — a reactor accidentally
+//! sleeping per dispatch — not 10% noise.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Parses the flat `{"name": number, …}` JSON the bench shim emits. A
+/// hand-rolled scanner is enough: keys are bench names (no nested
+/// structure, no escapes in practice), values are plain numbers.
+fn parse_results(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('"') {
+        rest = &rest[start + 1..];
+        let Some(end) = rest.find('"') else { break };
+        let key = rest[..end].to_string();
+        rest = &rest[end + 1..];
+        let Some(colon) = rest.find(':') else { break };
+        rest = &rest[colon + 1..];
+        let value: String = rest
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+            .collect();
+        if let Ok(v) = value.parse::<f64>() {
+            out.insert(key, v);
+        }
+    }
+    out
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, results_path, prefix, factor] = &args[..] else {
+        eprintln!("usage: bench_gate <baseline.json> <results.json> <name-prefix> <max-ratio>");
+        return ExitCode::FAILURE;
+    };
+    let factor: f64 = match factor.parse() {
+        Ok(f) if f > 0.0 => f,
+        _ => {
+            eprintln!("max-ratio must be a positive number, got {factor}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(parse_results(&text)),
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(results)) = (read(baseline_path), read(results_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let mut checked = 0;
+    let mut failed = 0;
+    for (name, &base) in baseline
+        .iter()
+        .filter(|(n, _)| n.starts_with(prefix.as_str()))
+    {
+        let Some(&fresh) = results.get(name) else {
+            eprintln!("MISSING  {name}: in baseline but not in results");
+            failed += 1;
+            continue;
+        };
+        checked += 1;
+        let ratio = fresh / base;
+        let verdict = if ratio > factor { "REGRESSED" } else { "ok" };
+        println!(
+            "{verdict:>9}  {name}: {} vs baseline {} ({ratio:.2}x, limit {factor:.2}x)",
+            human(fresh),
+            human(base),
+        );
+        if ratio > factor {
+            failed += 1;
+        }
+    }
+    if checked == 0 {
+        eprintln!("no baseline entries match prefix {prefix:?} — gate would be vacuous");
+        return ExitCode::FAILURE;
+    }
+    if failed > 0 {
+        eprintln!("{failed} benchmark(s) regressed beyond {factor:.2}x");
+        return ExitCode::FAILURE;
+    }
+    println!("bench gate passed: {checked} benchmark(s) within {factor:.2}x of baseline");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shim_format() {
+        let text = "{\n  \"a/b\": 1200.5,\n  \"c/d\": 7\n}\n";
+        let map = parse_results(text);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["a/b"], 1200.5);
+        assert_eq!(map["c/d"], 7.0);
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human(500.0), "500 ns");
+        assert_eq!(human(1500.0), "1.50 µs");
+        assert_eq!(human(2.5e6), "2.50 ms");
+        assert_eq!(human(3.0e9), "3.00 s");
+    }
+}

@@ -240,6 +240,8 @@ impl GRouting {
     }
 
     /// The live-runtime config equivalent to this cluster's settings.
+    /// Wire deployments honour `GROUTING_OVERLAP` for the per-processor
+    /// in-flight window (default 2, cross-query fetch overlap on).
     fn live_config(&self) -> LiveConfig {
         LiveConfig {
             processors: self.processors,
@@ -250,6 +252,7 @@ impl GRouting {
             load_factor: self.load_factor,
             stealing: true,
             admission_window: 0,
+            overlap: grouting_wire::overlap_from_env(2),
             seed: 0x11FE,
         }
     }

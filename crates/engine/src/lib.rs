@@ -61,6 +61,15 @@ pub struct EngineConfig {
     /// Queries admitted into router queues ahead of dispatch
     /// (0 = `16 × processors`).
     pub admission_window: usize,
+    /// Queries a *wire* processor may hold in flight at once (clamped to
+    /// ≥ 1). At 2+ the router dispatches ahead of acknowledgements and the
+    /// processor overlaps one query's frontier fetch with another's
+    /// compute stage (double-buffered frontiers); at 1 execution is
+    /// strictly serial and cache statistics are byte-identical to the
+    /// in-process engine. The in-process frontends execute serially
+    /// regardless — overlap only changes behaviour where fetches actually
+    /// cross a wire.
+    pub overlap: usize,
     /// Seed for EMA mean initialisation.
     pub seed: u64,
 }
@@ -78,6 +87,7 @@ impl EngineConfig {
             load_factor: 20.0,
             stealing: true,
             admission_window: 0,
+            overlap: 2,
             seed: 0x5EED,
         }
     }
@@ -376,6 +386,19 @@ impl Engine {
     /// by the wire router to mask a processor that died mid-run.
     pub fn mark_down(&mut self, processor: usize) {
         self.router.mark_down(processor);
+    }
+
+    /// Brings a processor back into rotation after a [`Engine::mark_down`]
+    /// — the re-join path: a restarted processor re-dialling with its old
+    /// id starts receiving routed work again. A no-op when the processor
+    /// was never down.
+    pub fn mark_up(&mut self, processor: usize) {
+        self.router.mark_up(processor);
+    }
+
+    /// Whether `processor` is currently routed to.
+    pub fn is_up(&self, processor: usize) -> bool {
+        self.router.is_up(processor)
     }
 
     /// Re-enqueues a query that was dispatched but never acknowledged

@@ -31,7 +31,9 @@ use crate::LiveReport;
 /// path — scalar per-node round trips or pipelined frontier batches
 /// ([`FetchMode::from_env`] honours `GROUTING_BATCH=0`); both produce
 /// identical results and cache statistics, batched just crosses the wire
-/// far fewer times.
+/// far fewer times. `cfg.overlap` sets the per-processor in-flight query
+/// window (cross-query fetch overlap in batched mode; `1` = strictly
+/// serial with byte-identical cache statistics to [`run_live`]).
 ///
 /// # Errors
 ///

@@ -32,6 +32,11 @@ pub struct LiveConfig {
     pub stealing: bool,
     /// Queries admitted to router queues ahead of dispatch (0 = 16 × P).
     pub admission_window: usize,
+    /// In-flight queries per *wire* processor (cross-query fetch overlap;
+    /// 1 = strictly serial). The threaded in-process runtime executes one
+    /// query per worker regardless — the knob only matters for
+    /// [`crate::deploy::run_cluster`].
+    pub overlap: usize,
     /// Seed for EMA initialisation.
     pub seed: u64,
 }
@@ -48,6 +53,7 @@ impl LiveConfig {
             load_factor: 20.0,
             stealing: true,
             admission_window: 0,
+            overlap: 2,
             seed: 0x11FE,
         }
     }
@@ -63,6 +69,7 @@ impl LiveConfig {
             load_factor: self.load_factor,
             stealing: self.stealing,
             admission_window: self.admission_window,
+            overlap: self.overlap,
             seed: self.seed,
         }
     }

@@ -203,20 +203,35 @@ impl<'a, S: RecordSource> CacheBackedStore<'a, S> {
     ///
     /// Accounting is byte-identical to calling [`CacheBackedStore::fetch`]
     /// on each node in order (the Eq. 8/9 contract the agreement tests
-    /// pin): a first, side-effect-free pass classifies each node with
-    /// [`Cache::contains`] to assemble the miss set, then a second pass
-    /// replays the exact scalar get/insert sequence per node — so LRU
-    /// recency order, eviction counts, and the miss log all evolve exactly
-    /// as they would have one node at a time. Rare mid-batch
-    /// reclassifications (a predicted hit evicted by an earlier insert in
-    /// the same batch, or a duplicate whose first insert bounced) fall
-    /// back to a scalar source fetch, which is again what the scalar path
-    /// would have done.
+    /// pin): a first, side-effect-free pass ([`CacheBackedStore::plan_many`])
+    /// classifies each node with [`Cache::contains`] to assemble the miss
+    /// set, then a second pass ([`CacheBackedStore::apply_many`]) replays
+    /// the exact scalar get/insert sequence per node — so LRU recency
+    /// order, eviction counts, and the miss log all evolve exactly as they
+    /// would have one node at a time. Rare mid-batch reclassifications (a
+    /// predicted hit evicted by an earlier insert in the same batch, or a
+    /// duplicate whose first insert bounced) fall back to a scalar source
+    /// fetch, which is again what the scalar path would have done.
     pub fn fetch_many(&mut self, nodes: &[NodeId]) -> Vec<Option<Arc<AdjacencyRecord>>>
     where
         S: BatchSource,
     {
-        // Pass 1: classify without touching recency/frequency state.
+        let miss_nodes = self.plan_many(nodes);
+        let payloads = if miss_nodes.is_empty() {
+            Vec::new()
+        } else {
+            self.source.fetch_batch(&miss_nodes)
+        };
+        self.apply_many(nodes, &miss_nodes, payloads)
+    }
+
+    /// Pass 1 of a batched frontier fetch: the cache-miss portion of
+    /// `nodes` (first occurrence of each), classified with
+    /// [`Cache::contains`] so no recency/frequency state moves. The staged
+    /// executor calls this to learn what a frontier needs from storage
+    /// *before* any bytes travel, so the fetch can be submitted
+    /// asynchronously and overlapped with another query's compute.
+    pub fn plan_many(&mut self, nodes: &[NodeId]) -> Vec<NodeId> {
         let mut miss_nodes: Vec<NodeId> = Vec::new();
         let mut miss_set: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
         for &node in nodes {
@@ -224,20 +239,42 @@ impl<'a, S: RecordSource> CacheBackedStore<'a, S> {
                 miss_nodes.push(node);
             }
         }
-        let mut prefetched: HashMap<NodeId, Option<(u16, Bytes)>> = if miss_nodes.is_empty() {
-            HashMap::new()
-        } else {
-            miss_nodes
-                .iter()
-                .copied()
-                .zip(self.source.fetch_batch(&miss_nodes))
-                .collect()
-        };
-        // Pass 2: replay the scalar access sequence in node order.
+        miss_nodes
+    }
+
+    /// Pass 2 of a batched frontier fetch: replays the scalar access
+    /// sequence over `nodes` in order, sourcing miss payloads from
+    /// `payloads` (one entry per `miss_nodes` entry, in that order —
+    /// normally the answer to a fetch of [`CacheBackedStore::plan_many`]'s
+    /// return). A node that slipped between the plan and this apply (the
+    /// cache evicted a predicted hit, or another query's apply raced the
+    /// plan) falls back to a scalar source fetch, exactly as the serial
+    /// path would have.
+    pub fn apply_many(
+        &mut self,
+        nodes: &[NodeId],
+        miss_nodes: &[NodeId],
+        payloads: Vec<Option<(u16, Bytes)>>,
+    ) -> Vec<Option<Arc<AdjacencyRecord>>> {
+        debug_assert_eq!(miss_nodes.len(), payloads.len(), "one payload per miss");
+        let mut prefetched: HashMap<NodeId, Option<(u16, Bytes)>> =
+            miss_nodes.iter().copied().zip(payloads).collect();
         nodes
             .iter()
             .map(|&node| self.fetch_prefetched(node, &mut prefetched))
             .collect()
+    }
+
+    /// Swaps this store's accumulated statistics and miss log with the
+    /// caller's. A processor overlapping several in-flight queries over
+    /// *one* cache constructs a transient store per execution step and
+    /// swaps the active query's accounting in before the step and out
+    /// after it, so hits, misses, bytes, and evictions stay attributed to
+    /// the query that caused them (totals then sum correctly across
+    /// interleaved queries).
+    pub fn swap_accounting(&mut self, stats: &mut AccessStats, miss_log: &mut Vec<MissEvent>) {
+        std::mem::swap(&mut self.stats, stats);
+        std::mem::swap(&mut self.miss_log, miss_log);
     }
 
     /// Statistics accumulated so far.
@@ -432,6 +469,61 @@ mod tests {
         drop(store);
         assert_eq!(source.batches, vec![vec![n(4), n(5)]], "misses only");
         assert_eq!(source.scalar_calls, 0, "no per-node fallback needed");
+    }
+
+    #[test]
+    fn plan_then_apply_equals_fetch_many() {
+        let t = tier();
+        let nodes: Vec<NodeId> = [0u32, 3, 0, 7, 500, 3].iter().map(|&v| n(v)).collect();
+
+        let mut ref_cache: ProcessorCache = Box::new(LruCache::new(1 << 20));
+        let mut reference = CacheBackedStore::new(&t, &mut ref_cache);
+        let want = reference.fetch_many(&nodes);
+        let want_stats = reference.stats();
+
+        // The staged split: plan, fetch the miss set out-of-band, apply.
+        let mut cache: ProcessorCache = Box::new(LruCache::new(1 << 20));
+        let mut store = CacheBackedStore::new(&t, &mut cache);
+        let miss = store.plan_many(&nodes);
+        assert_eq!(miss, vec![n(0), n(3), n(7), n(500)], "deduped misses");
+        let payloads: Vec<Option<(u16, Bytes)>> = miss
+            .iter()
+            .map(|&v| t.get(v).map(|(s, b)| (s as u16, b)))
+            .collect();
+        let got = store.apply_many(&nodes, &miss, payloads);
+        assert_eq!(got, want);
+        assert_eq!(store.stats(), want_stats);
+    }
+
+    #[test]
+    fn swap_accounting_attributes_per_query() {
+        let t = tier();
+        let mut cache: ProcessorCache = Box::new(LruCache::new(1 << 20));
+        let mut store = CacheBackedStore::new(&t, &mut cache);
+
+        // Query A's accounting, swapped in, then out.
+        let mut a_stats = AccessStats::default();
+        let mut a_log = Vec::new();
+        store.swap_accounting(&mut a_stats, &mut a_log);
+        store.fetch(n(0));
+        store.fetch(n(1));
+        store.swap_accounting(&mut a_stats, &mut a_log);
+        assert_eq!(a_stats.cache_misses, 2);
+        assert_eq!(a_log.len(), 2);
+
+        // Query B interleaves on the same store: its stats start clean,
+        // and A's are untouched while B runs.
+        let mut b_stats = AccessStats::default();
+        let mut b_log = Vec::new();
+        store.swap_accounting(&mut b_stats, &mut b_log);
+        store.fetch(n(0)); // hot from A
+        store.fetch(n(2));
+        store.swap_accounting(&mut b_stats, &mut b_log);
+        assert_eq!(b_stats.cache_hits, 1);
+        assert_eq!(b_stats.cache_misses, 1);
+        assert_eq!(a_stats.cache_misses, 2, "A unchanged by B's run");
+        // The store's own counters saw nothing while swapped out.
+        assert_eq!(store.stats(), AccessStats::default());
     }
 
     proptest::proptest! {

@@ -21,7 +21,7 @@ pub mod fetch;
 pub mod patterns;
 pub mod types;
 
-pub use executor::{ExecOutcome, Executor};
+pub use executor::{ExecOutcome, Executor, StagedQuery, Step};
 pub use fetch::{
     AccessStats, BatchSource, CacheBackedStore, MissEvent, ProcessorCache, RecordSource,
 };

@@ -129,6 +129,9 @@ impl SimConfig {
             load_factor: self.load_factor,
             stealing: self.stealing,
             admission_window: self.admission_window,
+            // The simulator executes one query per processor at a time;
+            // fetch overlap is a wire-deployment concern.
+            overlap: 1,
             seed: self.seed,
         }
     }

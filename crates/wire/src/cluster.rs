@@ -64,6 +64,18 @@ impl std::fmt::Display for TransportKind {
     }
 }
 
+/// Honours the `GROUTING_OVERLAP` environment knob for the per-processor
+/// in-flight query window: `default` when unset or unparsable, clamped to
+/// ≥ 1 (`GROUTING_OVERLAP=1` forces strictly serial execution for
+/// comparison runs; `2` is the double-buffered default).
+pub fn overlap_from_env(default: usize) -> usize {
+    std::env::var("GROUTING_OVERLAP")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
 /// Deployment shape of a wire cluster.
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterConfig {
@@ -103,6 +115,20 @@ impl ClusterConfig {
     pub fn with_fetch(mut self, fetch: FetchMode) -> Self {
         self.fetch = fetch;
         self
+    }
+
+    /// Overrides the per-processor in-flight query window (the engine's
+    /// [`EngineConfig::overlap`] knob): 1 = strictly serial, 2+ =
+    /// cross-query fetch overlap.
+    #[must_use]
+    pub fn with_overlap(mut self, overlap: usize) -> Self {
+        self.engine.overlap = overlap.max(1);
+        self
+    }
+
+    /// The per-processor in-flight query window this cluster runs with.
+    pub fn overlap(&self) -> usize {
+        self.engine.overlap.max(1)
     }
 }
 
@@ -185,10 +211,8 @@ pub fn launch_cluster(
     let router_opts = RouterOptions {
         snapshot_every: config.snapshot_every,
     };
-    let router_transport = Arc::clone(&transport);
     let router = std::thread::spawn(move || {
         run_router(
-            router_transport,
             router_listener,
             &router_assets,
             &router_config,

@@ -24,7 +24,6 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
 
 use bytes::Bytes;
 use grouting_graph::NodeId;
@@ -33,6 +32,7 @@ use grouting_query::{BatchSource, RecordSource};
 
 use crate::error::{WireError, WireResult};
 use crate::frame::Frame;
+use crate::reactor::Backoff;
 use crate::transport::{FrameSink, FrameStream, Transport};
 
 /// Which processor↔storage fetch path a deployment runs.
@@ -210,6 +210,99 @@ impl BatchMux {
         Ok(out.pop().expect("one requested, one returned"))
     }
 
+    /// Drains at most one ready frame from `server`'s connection into the
+    /// reassembly map, returning whether a frame landed.
+    ///
+    /// Chunked responses accumulate under their correlation id until the
+    /// requested node count is reached; a frame answering a request that
+    /// is *not* outstanding — a server bug, or a stale chunk after its
+    /// request completed — is rejected rather than stashed, so the
+    /// reassembly map cannot leak entries nobody will ever collect.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] on non-batch frames and unknown correlation
+    /// ids; transport errors (the caller decides whether to reconnect).
+    pub fn poll_server(&mut self, server: usize) -> WireResult<bool> {
+        let conn = self.conns[server]
+            .as_mut()
+            .ok_or_else(|| WireError::Protocol(format!("server {server}: poll before submit")))?;
+        match conn.stream.try_recv() {
+            Ok(Some(Frame::FetchBatchResponse {
+                req_id: got,
+                payloads,
+            })) => {
+                if !conn.pending.contains_key(&got) {
+                    return Err(WireError::Protocol(format!(
+                        "storage server {server} answered request {got}, which is not outstanding"
+                    )));
+                }
+                conn.ready.entry(got).or_default().extend(payloads);
+                Ok(true)
+            }
+            Ok(Some(other)) => Err(WireError::Protocol(format!(
+                "storage server {server} sent {} to a batch fetch",
+                other.kind()
+            ))),
+            Ok(None) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Takes `req_id`'s payloads if its response has fully arrived
+    /// (possibly across several chunked frames). Purely local: no I/O.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Protocol`] when the request was never submitted or the
+    /// server answered more nodes than were asked.
+    pub fn take_ready(&mut self, server: usize, req_id: u64) -> WireResult<Option<BatchPayloads>> {
+        let conn = self.conns[server].as_mut().ok_or_else(|| {
+            WireError::Protocol(format!("server {server}: collect before submit"))
+        })?;
+        let expected = conn.pending.get(&req_id).map(Vec::len).ok_or_else(|| {
+            WireError::Protocol(format!(
+                "server {server}: collect of unknown request {req_id}"
+            ))
+        })?;
+        // Complete once every requested node has been answered — possibly
+        // across several chunked response frames. The server sends at
+        // least one frame even for an empty batch, so presence of the
+        // entry marks "response began".
+        let Some(got) = conn.ready.get(&req_id) else {
+            return Ok(None);
+        };
+        match got.len().cmp(&expected) {
+            std::cmp::Ordering::Equal => {
+                let payloads = conn.ready.remove(&req_id);
+                conn.pending.remove(&req_id);
+                Ok(payloads)
+            }
+            std::cmp::Ordering::Greater => Err(WireError::Protocol(format!(
+                "storage server {server} answered {} nodes to a {expected}-node batch",
+                got.len()
+            ))),
+            std::cmp::Ordering::Less => Ok(None),
+        }
+    }
+
+    /// Masks one connection failure observed by a poll: redials and
+    /// resubmits (at most once per server per `budget`), or propagates
+    /// the error when the budget is spent or the failure is a protocol
+    /// violation (reconnecting cannot repair a misbehaving server).
+    fn mask_poll_failure(
+        &mut self,
+        server: usize,
+        error: WireError,
+        budget: &mut [bool],
+    ) -> WireResult<()> {
+        if matches!(error, WireError::Protocol(_)) || budget[server] {
+            return Err(error);
+        }
+        budget[server] = true;
+        self.reconnect(server)
+    }
+
     /// Readiness loop: waits until every `(server, req_id)` in `wanted`
     /// has its response, returning payload vectors in `wanted` order.
     ///
@@ -226,7 +319,7 @@ impl BatchMux {
     pub fn collect_many(&mut self, wanted: &[(usize, u64)]) -> WireResult<Vec<BatchPayloads>> {
         let mut out: Vec<Option<BatchPayloads>> = vec![None; wanted.len()];
         let mut remaining = wanted.len();
-        let mut idle_rounds = 0u32;
+        let mut backoff = Backoff::new();
         // One reconnect attempt per server per collect: masks a storage
         // restart without looping forever against a peer that is gone.
         let mut reconnected = vec![false; self.conns.len()];
@@ -236,73 +329,27 @@ impl BatchMux {
                 if out[slot].is_some() {
                     continue;
                 }
-                let conn = self.conns[server].as_mut().ok_or_else(|| {
-                    WireError::Protocol(format!("server {server}: collect before submit"))
-                })?;
-                let expected = conn.pending.get(&req_id).map(Vec::len).ok_or_else(|| {
-                    WireError::Protocol(format!(
-                        "server {server}: collect of unknown request {req_id}"
-                    ))
-                })?;
-                // Complete once every requested node has been answered —
-                // possibly across several chunked response frames. The
-                // server sends at least one frame even for an empty batch,
-                // so presence of the entry marks "response began".
-                if let Some(got) = conn.ready.get(&req_id) {
-                    match got.len().cmp(&expected) {
-                        std::cmp::Ordering::Equal => {
-                            out[slot] = conn.ready.remove(&req_id);
-                            conn.pending.remove(&req_id);
-                            remaining -= 1;
-                            progressed = true;
-                            continue;
-                        }
-                        std::cmp::Ordering::Greater => {
-                            return Err(WireError::Protocol(format!(
-                                "storage server {server} answered {} nodes to a {expected}-node \
-                                 batch",
-                                got.len()
-                            )))
-                        }
-                        std::cmp::Ordering::Less => {}
-                    }
+                if let Some(payloads) = self.take_ready(server, req_id)? {
+                    out[slot] = Some(payloads);
+                    remaining -= 1;
+                    progressed = true;
+                    continue;
                 }
-                match conn.stream.try_recv() {
-                    Ok(Some(Frame::FetchBatchResponse {
-                        req_id: got,
-                        payloads,
-                    })) => {
-                        progressed = true;
-                        conn.ready.entry(got).or_default().extend(payloads);
-                    }
-                    Ok(Some(other)) => {
-                        return Err(WireError::Protocol(format!(
-                            "storage server {server} sent {} to a batch fetch",
-                            other.kind()
-                        )))
-                    }
-                    Ok(None) => {}
-                    Err(_) if !reconnected[server] => {
-                        reconnected[server] = true;
-                        self.reconnect(server)?;
+                match self.poll_server(server) {
+                    Ok(landed) => progressed |= landed,
+                    Err(e) => {
+                        self.mask_poll_failure(server, e, &mut reconnected)?;
                         progressed = true;
                     }
-                    Err(e) => return Err(e),
                 }
             }
-            // Spin briefly (replies on loopback land within microseconds),
-            // then back off so a genuinely slow server doesn't cost a core.
+            // Yield between empty sweeps (handing the core to the server
+            // is what makes the reply land), sleeping only once genuinely
+            // idle so a slow server doesn't cost a core.
             if progressed {
-                idle_rounds = 0;
+                backoff.reset();
             } else {
-                idle_rounds += 1;
-                if idle_rounds < 64 {
-                    std::hint::spin_loop();
-                } else if idle_rounds < 256 {
-                    std::thread::yield_now();
-                } else {
-                    std::thread::sleep(Duration::from_micros(20));
-                }
+                backoff.idle();
             }
         }
         Ok(out.into_iter().map(|p| p.expect("collected")).collect())
@@ -363,42 +410,110 @@ impl RecordSource for MultiplexedStorageSource {
 /// requests on the same connection.
 pub const MAX_BATCH_REQUEST_NODES: usize = 1 << 20;
 
-impl BatchSource for MultiplexedStorageSource {
-    fn fetch_batch(&mut self, nodes: &[NodeId]) -> Vec<Option<(u16, Bytes)>> {
-        if nodes.is_empty() {
-            return Vec::new();
-        }
-        // Group the frontier per storage server, remembering where each
-        // node sits in the caller's order.
+/// A submitted-but-uncollected frontier fetch: the per-server requests on
+/// the wire, the responses gathered so far, and where each node's payload
+/// lands in the caller's order.
+///
+/// Returned by [`MultiplexedStorageSource::submit_frontier`] and polled
+/// with [`MultiplexedStorageSource::try_collect`] — the split that lets a
+/// processor run another query's compute stage while this fetch is in
+/// flight.
+pub struct PendingBatch {
+    /// (server, correlation id, caller slots) per request on the wire.
+    requests: Vec<(usize, u64, Vec<usize>)>,
+    /// Fully reassembled responses, indexed like `requests`.
+    collected: Vec<Option<BatchPayloads>>,
+    /// Requests still awaited.
+    remaining: usize,
+    /// Caller's frontier length (shapes the final payload vector).
+    node_count: usize,
+    /// One reconnect attempt per server over this batch's lifetime.
+    reconnected: Vec<bool>,
+}
+
+impl PendingBatch {
+    /// Nodes the frontier asked for (the length of the eventual payload
+    /// vector).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+}
+
+impl MultiplexedStorageSource {
+    /// Puts a whole frontier's batch requests on the wire — grouped per
+    /// storage server by the placement function, chunked under the
+    /// per-frame node cap — without waiting for any reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dial and send failures.
+    pub fn submit_frontier(&mut self, nodes: &[NodeId]) -> WireResult<PendingBatch> {
         let servers = self.mux.server_count();
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); servers];
         for (i, &node) in nodes.iter().enumerate() {
             groups[self.home(node)].push(i);
         }
-        // Submit phase: every involved server's batch goes on the wire
-        // before any reply is awaited — the pipelining that amortises the
-        // per-exchange RTT across the whole frontier. Requests past the
-        // per-frame node cap become several pipelined requests.
-        let mut wanted: Vec<(usize, u64, &[usize])> = Vec::new();
+        let mut requests: Vec<(usize, u64, Vec<usize>)> = Vec::new();
         let mut batch: Vec<NodeId> = Vec::new();
         for (server, group) in groups.iter().enumerate() {
             for slots in group.chunks(MAX_BATCH_REQUEST_NODES) {
                 batch.clear();
                 batch.extend(slots.iter().map(|&i| nodes[i]));
-                match self.mux.submit(server, &batch) {
-                    Ok(req_id) => wanted.push((server, req_id, slots)),
-                    Err(e) => panic!("storage batch submit failed: {e}"),
+                let req_id = self.mux.submit(server, &batch)?;
+                requests.push((server, req_id, slots.to_vec()));
+            }
+        }
+        let remaining = requests.len();
+        let collected = requests.iter().map(|_| None).collect();
+        Ok(PendingBatch {
+            requests,
+            collected,
+            remaining,
+            node_count: nodes.len(),
+            reconnected: vec![false; servers],
+        })
+    }
+
+    /// Polls the in-flight batch without blocking: `Ok(Some)` with the
+    /// full frontier's payloads (caller order) once every involved server
+    /// has answered, `Ok(None)` while responses are still travelling.
+    ///
+    /// A dead connection is masked by one redial-and-resubmit per server
+    /// per batch, mirroring [`BatchMux::collect_many`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures past the reconnect budget and
+    /// protocol violations.
+    pub fn try_collect(&mut self, pending: &mut PendingBatch) -> WireResult<Option<BatchPayloads>> {
+        for (i, &(server, req_id, _)) in pending.requests.iter().enumerate() {
+            if pending.collected[i].is_some() {
+                continue;
+            }
+            loop {
+                if let Some(payloads) = self.mux.take_ready(server, req_id)? {
+                    pending.collected[i] = Some(payloads);
+                    pending.remaining -= 1;
+                    break;
+                }
+                match self.mux.poll_server(server) {
+                    Ok(true) => continue,
+                    Ok(false) => break,
+                    Err(e) => {
+                        self.mux
+                            .mask_poll_failure(server, e, &mut pending.reconnected)?;
+                    }
                 }
             }
         }
-        // Collect phase: readiness loop over every pending connection.
-        let requests: Vec<(usize, u64)> = wanted.iter().map(|&(s, r, _)| (s, r)).collect();
-        let responses = match self.mux.collect_many(&requests) {
-            Ok(r) => r,
-            Err(e) => panic!("storage batch fetch failed: {e}"),
-        };
-        let mut out: Vec<Option<(u16, Bytes)>> = vec![None; nodes.len()];
-        for (&(server, _, slots), payloads) in wanted.iter().zip(responses) {
+        if pending.remaining > 0 {
+            return Ok(None);
+        }
+        let mut out: BatchPayloads = vec![None; pending.node_count];
+        for ((server, _, slots), payloads) in
+            pending.requests.iter().zip(pending.collected.drain(..))
+        {
+            let payloads = payloads.expect("remaining == 0 means all collected");
             assert_eq!(
                 payloads.len(),
                 slots.len(),
@@ -408,7 +523,40 @@ impl BatchSource for MultiplexedStorageSource {
                 out[slot] = payload;
             }
         }
-        out
+        Ok(Some(out))
+    }
+}
+
+impl BatchSource for MultiplexedStorageSource {
+    fn fetch_batch(&mut self, nodes: &[NodeId]) -> Vec<Option<(u16, Bytes)>> {
+        if nodes.is_empty() {
+            return Vec::new();
+        }
+        // Submit phase: every involved server's batch goes on the wire
+        // before any reply is awaited — the pipelining that amortises the
+        // per-exchange RTT across the whole frontier.
+        let mut pending = match self.submit_frontier(nodes) {
+            Ok(p) => p,
+            Err(e) => panic!("storage batch submit failed: {e}"),
+        };
+        // Collect phase: readiness loop over every pending connection —
+        // the same submit/poll primitives the overlapped pipeline drives,
+        // just awaited inline.
+        let mut backoff = Backoff::new();
+        loop {
+            let before = pending.remaining;
+            match self.try_collect(&mut pending) {
+                Ok(Some(out)) => return out,
+                Ok(None) => {
+                    if pending.remaining < before {
+                        backoff.reset();
+                    } else {
+                        backoff.idle();
+                    }
+                }
+                Err(e) => panic!("storage batch fetch failed: {e}"),
+            }
+        }
     }
 }
 
@@ -629,6 +777,156 @@ mod tests {
     #[test]
     fn tcp_mux_reconnects_after_peer_death() {
         mux_reconnects_over(Arc::new(TcpTransport::new()));
+    }
+
+    /// A connection dying *mid-batch*, with chunked responses partially
+    /// received, must not leak reassembly state: the partial chunks are
+    /// discarded with the dead connection, the resubmitted request is
+    /// re-answered in full on the fresh one, and nothing is double-counted
+    /// (stale chunks surviving the reconnect would trip the
+    /// answered-more-nodes-than-asked protocol check).
+    fn mux_mid_batch_death_discards_partial_chunks_over(transport: Arc<dyn Transport>) {
+        let mut listener = transport.listen(&transport.any_addr()).unwrap();
+        let addr = listener.addr();
+        let server = std::thread::spawn(move || {
+            // First connection: stream 2 of the 4 requested nodes as
+            // per-node chunks, then die mid-response.
+            let mut conn = listener.accept().unwrap();
+            let (req_id, nodes) = match conn.recv().unwrap() {
+                Frame::FetchBatchRequest { req_id, nodes } => (req_id, nodes),
+                other => panic!("server got {}", other.kind()),
+            };
+            assert_eq!(nodes.len(), 4);
+            for w in &nodes[..2] {
+                conn.send(&Frame::FetchBatchResponse {
+                    req_id,
+                    payloads: vec![payload(w.raw())],
+                })
+                .unwrap();
+            }
+            drop(conn);
+            // Second connection: answer the resubmission in full (also
+            // chunked, to exercise reassembly on the fresh connection).
+            let mut conn = listener.accept().unwrap();
+            while let Ok(Frame::FetchBatchRequest { req_id, nodes }) = conn.recv() {
+                for w in &nodes {
+                    if conn
+                        .send(&Frame::FetchBatchResponse {
+                            req_id,
+                            payloads: vec![payload(w.raw())],
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            }
+        });
+
+        let mut mux = BatchMux::new(Arc::clone(&transport), &[addr]);
+        let req = mux.submit(0, &[n(1), n(2), n(3), n(4)]).unwrap();
+        let got = mux.collect(0, req).unwrap();
+        assert_eq!(
+            got,
+            vec![payload(1), payload(2), payload(3), payload(4)],
+            "resubmitted batch must be answered in full, exactly once"
+        );
+        assert_eq!(mux.reconnects(), 1);
+        // The mux is healthy afterwards: a new exchange works and no stale
+        // reassembly entries interfere.
+        let req = mux.submit(0, &[n(9)]).unwrap();
+        assert_eq!(mux.collect(0, req).unwrap(), vec![payload(9)]);
+        drop(mux);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn inproc_mid_batch_death_discards_partial_chunks() {
+        mux_mid_batch_death_discards_partial_chunks_over(Arc::new(InProcTransport::new()));
+    }
+
+    #[test]
+    fn tcp_mid_batch_death_discards_partial_chunks() {
+        mux_mid_batch_death_discards_partial_chunks_over(Arc::new(TcpTransport::new()));
+    }
+
+    #[test]
+    fn response_to_unknown_request_is_rejected_not_leaked() {
+        // A server answering a correlation id that is not outstanding
+        // (bug, or a stale chunk after its request completed) used to be
+        // stashed in the reassembly map forever; it must be a protocol
+        // error instead.
+        let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        let mut listener = transport.listen(&transport.any_addr()).unwrap();
+        let addr = listener.addr();
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let req_id = match conn.recv().unwrap() {
+                Frame::FetchBatchRequest { req_id, nodes } => {
+                    let payloads = nodes.iter().map(|w| payload(w.raw())).collect();
+                    conn.send(&Frame::FetchBatchResponse { req_id, payloads })
+                        .unwrap();
+                    req_id
+                }
+                other => panic!("server got {}", other.kind()),
+            };
+            // A spurious extra chunk for the just-completed request.
+            conn.send(&Frame::FetchBatchResponse {
+                req_id,
+                payloads: vec![payload(99)],
+            })
+            .unwrap();
+            // Hold the connection open until the client has judged it.
+            let _ = conn.recv();
+        });
+
+        let mut mux = BatchMux::new(Arc::clone(&transport), &[addr]);
+        let first = mux.submit(0, &[n(1)]).unwrap();
+        assert_eq!(mux.collect(0, first).unwrap(), vec![payload(1)]);
+        // Collecting the next request hits the stale chunk: the mux must
+        // reject it as a protocol violation, not hoard it.
+        let second = mux.submit(0, &[n(2)]).unwrap();
+        let err = mux.collect(0, second).unwrap_err();
+        assert!(
+            matches!(err, WireError::Protocol(ref m) if m.contains("not outstanding")),
+            "got {err}"
+        );
+        drop(mux);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn submit_frontier_try_collect_round_trips() {
+        // The staged (non-blocking) surface delivers the same payloads as
+        // the blocking fetch_batch, in caller order, across servers.
+        let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        let mut addrs = Vec::new();
+        let mut servers = Vec::new();
+        for _ in 0..3 {
+            let listener = transport.listen(&transport.any_addr()).unwrap();
+            addrs.push(listener.addr());
+            servers.push(batch_server(listener, false));
+        }
+        let partitioner: Arc<dyn Partitioner> =
+            Arc::new(grouting_partition::HashPartitioner::new(3));
+        let mut source = MultiplexedStorageSource::new(Arc::clone(&transport), &addrs, partitioner);
+        let nodes: Vec<NodeId> = (0..30).map(n).collect();
+        let mut pending = source.submit_frontier(&nodes).unwrap();
+        assert_eq!(pending.node_count(), nodes.len());
+        let got = loop {
+            if let Some(out) = source.try_collect(&mut pending).unwrap() {
+                break out;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(got.len(), nodes.len());
+        for (node, p) in nodes.iter().zip(&got) {
+            assert_eq!(*p, payload(node.raw()), "node {node}");
+        }
+        drop(source);
+        for s in servers {
+            s.join().unwrap();
+        }
     }
 
     #[test]

@@ -17,32 +17,45 @@
 //!   non-blocking connection multiplexer keeping one batch frame per
 //!   storage server in flight per BFS hop, correlated by request id,
 //!   instead of one blocking round trip per frontier node;
+//! * [`reactor`] — the readiness reactor: ONE poll loop per node
+//!   multiplexing the listener and every framed connection, replacing the
+//!   thread-per-connection control path (O(connections) → O(1) threads);
+//! * [`overlap`] — cross-query fetch overlap: up to
+//!   [`grouting_engine::EngineConfig::overlap`] dispatched queries in
+//!   flight per processor as resumable staged executions, double-buffering
+//!   frontiers so one query's batch travels while another computes;
 //! * [`service`] — the three tiers as independently runnable endpoints:
 //!   storage servers answering fetches (scalar and batched), processors
-//!   executing ack-driven dispatch with a remote miss path, and the router
+//!   executing dispatched queries with a remote miss path, and the router
 //!   node driving the *same* [`grouting_engine::Engine`] the in-proc
-//!   runtimes drive — masking mid-run processor deaths and answering
-//!   mid-run metrics requests;
+//!   runtimes drive — masking mid-run processor deaths, re-admitting
+//!   restarted processors, and answering mid-run metrics requests;
 //! * [`cluster`] — a one-machine harness launching router + `P`
 //!   processors + `M` storage servers as socket peers and streaming a
 //!   workload through them.
 //!
 //! Because the router runs the identical engine and the processors build
 //! the identical caches (only the miss path differs, byte-for-byte), a
-//! TCP cluster run agrees with an in-proc run on routing assignments and
-//! cache statistics — pinned by `tests/tests/wire_agreement.rs`.
+//! TCP cluster run at `overlap = 1` agrees with an in-proc run on routing
+//! assignments and cache statistics — pinned by
+//! `tests/tests/wire_agreement.rs` (which also pins answers and
+//! assignments at overlap 4).
 
 pub mod cluster;
 pub mod error;
 pub mod flow;
 pub mod frame;
+pub mod overlap;
+pub mod reactor;
 pub mod service;
 pub mod transport;
 
-pub use cluster::{launch_cluster, ClusterConfig, ClusterRun, TransportKind};
+pub use cluster::{launch_cluster, overlap_from_env, ClusterConfig, ClusterRun, TransportKind};
 pub use error::{WireError, WireResult};
-pub use flow::{BatchMux, FetchMode, MultiplexedStorageSource};
+pub use flow::{BatchMux, FetchMode, MultiplexedStorageSource, PendingBatch};
 pub use frame::{Completion, Frame, Role};
+pub use overlap::{CompletedQuery, QueryPipeline};
+pub use reactor::{Backoff, Reactor, ReactorEvent};
 pub use service::{
     now_ns, run_router, ProcessorService, RemoteStorageSource, RouterOptions, ServiceHandle,
     StorageService,
@@ -173,15 +186,8 @@ mod tests {
         let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
         let listener = transport.listen(&transport.any_addr()).unwrap();
         let addr = listener.addr();
-        let router_transport = Arc::clone(&transport);
         let router = std::thread::spawn(move || {
-            run_router(
-                router_transport,
-                listener,
-                &assets,
-                &config,
-                &RouterOptions::default(),
-            )
+            run_router(listener, &assets, &config, &RouterOptions::default())
         });
 
         // A client that submits work and vanishes before SubmitEnd, with
@@ -264,16 +270,9 @@ mod tests {
         let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
         let listener = transport.listen(&transport.any_addr()).unwrap();
         let addr = listener.addr();
-        let router_transport = Arc::clone(&transport);
         let router_assets = assets.clone();
         let router = std::thread::spawn(move || {
-            run_router(
-                router_transport,
-                listener,
-                &router_assets,
-                &config,
-                &RouterOptions::default(),
-            )
+            run_router(listener, &router_assets, &config, &RouterOptions::default())
         });
 
         let storage = StorageService::spawn(
@@ -372,6 +371,211 @@ mod tests {
     }
 
     #[test]
+    fn restarted_processor_rejoins_rotation() {
+        // The re-join path (ROADMAP item): a processor dies mid-run, the
+        // router masks it, then the processor RESTARTS, re-dials with its
+        // old id, and must be marked up and re-enter rotation — serving
+        // queries submitted after its return.
+        let tier = loaded_tier(32, 1);
+        let assets = EngineAssets::new(Arc::clone(&tier));
+        let config = EngineConfig {
+            stealing: false,
+            ..EngineConfig::paper_default(2, RoutingKind::NextReady)
+        };
+        let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        let listener = transport.listen(&transport.any_addr()).unwrap();
+        let addr = listener.addr();
+        let router_assets = assets.clone();
+        let router = std::thread::spawn(move || {
+            run_router(listener, &router_assets, &config, &RouterOptions::default())
+        });
+        let storage = StorageService::spawn(
+            Arc::clone(&transport),
+            Arc::clone(&tier),
+            NetworkModel::local(),
+        )
+        .unwrap();
+
+        // Dials the router as processor `id`, then blocks until the router
+        // has processed the hello (a MetricsRequest on the same connection
+        // is answered strictly after it).
+        let connect_processor = |id: u32| -> crate::transport::Connection {
+            let mut conn = transport.dial(&addr).unwrap();
+            conn.send(&Frame::Hello {
+                role: Role::Processor,
+                id,
+            })
+            .unwrap();
+            conn.send(&Frame::MetricsRequest).unwrap();
+            match conn.recv().unwrap() {
+                Frame::Metrics(_) => conn,
+                other => panic!("processor {id} got {}", other.kind()),
+            }
+        };
+        let serve_one = {
+            let tier = Arc::clone(&tier);
+            move |conn: &mut crate::transport::Connection,
+                  cache: &mut grouting_query::ProcessorCache,
+                  id: u32,
+                  seq: u64,
+                  query: &Query| {
+                let out = grouting_query::Executor::new(&*tier, cache).run(query);
+                conn.send(&Frame::Completion(Completion {
+                    seq,
+                    processor: id,
+                    result: out.result,
+                    stats: out.stats,
+                    arrived_ns: 0,
+                    started_ns: 1,
+                    completed_ns: 2,
+                }))
+                .unwrap();
+            }
+        };
+
+        // Both processors are router-acknowledged BEFORE any work is
+        // submitted, so the dispatch pattern below is deterministic.
+        let mut flaky_conn = connect_processor(0);
+        let healthy_conn = connect_processor(1);
+
+        // The healthy processor serves everything it is given until
+        // shutdown.
+        let healthy_serve = serve_one.clone();
+        let healthy = std::thread::spawn(move || {
+            let mut conn = healthy_conn;
+            let mut cache = config.build_cache();
+            loop {
+                match conn.recv() {
+                    Ok(Frame::Dispatch { seq, query }) => {
+                        healthy_serve(&mut conn, &mut cache, 1, seq, &query);
+                    }
+                    Ok(Frame::Shutdown) | Err(WireError::Closed) => return,
+                    Ok(other) => panic!("healthy processor got {}", other.kind()),
+                    Err(e) => panic!("healthy processor recv failed: {e}"),
+                }
+            }
+        });
+
+        // Lets the restarted processor tell the client its re-join has
+        // been acknowledged by the router.
+        let (rejoined_tx, rejoined_rx) = std::sync::mpsc::channel::<()>();
+
+        // Processor 0, incarnation 1: serve exactly one dispatch, then die
+        // with the second outstanding (overlap ≥ 2 guarantees the router
+        // sent two up front). Incarnation 2: re-dial under the SAME id,
+        // confirm the router acknowledged the re-join, then serve until
+        // Shutdown.
+        let flaky_transport = Arc::clone(&transport);
+        let flaky_addr = addr.clone();
+        let flaky_serve = serve_one.clone();
+        let flaky = std::thread::spawn(move || {
+            let mut cache = config.build_cache();
+            match flaky_conn.recv().unwrap() {
+                Frame::Dispatch { seq, query } => {
+                    flaky_serve(&mut flaky_conn, &mut cache, 0, seq, &query);
+                }
+                other => panic!("flaky processor got {}", other.kind()),
+            }
+            // Wait for the next dispatch, then die with it outstanding.
+            let _ = flaky_conn.recv().unwrap();
+            drop(flaky_conn);
+
+            // --- Restart: same id, fresh connection, fresh cache. ---
+            let mut conn = flaky_transport.dial(&flaky_addr).unwrap();
+            conn.send(&Frame::Hello {
+                role: Role::Processor,
+                id: 0,
+            })
+            .unwrap();
+            conn.send(&Frame::MetricsRequest).unwrap();
+            match conn.recv().unwrap() {
+                Frame::Metrics(_) => rejoined_tx.send(()).unwrap(),
+                other => panic!("restarted processor got {}", other.kind()),
+            }
+            let mut cache = config.build_cache();
+            let mut served_after_rejoin = 0u64;
+            loop {
+                match conn.recv() {
+                    Ok(Frame::Dispatch { seq, query }) => {
+                        flaky_serve(&mut conn, &mut cache, 0, seq, &query);
+                        served_after_rejoin += 1;
+                    }
+                    Ok(Frame::Shutdown) | Err(WireError::Closed) => return served_after_rejoin,
+                    Ok(other) => panic!("restarted processor got {}", other.kind()),
+                    Err(e) => panic!("restarted processor recv failed: {e}"),
+                }
+            }
+        });
+
+        // Phase 1: submit 4 queries, drain their completions — the flaky
+        // processor serves one and dies mid-flight along the way.
+        let mut client = transport.dial(&addr).unwrap();
+        client
+            .send(&Frame::Hello {
+                role: Role::Client,
+                id: 0,
+            })
+            .unwrap();
+        let q = queries(32, 10);
+        for (seq, query) in q.iter().take(4).enumerate() {
+            client
+                .send(&Frame::Submit {
+                    seq: seq as u64,
+                    query: *query,
+                })
+                .unwrap();
+        }
+        let mut completions = 0;
+        while completions < 4 {
+            match client.recv().unwrap() {
+                Frame::Completion(_) => completions += 1,
+                Frame::Metrics(_) => {}
+                other => panic!("client got {}", other.kind()),
+            }
+        }
+
+        // Phase 2: wait until the restarted processor is back in rotation,
+        // then submit the rest of the workload.
+        rejoined_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("processor re-join must be acknowledged");
+        for (seq, query) in q.iter().enumerate().skip(4) {
+            client
+                .send(&Frame::Submit {
+                    seq: seq as u64,
+                    query: *query,
+                })
+                .unwrap();
+        }
+        client.send(&Frame::SubmitEnd).unwrap();
+        loop {
+            match client.recv() {
+                Ok(Frame::Completion(_)) => completions += 1,
+                Ok(Frame::Metrics(_)) => {}
+                Ok(Frame::Shutdown) | Err(WireError::Closed) => break,
+                Ok(other) => panic!("client got {}", other.kind()),
+                Err(e) => panic!("client recv failed: {e}"),
+            }
+        }
+
+        let snapshot = router.join().unwrap().expect("run completes");
+        let served_after_rejoin = flaky.join().unwrap();
+        assert_eq!(completions, q.len(), "every query completed");
+        assert_eq!(snapshot.queries, q.len() as u64);
+        assert!(
+            served_after_rejoin >= 1,
+            "the restarted processor must re-enter rotation"
+        );
+        assert_eq!(
+            snapshot.per_processor[0],
+            1 + served_after_rejoin,
+            "router accounting: one query before the crash, the rest after re-join"
+        );
+        let _ = healthy.join();
+        storage.shutdown();
+    }
+
+    #[test]
     fn metrics_request_is_answered_mid_run() {
         // Any peer may send Frame::MetricsRequest at any point and get the
         // totals accumulated so far, ahead of the final snapshot.
@@ -384,16 +588,9 @@ mod tests {
         let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
         let listener = transport.listen(&transport.any_addr()).unwrap();
         let addr = listener.addr();
-        let router_transport = Arc::clone(&transport);
         let router_assets = assets.clone();
         let router = std::thread::spawn(move || {
-            run_router(
-                router_transport,
-                listener,
-                &router_assets,
-                &config,
-                &RouterOptions::default(),
-            )
+            run_router(listener, &router_assets, &config, &RouterOptions::default())
         });
         let storage = StorageService::spawn(
             Arc::clone(&transport),

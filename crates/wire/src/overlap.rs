@@ -1,0 +1,338 @@
+//! Cross-query fetch overlap: a small in-flight window per processor.
+//!
+//! With frontier batching (PR 3) a processor's storage pipe is busy only
+//! while a query is *fetching*; the pipe idles whenever the processor is
+//! computing. [`QueryPipeline`] closes that gap: it keeps up to
+//! `overlap` dispatched queries in flight as [`StagedQuery`] state
+//! machines over ONE cache and ONE [`MultiplexedStorageSource`], so while
+//! query A's frontier batch travels, query B's compute stage runs — and
+//! B's next batch goes on the wire before A's reply is awaited
+//! (double-buffered frontiers).
+//!
+//! At `overlap == 1` the pipeline degenerates to strictly serial
+//! execution whose cache operation sequence is byte-identical to
+//! [`grouting_engine::Worker::run`] — the agreement contract pinned by
+//! `wire_agreement` — because [`StagedQuery`] replays exactly the
+//! plan/fetch/apply cycle of the blocking executor.
+//!
+//! Attribution under interleaving: each staged query owns its
+//! [`grouting_query::AccessStats`] (swapped into the transient store per
+//! step), so per-query hit/miss counts sum to the true totals even though
+//! the queries share a cache. The *split* between two interleaved queries
+//! touching the same cold record may differ from a serial run (whoever
+//! applies first takes the miss), which is why strict stat agreement is
+//! only promised at `overlap == 1`.
+
+use std::collections::VecDeque;
+
+use grouting_query::{CacheBackedStore, ExecOutcome, ProcessorCache, Query, StagedQuery, Step};
+
+use crate::error::WireResult;
+use crate::flow::{MultiplexedStorageSource, PendingBatch};
+use crate::service::now_ns;
+
+/// One finished query, ready to be acknowledged to the router.
+pub struct CompletedQuery {
+    /// Workload sequence number (from the dispatch).
+    pub seq: u64,
+    /// Result and per-query access statistics.
+    pub outcome: ExecOutcome,
+    /// When execution began (first resume), [`now_ns`] clock.
+    pub started_ns: u64,
+    /// When the query finished, [`now_ns`] clock.
+    pub completed_ns: u64,
+}
+
+struct ActiveQuery {
+    seq: u64,
+    staged: StagedQuery,
+    /// The in-flight frontier fetch, `None` only transiently (a query is
+    /// parked here exactly when it awaits payloads).
+    pending: Option<PendingBatch>,
+    started_ns: u64,
+}
+
+/// The per-processor overlap engine: dispatched queries wait in a FIFO,
+/// up to `overlap` of them run as interleaved staged executions.
+pub struct QueryPipeline {
+    overlap: usize,
+    queue: VecDeque<(u64, Query)>,
+    active: VecDeque<ActiveQuery>,
+}
+
+impl QueryPipeline {
+    /// A pipeline admitting at most `overlap` (≥ 1) concurrent queries.
+    pub fn new(overlap: usize) -> Self {
+        Self {
+            overlap: overlap.max(1),
+            queue: VecDeque::new(),
+            active: VecDeque::new(),
+        }
+    }
+
+    /// Accepts a dispatched query (admitted into execution by the next
+    /// [`QueryPipeline::step`] once a slot frees up).
+    pub fn push(&mut self, seq: u64, query: Query) {
+        self.queue.push_back((seq, query));
+    }
+
+    /// Queries accepted but not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len() + self.active.len()
+    }
+
+    /// Whether nothing is queued or executing.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.active.is_empty()
+    }
+
+    /// Drives every in-flight query one round: admits queued queries into
+    /// free slots (running their compute until the first fetch), polls
+    /// each awaited frontier fetch, and resumes whichever queries have
+    /// their payloads — submitting their next frontier before returning.
+    /// Never blocks; returns the queries that finished this round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage-path failures (dial/submit/poll past the
+    /// reconnect budget, protocol violations).
+    pub fn step(
+        &mut self,
+        source: &mut MultiplexedStorageSource,
+        cache: &mut ProcessorCache,
+    ) -> WireResult<Vec<CompletedQuery>> {
+        let mut completed = Vec::new();
+
+        // Admit queued queries into free slots, oldest first. Each new
+        // query computes up to its first remote fetch, which goes on the
+        // wire immediately — this is the submit-before-await that keeps
+        // the storage pipe full while older queries compute.
+        while self.active.len() < self.overlap {
+            if !self.admit_next(source, cache, &mut completed)? {
+                break;
+            }
+        }
+
+        // Poll every awaited fetch, oldest query first; resume those whose
+        // payloads have fully arrived.
+        let mut slot = 0;
+        while slot < self.active.len() {
+            let active = &mut self.active[slot];
+            let pending = active
+                .pending
+                .as_mut()
+                .expect("parked queries await a fetch");
+            let Some(payloads) = source.try_collect(pending)? else {
+                slot += 1;
+                continue;
+            };
+            active.pending = None;
+            let step = {
+                let mut store = CacheBackedStore::new(&mut *source, cache);
+                active.staged.resume(&mut store, Some(payloads))
+            };
+            match step {
+                Step::Fetch(miss) => {
+                    self.active[slot].pending = Some(source.submit_frontier(&miss)?);
+                    slot += 1;
+                }
+                Step::Done(outcome) => {
+                    let finished = self.active.remove(slot).expect("slot in bounds");
+                    completed.push(CompletedQuery {
+                        seq: finished.seq,
+                        outcome,
+                        started_ns: finished.started_ns,
+                        completed_ns: now_ns(),
+                    });
+                    // Backfill the freed slot from the queue so the window
+                    // stays full without waiting for the next step call.
+                    self.admit_next(source, cache, &mut completed)?;
+                }
+            }
+        }
+        Ok(completed)
+    }
+
+    /// Starts the oldest queued query: runs its compute up to the first
+    /// remote fetch (submitted immediately) and parks it in the active
+    /// window, or records it as completed when it never needed the wire.
+    /// Returns whether a query was admitted.
+    fn admit_next(
+        &mut self,
+        source: &mut MultiplexedStorageSource,
+        cache: &mut ProcessorCache,
+        completed: &mut Vec<CompletedQuery>,
+    ) -> WireResult<bool> {
+        let Some((seq, query)) = self.queue.pop_front() else {
+            return Ok(false);
+        };
+        let mut staged = StagedQuery::new(query);
+        let started_ns = now_ns();
+        let step = {
+            let mut store = CacheBackedStore::new(&mut *source, cache);
+            staged.resume(&mut store, None)
+        };
+        match step {
+            Step::Fetch(miss) => {
+                let pending = source.submit_frontier(&miss)?;
+                self.active.push_back(ActiveQuery {
+                    seq,
+                    staged,
+                    pending: Some(pending),
+                    started_ns,
+                });
+            }
+            Step::Done(outcome) => completed.push(CompletedQuery {
+                seq,
+                outcome,
+                started_ns,
+                completed_ns: now_ns(),
+            }),
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::StorageService;
+    use crate::transport::{InProcTransport, Transport};
+    use grouting_cache::LruCache;
+    use grouting_engine::Worker;
+    use grouting_graph::{GraphBuilder, NodeId};
+    use grouting_partition::HashPartitioner;
+    use grouting_storage::{NetworkModel, StorageTier};
+    use std::sync::Arc;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn loaded_tier(nodes: u32, servers: usize) -> Arc<StorageTier> {
+        let mut b = GraphBuilder::new();
+        for i in 0..nodes {
+            b.add_edge(n(i), n((i + 1) % nodes));
+            b.add_edge(n(i), n((i + 3) % nodes));
+        }
+        let g = b.build().unwrap();
+        let tier = Arc::new(StorageTier::new(Arc::new(HashPartitioner::new(servers))));
+        tier.load_graph(&g).unwrap();
+        tier
+    }
+
+    fn queries(nodes: u32, count: u32) -> Vec<Query> {
+        (0..count)
+            .map(|i| match i % 4 {
+                3 => Query::RandomWalk {
+                    node: n((i * 5) % nodes),
+                    steps: 6,
+                    restart_prob: 0.2,
+                    seed: u64::from(i),
+                },
+                _ => Query::NeighborAggregation {
+                    node: n((i * 7) % nodes),
+                    hops: 2,
+                    label: None,
+                },
+            })
+            .collect()
+    }
+
+    /// Runs `queries` through a pipeline at `overlap` against wire-backed
+    /// storage, returning (seq → outcome) in completion order.
+    fn run_pipeline(overlap: usize, queries: &[Query]) -> Vec<(u64, ExecOutcome)> {
+        let tier = loaded_tier(48, 3);
+        let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        let handles: Vec<_> = (0..tier.server_count())
+            .map(|_| {
+                StorageService::spawn(
+                    Arc::clone(&transport),
+                    Arc::clone(&tier),
+                    NetworkModel::local(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+        let mut source =
+            MultiplexedStorageSource::new(Arc::clone(&transport), &addrs, tier.partitioner());
+        let mut cache: ProcessorCache = Box::new(LruCache::new(1 << 20));
+        let mut pipeline = QueryPipeline::new(overlap);
+        for (seq, q) in queries.iter().enumerate() {
+            pipeline.push(seq as u64, *q);
+        }
+        let mut out = Vec::new();
+        while !pipeline.is_idle() {
+            for c in pipeline.step(&mut source, &mut cache).unwrap() {
+                assert!(c.completed_ns >= c.started_ns);
+                out.push((c.seq, c.outcome));
+            }
+            std::thread::yield_now();
+        }
+        drop(source);
+        for h in handles {
+            h.shutdown();
+        }
+        out
+    }
+
+    /// The serial reference: the same queries through an engine worker
+    /// whose source is the tier itself.
+    fn run_serial(queries: &[Query]) -> Vec<ExecOutcome> {
+        let tier = loaded_tier(48, 3);
+        let cache: ProcessorCache = Box::new(LruCache::new(1 << 20));
+        let mut worker = Worker::from_parts(0, Box::new(Arc::clone(&tier)), cache);
+        queries.iter().map(|q| worker.run(q).0).collect()
+    }
+
+    #[test]
+    fn overlap1_is_byte_identical_to_the_serial_worker() {
+        let q = queries(48, 24);
+        let serial = run_serial(&q);
+        let piped = run_pipeline(1, &q);
+        assert_eq!(piped.len(), q.len());
+        for (i, (seq, outcome)) in piped.iter().enumerate() {
+            // overlap=1 completes strictly in dispatch order.
+            assert_eq!(*seq as usize, i);
+            assert_eq!(outcome.result, serial[i].result, "seq {seq}");
+            assert_eq!(outcome.stats, serial[i].stats, "seq {seq}");
+        }
+    }
+
+    #[test]
+    fn overlap2_answers_identically_and_conserves_totals() {
+        let q = queries(48, 30);
+        let serial = run_serial(&q);
+        let piped = run_pipeline(2, &q);
+        assert_eq!(piped.len(), q.len());
+        let mut by_seq: Vec<Option<&ExecOutcome>> = vec![None; q.len()];
+        for (seq, outcome) in &piped {
+            assert!(by_seq[*seq as usize].is_none(), "duplicate completion");
+            by_seq[*seq as usize] = Some(outcome);
+        }
+        let mut piped_accesses = 0u64;
+        let mut serial_accesses = 0u64;
+        for (i, slot) in by_seq.iter().enumerate() {
+            let outcome = slot.expect("every query completes");
+            assert_eq!(outcome.result, serial[i].result, "seq {i}");
+            piped_accesses += outcome.stats.accesses();
+            serial_accesses += serial[i].stats.accesses();
+        }
+        // Interleaving may shift which query pays a miss, but the total
+        // number of record accesses is workload-determined.
+        assert_eq!(piped_accesses, serial_accesses);
+    }
+
+    #[test]
+    fn overlap4_handles_more_queries_than_slots() {
+        let q = queries(48, 9);
+        let piped = run_pipeline(4, &q);
+        assert_eq!(piped.len(), q.len());
+    }
+
+    #[test]
+    fn zero_overlap_is_clamped_to_serial() {
+        assert_eq!(QueryPipeline::new(0).overlap, 1);
+    }
+}

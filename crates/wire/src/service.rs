@@ -1,24 +1,31 @@
 //! Service loops exposing the engine's tiers as wire endpoints.
 //!
-//! Three loops turn the in-process cluster into independently runnable
-//! peers, one per tier of the paper's Figure 2:
+//! Three services turn the in-process cluster into independently runnable
+//! peers, one per tier of the paper's Figure 2 — each driven by ONE
+//! readiness [`Reactor`] thread multiplexing all of that node's framed
+//! connections, rather than a thread per connection:
 //!
 //! * [`StorageService`] — wraps a [`StorageTier`] handle and answers
-//!   [`Frame::FetchRequest`]s and [`Frame::FetchBatchRequest`]s, one
-//!   thread per inbound connection, with an optional [`NetworkModel`]
-//!   delay charged per exchange (the `gRouting-E` emulation knob);
-//! * [`ProcessorService`] — a query processor: an engine [`Worker`] whose
-//!   miss path is a [`RemoteStorageSource`] (scalar: pooled connections,
-//!   one round trip per node) or a
-//!   [`MultiplexedStorageSource`] (batched: one pipelined frame per
-//!   storage server per frontier), driven by ack-based dispatch from the
-//!   router;
+//!   [`Frame::FetchRequest`]s and [`Frame::FetchBatchRequest`]s from every
+//!   inbound connection through one poll loop, with an optional
+//!   [`NetworkModel`] delay charged per exchange (the `gRouting-E`
+//!   emulation knob);
+//! * [`ProcessorService`] — a query processor. In [`FetchMode::Scalar`] it
+//!   runs the classic blocking loop: an engine [`Worker`] over a
+//!   [`RemoteStorageSource`] (pooled connections, one round trip per
+//!   node), one query at a time. In [`FetchMode::Batched`] it polls its
+//!   router connection and drives a [`QueryPipeline`] over a
+//!   [`MultiplexedStorageSource`]: up to [`EngineConfig::overlap`]
+//!   dispatched queries in flight, one query's frontier batch travelling
+//!   while another's compute stage runs;
 //! * [`run_router`] — the router node: accepts client and processor
-//!   connections, drives the shared [`Engine`] (admission window,
-//!   strategy, queues, stealing), stamps arrivals, forwards completions,
-//!   masks mid-run processor deaths (mark-down + resubmission of the
-//!   in-flight query), answers mid-run [`Frame::MetricsRequest`]s, and
-//!   emits the final [`RunSnapshot`].
+//!   connections on its reactor, drives the shared [`Engine`] (admission
+//!   window, strategy, queues, stealing), dispatches up to `overlap`
+//!   queries ahead of acknowledgements per processor, stamps arrivals,
+//!   forwards completions, masks mid-run processor deaths (mark-down +
+//!   resubmission of every outstanding dispatch), re-admits restarted
+//!   processors that re-dial with their old id (mark-up), answers mid-run
+//!   [`Frame::MetricsRequest`]s, and emits the final [`RunSnapshot`].
 //!
 //! All three speak only [`Frame`]s over [`Transport`] connections, so the
 //! same loops run over TCP loopback and the hermetic in-proc fabric.
@@ -30,7 +37,6 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
-use crossbeam::channel::unbounded;
 use grouting_engine::{Engine, EngineAssets, EngineConfig, Worker};
 use grouting_graph::NodeId;
 use grouting_metrics::timeline::QueryRecord;
@@ -42,7 +48,9 @@ use grouting_storage::{NetworkModel, StorageTier};
 use crate::error::{WireError, WireResult};
 use crate::flow::{FetchMode, MultiplexedStorageSource};
 use crate::frame::{Completion, Frame, Role};
-use crate::transport::{ConnectionPool, FrameSink, Listener, Transport};
+use crate::overlap::QueryPipeline;
+use crate::reactor::{Backoff, Reactor, ReactorEvent};
+use crate::transport::{ConnectionPool, Listener, Transport};
 
 /// Monotonic nanoseconds since a process-wide epoch, shared by every
 /// service so lifecycle timestamps are comparable within one machine.
@@ -53,11 +61,10 @@ pub fn now_ns() -> u64 {
     epoch.elapsed().as_nanos() as u64
 }
 
-/// Handle to a spawned background service (storage or router).
+/// Handle to a spawned background service (storage).
 pub struct ServiceHandle {
     addr: String,
     stop: Arc<AtomicBool>,
-    transport: Arc<dyn Transport>,
     join: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -67,11 +74,11 @@ impl ServiceHandle {
         &self.addr
     }
 
-    /// Stops the accept loop and joins the service thread.
+    /// Stops the reactor loop and joins the service thread. The loop
+    /// checks the stop flag between poll sweeps, so no wake-up dial is
+    /// needed.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock `accept` with one throwaway connection.
-        let _ = self.transport.dial(&self.addr);
         if let Some(join) = self.join.take() {
             let _ = join.join();
         }
@@ -82,7 +89,6 @@ impl Drop for ServiceHandle {
     fn drop(&mut self) {
         if let Some(join) = self.join.take() {
             self.stop.store(true, Ordering::SeqCst);
-            let _ = self.transport.dial(&self.addr);
             let _ = join.join();
         }
     }
@@ -98,7 +104,17 @@ pub struct StorageService;
 impl StorageService {
     /// Spawns a storage endpoint on `transport`, serving `tier` with an
     /// emulated per-fetch `net` delay ([`NetworkModel::local`] charges
-    /// nothing). Each inbound connection gets its own serving thread.
+    /// nothing). One reactor thread serves every inbound connection —
+    /// O(1) threads per storage node regardless of how many processors
+    /// dial it.
+    ///
+    /// Emulated delays model *wire latency*, not server occupancy:
+    /// microsecond-scale delays (RDMA/Ethernet presets) are spun inline
+    /// for accuracy, while delays of 100 µs and up park the finished
+    /// response in a due-time queue and keep serving — so concurrent
+    /// exchanges overlap their emulated flight time exactly as they would
+    /// over a real remote wire, instead of queueing behind one another's
+    /// sleeps.
     ///
     /// # Errors
     ///
@@ -108,71 +124,171 @@ impl StorageService {
         tier: Arc<StorageTier>,
         net: NetworkModel,
     ) -> WireResult<ServiceHandle> {
-        let mut listener = transport.listen(&transport.any_addr())?;
+        let listener = transport.listen(&transport.any_addr())?;
         let addr = listener.addr();
         let stop = Arc::new(AtomicBool::new(false));
-        let stop_accept = Arc::clone(&stop);
+        let stop_loop = Arc::clone(&stop);
         let join = std::thread::spawn(move || {
-            while let Ok(conn) = listener.accept() {
-                if stop_accept.load(Ordering::SeqCst) {
-                    break;
+            let mut reactor = Reactor::new(listener);
+            let mut events: Vec<ReactorEvent> = Vec::new();
+            // Responses whose emulated flight time has not elapsed yet.
+            // Arrival order, but due times are NOT monotone (the delay
+            // depends on payload bytes), so delivery scans the whole
+            // queue — a large response must not head-of-line-block a
+            // small one behind it. Per-connection reordering is safe:
+            // batch responses correlate by req_id, and the scalar pool
+            // keeps one outstanding request per connection.
+            let mut in_flight: VecDeque<DelayedResponse> = VecDeque::new();
+            let mut backoff = Backoff::new();
+            loop {
+                if stop_loop.load(Ordering::SeqCst) {
+                    return;
                 }
-                let tier = Arc::clone(&tier);
-                std::thread::spawn(move || serve_storage_conn(conn, &tier, net));
+                events.clear();
+                if reactor.poll(&mut events).is_err() {
+                    return;
+                }
+                let mut progressed = false;
+                for event in events.drain(..) {
+                    if let ReactorEvent::Frame(conn_id, frame) = event {
+                        serve_storage_frame(
+                            &mut reactor,
+                            conn_id,
+                            frame,
+                            &tier,
+                            net,
+                            &mut in_flight,
+                        );
+                        progressed = true;
+                    }
+                }
+                // Deliver every response whose flight time has elapsed.
+                let now = Instant::now();
+                in_flight.retain(|response| {
+                    if response.due > now {
+                        return true;
+                    }
+                    progressed = true;
+                    for frame in &response.frames {
+                        if reactor.send(response.conn_id, frame).is_err() {
+                            reactor.close(response.conn_id);
+                            break;
+                        }
+                    }
+                    false
+                });
+                if progressed {
+                    backoff.reset();
+                } else if in_flight.is_empty() {
+                    backoff.idle();
+                } else {
+                    // Responses are due within the emulated RTT; yielding
+                    // keeps due-time precision tight without burning the
+                    // core an overlapping processor is computing on.
+                    std::thread::yield_now();
+                }
             }
         });
         Ok(ServiceHandle {
             addr,
             stop,
-            transport,
             join: Some(join),
         })
     }
 }
 
-fn serve_storage_conn(
-    mut conn: crate::transport::Connection,
+/// A finished response waiting out its emulated wire latency.
+struct DelayedResponse {
+    due: Instant,
+    conn_id: u64,
+    frames: Vec<Frame>,
+}
+
+/// Emulated delays at or above this park the response in the due-time
+/// queue; shorter ones are spun inline (`thread::sleep`'s ~50 µs kernel
+/// timer slack would swamp them, and at that scale the server is
+/// occupied-by-the-exchange anyway).
+const DELAY_QUEUE_THRESHOLD_NS: u64 = 100_000;
+
+/// Answers one frame on the storage reactor; a peer that cannot be
+/// answered (dead, or speaking the wrong protocol) is retired without
+/// taking the node down.
+fn serve_storage_frame(
+    reactor: &mut Reactor,
+    conn_id: u64,
+    frame: Frame,
     tier: &StorageTier,
     net: NetworkModel,
+    in_flight: &mut VecDeque<DelayedResponse>,
 ) {
-    loop {
-        match conn.recv() {
-            Ok(Frame::FetchRequest { node }) => {
-                let payload = tier.get(node).map(|(server, value)| (server as u16, value));
-                if !net.is_free() {
-                    let bytes = payload.as_ref().map_or(0, |(_, v)| v.len());
-                    spin_for_ns(net.fetch_ns(bytes));
-                }
-                if conn.send(&Frame::FetchResponse { node, payload }).is_err() {
-                    break;
-                }
+    match frame {
+        Frame::FetchRequest { node } => {
+            let payload = tier.get(node).map(|(server, value)| (server as u16, value));
+            let delay_ns = if net.is_free() {
+                0
+            } else {
+                net.fetch_ns(payload.as_ref().map_or(0, |(_, v)| v.len()))
+            };
+            let response = Frame::FetchResponse { node, payload };
+            if delay_ns >= DELAY_QUEUE_THRESHOLD_NS {
+                in_flight.push_back(DelayedResponse {
+                    due: Instant::now() + std::time::Duration::from_nanos(delay_ns),
+                    conn_id,
+                    frames: vec![response],
+                });
+                return;
             }
-            Ok(Frame::FetchBatchRequest { req_id, nodes }) => {
-                let payloads: Vec<Option<(u16, bytes::Bytes)>> = tier
-                    .get_many(&nodes)
-                    .into_iter()
-                    .map(|p| p.map(|(server, value)| (server as u16, value)))
-                    .collect();
-                if !net.is_free() {
-                    // One modelled exchange for the whole batch — exactly
-                    // the RTT amortisation the batch path exists for.
-                    let bytes: usize = payloads
-                        .iter()
-                        .map(|p| p.as_ref().map_or(0, |(_, v)| v.len()))
-                        .sum();
-                    spin_for_ns(net.fetch_ns(bytes));
-                }
-                if send_batch_response(&mut conn, req_id, payloads).is_err() {
-                    break;
-                }
+            spin_for_ns(delay_ns);
+            if reactor.send(conn_id, &response).is_err() {
+                reactor.close(conn_id);
             }
-            Ok(Frame::Shutdown) | Err(_) => break,
-            Ok(_) => {
-                // A storage server only understands fetches; answer the
-                // confusion explicitly, then drop the peer.
-                let _ = conn.send(&Frame::Shutdown);
-                break;
+        }
+        Frame::FetchBatchRequest { req_id, nodes } => {
+            let payloads: Vec<Option<(u16, bytes::Bytes)>> = tier
+                .get_many(&nodes)
+                .into_iter()
+                .map(|p| p.map(|(server, value)| (server as u16, value)))
+                .collect();
+            // One modelled exchange for the whole batch — exactly the
+            // RTT amortisation the batch path exists for.
+            let delay_ns = if net.is_free() {
+                0
+            } else {
+                let bytes: usize = payloads
+                    .iter()
+                    .map(|p| p.as_ref().map_or(0, |(_, v)| v.len()))
+                    .sum();
+                net.fetch_ns(bytes)
+            };
+            if delay_ns >= DELAY_QUEUE_THRESHOLD_NS {
+                let mut frames = Vec::new();
+                send_batch_response(
+                    |f| {
+                        frames.push(f.clone());
+                        Ok(())
+                    },
+                    req_id,
+                    payloads,
+                )
+                .expect("buffering frames cannot fail");
+                in_flight.push_back(DelayedResponse {
+                    due: Instant::now() + std::time::Duration::from_nanos(delay_ns),
+                    conn_id,
+                    frames,
+                });
+                return;
             }
+            spin_for_ns(delay_ns);
+            if send_batch_response(|f| reactor.send(conn_id, f), req_id, payloads).is_err() {
+                reactor.close(conn_id);
+            }
+        }
+        Frame::Shutdown => reactor.close(conn_id),
+        _ => {
+            // A storage server only understands fetches; answer the
+            // confusion explicitly, then drop the peer.
+            let _ = reactor.send(conn_id, &Frame::Shutdown);
+            reactor.close(conn_id);
         }
     }
 }
@@ -191,7 +307,7 @@ pub const BATCH_RESPONSE_SOFT_BYTES: usize = 8 << 20;
 const PAYLOAD_OVERHEAD: usize = 8;
 
 fn send_batch_response(
-    conn: &mut crate::transport::Connection,
+    mut send: impl FnMut(&Frame) -> WireResult<()>,
     req_id: u64,
     payloads: Vec<Option<(u16, Bytes)>>,
 ) -> WireResult<()> {
@@ -210,7 +326,7 @@ fn send_batch_response(
             take += 1;
         }
         let tail = rest.split_off(take);
-        conn.send(&Frame::FetchBatchResponse {
+        send(&Frame::FetchBatchResponse {
             req_id,
             payloads: rest,
         })?;
@@ -222,7 +338,9 @@ fn send_batch_response(
 }
 
 /// Busy-waits `ns` nanoseconds — the emulation is about *relative* cost,
-/// and sleeping has far too coarse a floor for microsecond RTTs.
+/// and sleeping has far too coarse a floor for microsecond RTTs. Delays
+/// large enough to matter go through the due-time queue instead (see
+/// [`StorageService::spawn`]).
 fn spin_for_ns(ns: u64) {
     let start = Instant::now();
     while (start.elapsed().as_nanos() as u64) < ns {
@@ -291,16 +409,21 @@ pub struct ProcessorService;
 
 impl ProcessorService {
     /// Spawns processor `id`: dials the router and the storage endpoints,
-    /// then serves ack-driven dispatch until the router says
+    /// then serves dispatched queries until the router says
     /// [`Frame::Shutdown`].
     ///
-    /// The worker is built exactly as the in-proc engine builds its own
+    /// The cache is built exactly as the in-proc engine builds its own
     /// ([`EngineConfig::build_cache`]), with the miss path swapped for a
-    /// wire-backed source — [`RemoteStorageSource`] (one round trip per
-    /// node) in [`FetchMode::Scalar`], the pipelined
-    /// [`MultiplexedStorageSource`] in [`FetchMode::Batched`]. Both replay
-    /// identical cache accounting, which is why wire runs agree with
-    /// in-proc runs on every cache statistic in either mode.
+    /// wire-backed source. [`FetchMode::Scalar`] runs the classic
+    /// ack-driven loop: one blocking query at a time over a
+    /// [`RemoteStorageSource`] (one round trip per node).
+    /// [`FetchMode::Batched`] polls the router connection and drives a
+    /// [`QueryPipeline`] over a [`MultiplexedStorageSource`]: up to
+    /// [`EngineConfig::overlap`] dispatched queries in flight, one query's
+    /// frontier batch on the wire while another computes. At `overlap = 1`
+    /// the pipeline replays byte-identical cache accounting to the serial
+    /// paths, which is why wire runs agree with in-proc runs on every
+    /// cache statistic in either fetch mode.
     pub fn spawn(
         transport: Arc<dyn Transport>,
         id: usize,
@@ -310,63 +433,145 @@ impl ProcessorService {
         config: EngineConfig,
         fetch: FetchMode,
     ) -> std::thread::JoinHandle<WireResult<()>> {
-        std::thread::spawn(move || {
-            let source: Box<dyn BatchSource + Send> = match fetch {
-                FetchMode::Scalar => Box::new(RemoteStorageSource::new(
-                    Arc::clone(&transport),
-                    &storage_addrs,
-                    partitioner,
-                )),
-                FetchMode::Batched => Box::new(MultiplexedStorageSource::new(
-                    Arc::clone(&transport),
-                    &storage_addrs,
-                    partitioner,
-                )),
-            };
-            let mut worker = Worker::from_parts(id, source, config.build_cache());
-            let mut router = transport.dial(&router_addr)?;
-            router.send(&Frame::Hello {
-                role: Role::Processor,
-                id: id as u32,
-            })?;
-            loop {
-                match router.recv() {
-                    Ok(Frame::Dispatch { seq, query }) => {
-                        let started_ns = now_ns();
-                        let (out, _miss_log) = worker.run(&query);
-                        let completed_ns = now_ns();
-                        router.send(&Frame::Completion(Completion {
-                            seq,
-                            processor: id as u32,
-                            result: out.result,
-                            stats: out.stats,
-                            arrived_ns: 0,
-                            started_ns,
-                            completed_ns,
-                        }))?;
-                    }
-                    Ok(Frame::Shutdown) | Err(WireError::Closed) => return Ok(()),
-                    Ok(other) => {
-                        return Err(WireError::Protocol(format!(
-                            "processor {id} got {}",
-                            other.kind()
-                        )))
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
+        std::thread::spawn(move || match fetch {
+            FetchMode::Scalar => run_processor_scalar(
+                &transport,
+                id,
+                &router_addr,
+                &storage_addrs,
+                partitioner,
+                &config,
+            ),
+            FetchMode::Batched => run_processor_overlapped(
+                &transport,
+                id,
+                &router_addr,
+                &storage_addrs,
+                partitioner,
+                &config,
+            ),
         })
+    }
+}
+
+/// The classic blocking processor: ack-driven dispatch, one query at a
+/// time, scalar per-node fetches.
+fn run_processor_scalar(
+    transport: &Arc<dyn Transport>,
+    id: usize,
+    router_addr: &str,
+    storage_addrs: &[String],
+    partitioner: Arc<dyn Partitioner>,
+    config: &EngineConfig,
+) -> WireResult<()> {
+    let source: Box<dyn BatchSource + Send> = Box::new(RemoteStorageSource::new(
+        Arc::clone(transport),
+        storage_addrs,
+        partitioner,
+    ));
+    let mut worker = Worker::from_parts(id, source, config.build_cache());
+    let mut router = transport.dial(router_addr)?;
+    router.send(&Frame::Hello {
+        role: Role::Processor,
+        id: id as u32,
+    })?;
+    loop {
+        match router.recv() {
+            Ok(Frame::Dispatch { seq, query }) => {
+                let started_ns = now_ns();
+                let (out, _miss_log) = worker.run(&query);
+                let completed_ns = now_ns();
+                router.send(&Frame::Completion(Completion {
+                    seq,
+                    processor: id as u32,
+                    result: out.result,
+                    stats: out.stats,
+                    arrived_ns: 0,
+                    started_ns,
+                    completed_ns,
+                }))?;
+            }
+            Ok(Frame::Shutdown) | Err(WireError::Closed) => return Ok(()),
+            Ok(other) => {
+                return Err(WireError::Protocol(format!(
+                    "processor {id} got {}",
+                    other.kind()
+                )))
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The overlapped processor: polls the router connection for dispatches
+/// (the router sends up to `overlap` ahead of acknowledgements) and
+/// drives the [`QueryPipeline`], acknowledging completions as they land —
+/// possibly out of dispatch order, which the router correlates by
+/// sequence number.
+fn run_processor_overlapped(
+    transport: &Arc<dyn Transport>,
+    id: usize,
+    router_addr: &str,
+    storage_addrs: &[String],
+    partitioner: Arc<dyn Partitioner>,
+    config: &EngineConfig,
+) -> WireResult<()> {
+    let mut source =
+        MultiplexedStorageSource::new(Arc::clone(transport), storage_addrs, partitioner);
+    let mut cache = config.build_cache();
+    let mut pipeline = QueryPipeline::new(config.overlap.max(1));
+    let router = transport.dial(router_addr)?;
+    let (mut sink, mut stream) = router.split();
+    sink.send(&Frame::Hello {
+        role: Role::Processor,
+        id: id as u32,
+    })?;
+    let mut backoff = Backoff::new();
+    loop {
+        let mut progressed = false;
+        // Drain whatever the router has sent — every queued dispatch goes
+        // into the pipeline before any compute runs, so fetch submission
+        // happens as early as possible.
+        loop {
+            match stream.try_recv() {
+                Ok(Some(Frame::Dispatch { seq, query })) => {
+                    pipeline.push(seq, query);
+                    progressed = true;
+                }
+                Ok(Some(Frame::Shutdown)) | Err(WireError::Closed) => return Ok(()),
+                Ok(Some(other)) => {
+                    return Err(WireError::Protocol(format!(
+                        "processor {id} got {}",
+                        other.kind()
+                    )))
+                }
+                Ok(None) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        for done in pipeline.step(&mut source, &mut cache)? {
+            sink.send(&Frame::Completion(Completion {
+                seq: done.seq,
+                processor: id as u32,
+                result: done.outcome.result,
+                stats: done.outcome.stats,
+                arrived_ns: 0,
+                started_ns: done.started_ns,
+                completed_ns: done.completed_ns,
+            }))?;
+            progressed = true;
+        }
+        if progressed {
+            backoff.reset();
+        } else {
+            backoff.idle();
+        }
     }
 }
 
 // ---------------------------------------------------------------------------
 // Router
 // ---------------------------------------------------------------------------
-
-enum RouterEvent {
-    Connected(u64, Box<dyn FrameSink>),
-    Frame(u64, WireResult<Frame>),
-}
 
 /// Router-loop behaviour knobs beyond the engine configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -382,24 +587,30 @@ pub struct RouterOptions {
 /// The router owns the same [`Engine`] the in-proc runtimes drive — the
 /// strategy, the per-processor queues, admission windowing, stealing, and
 /// completion accounting all run through identical code; only the job and
-/// ack channels are replaced by framed connections. Returns the run's
-/// totals (also sent to the client as a [`Frame::Metrics`]).
+/// ack channels are replaced by framed connections, all multiplexed
+/// through ONE [`Reactor`] poll loop — no acceptor thread, no
+/// reader thread per peer. Returns the run's totals (also sent to the
+/// client as a [`Frame::Metrics`]).
 ///
 /// Protocol: processors connect and announce `Hello{Processor, id}`; one
 /// client connects, announces `Hello{Client}`, streams `Submit`s, and ends
-/// with `SubmitEnd`. When every submitted query has completed, the router
-/// forwards the snapshot and `Shutdown` to the client, shuts processors
-/// down, and returns. A [`Frame::MetricsRequest`] from any peer is
-/// answered immediately with the *current* snapshot, and
+/// with `SubmitEnd`. The router keeps up to [`EngineConfig::overlap`]
+/// dispatches in flight per processor (the classic ack-driven one-at-a-time
+/// protocol is `overlap = 1`). When every submitted query has completed,
+/// the router forwards the snapshot and `Shutdown` to the client, shuts
+/// processors down, and returns. A [`Frame::MetricsRequest`] from any peer
+/// is answered immediately with the *current* snapshot, and
 /// [`RouterOptions::snapshot_every`] streams periodic snapshots to the
 /// client unprompted.
 ///
-/// Fault masking: a processor that disconnects mid-run is marked down in
-/// the routing engine ([`Engine::mark_down`]), its queued work is
-/// redistributed through the strategy, and its outstanding dispatched
-/// query (if any) is resubmitted under its original sequence number — the
-/// run continues on the surviving processors. Losing the client, or the
-/// *last* processor, is still fatal.
+/// Fault masking and re-join: a processor that disconnects mid-run is
+/// marked down in the routing engine ([`Engine::mark_down`]), its queued
+/// work is redistributed through the strategy, and every outstanding
+/// dispatched query is resubmitted under its original sequence number —
+/// the run continues on the surviving processors. A restarted processor
+/// re-dialling with its old id is marked up again ([`Engine::mark_up`])
+/// and re-enters rotation. Losing the client, or the *last* processor, is
+/// still fatal.
 ///
 /// # Errors
 ///
@@ -411,55 +622,24 @@ pub struct RouterOptions {
 /// Panics if `config` requests a smart routing scheme but `assets` lacks
 /// the matching preprocessing product (same contract as [`Engine::new`]).
 pub fn run_router(
-    transport: Arc<dyn Transport>,
-    mut listener: Box<dyn Listener>,
+    listener: Box<dyn Listener>,
     assets: &EngineAssets,
     config: &EngineConfig,
     opts: &RouterOptions,
 ) -> WireResult<RunSnapshot> {
-    let addr = listener.addr();
     let p = config.processors;
+    let overlap = config.overlap.max(1);
     // Router half only: the processors (and their caches) are remote.
     let mut engine = Engine::new_router_only(assets, config);
-
-    let stop = Arc::new(AtomicBool::new(false));
-    let stop_accept = Arc::clone(&stop);
-    let (event_tx, event_rx) = unbounded::<RouterEvent>();
-    let accept_tx = event_tx.clone();
-    let acceptor = std::thread::spawn(move || {
-        let mut next_conn = 0u64;
-        while let Ok(conn) = listener.accept() {
-            if stop_accept.load(Ordering::SeqCst) {
-                break;
-            }
-            let conn_id = next_conn;
-            next_conn += 1;
-            let (sink, mut stream) = conn.split();
-            if accept_tx
-                .send(RouterEvent::Connected(conn_id, sink))
-                .is_err()
-            {
-                break;
-            }
-            let reader_tx = accept_tx.clone();
-            std::thread::spawn(move || loop {
-                let frame = stream.recv();
-                let done = frame.is_err();
-                if reader_tx.send(RouterEvent::Frame(conn_id, frame)).is_err() || done {
-                    break;
-                }
-            });
-        }
-    });
-    drop(event_tx);
+    let mut reactor = Reactor::new(listener);
 
     // Router state: which connection is which peer.
-    let mut sinks: HashMap<u64, Box<dyn FrameSink>> = HashMap::new();
     let mut processor_conn: Vec<Option<u64>> = vec![None; p];
-    let mut idle: Vec<bool> = vec![false; p];
-    // The one dispatched-but-unacknowledged query per processor, kept so a
-    // dying processor's in-flight work can be resubmitted.
-    let mut outstanding: Vec<Option<(u64, grouting_query::Query)>> = vec![None; p];
+    let mut in_flight: Vec<usize> = vec![0; p];
+    // The dispatched-but-unacknowledged queries per processor (at most
+    // `overlap`), kept so a dying processor's in-flight work can be
+    // resubmitted.
+    let mut outstanding: Vec<Vec<(u64, grouting_query::Query)>> = vec![Vec::new(); p];
     let mut ever_connected = 0usize;
     let mut client_conn: Option<u64> = None;
     let mut backlog: VecDeque<(usize, grouting_query::Query)> = VecDeque::new();
@@ -469,26 +649,40 @@ pub fn run_router(
     let mut submit_done = false;
 
     let result: WireResult<()> = (|| {
+        let mut events: Vec<ReactorEvent> = Vec::new();
         loop {
-            // Admission + dispatch between events.
+            // Admission + dispatch between event batches.
             {
                 let mut drain = std::iter::from_fn(|| backlog.pop_front());
                 engine.admit(&mut drain, |seq| {
                     arrivals.insert(seq as u64, now_ns());
                 });
             }
+            // Synthetic deaths noticed at dispatch time (a send failing
+            // before the reactor has polled the peer's closed stream).
+            let mut deaths: Vec<u64> = Vec::new();
             for proc_id in 0..p {
-                if !idle[proc_id] {
-                    continue;
-                }
                 let Some(conn_id) = processor_conn[proc_id] else {
                     continue;
                 };
-                if let Some((seq, query)) = engine.next_for(proc_id) {
-                    let sink = sinks.get_mut(&conn_id).expect("registered sink");
-                    sink.send(&Frame::Dispatch { seq, query })?;
-                    idle[proc_id] = false;
-                    outstanding[proc_id] = Some((seq, query));
+                while in_flight[proc_id] < overlap {
+                    let Some((seq, query)) = engine.next_for(proc_id) else {
+                        break;
+                    };
+                    if reactor
+                        .send(conn_id, &Frame::Dispatch { seq, query })
+                        .is_err()
+                    {
+                        // The peer died between events; retire the
+                        // connection and give the query back — the death
+                        // handling below redistributes everything.
+                        reactor.close(conn_id);
+                        outstanding[proc_id].push((seq, query));
+                        deaths.push(conn_id);
+                        break;
+                    }
+                    in_flight[proc_id] += 1;
+                    outstanding[proc_id].push((seq, query));
                 }
             }
 
@@ -498,116 +692,138 @@ pub fn run_router(
                 break;
             }
 
-            let Ok(event) = event_rx.recv() else {
-                return Err(WireError::Closed);
-            };
-            match event {
-                RouterEvent::Connected(conn_id, sink) => {
-                    sinks.insert(conn_id, sink);
-                }
-                RouterEvent::Frame(conn_id, Ok(frame)) => match frame {
-                    Frame::Hello {
-                        role: Role::Processor,
-                        id,
-                    } => {
-                        let id = id as usize;
-                        if id >= p {
-                            return Err(WireError::Protocol(format!(
-                                "processor id {id} out of range (P = {p})"
-                            )));
+            events.clear();
+            if deaths.is_empty() {
+                reactor.wait(&mut events, &|| false)?;
+            }
+            for conn_id in deaths {
+                events.push(ReactorEvent::Closed(conn_id));
+            }
+            for event in events.drain(..) {
+                match event {
+                    ReactorEvent::Opened(_) => {}
+                    ReactorEvent::Frame(conn_id, frame) => match frame {
+                        Frame::Hello {
+                            role: Role::Processor,
+                            id,
+                        } => {
+                            let id = id as usize;
+                            if id >= p {
+                                return Err(WireError::Protocol(format!(
+                                    "processor id {id} out of range (P = {p})"
+                                )));
+                            }
+                            if processor_conn[id].is_some() {
+                                return Err(WireError::Protocol(format!(
+                                    "processor id {id} connected twice"
+                                )));
+                            }
+                            processor_conn[id] = Some(conn_id);
+                            in_flight[id] = 0;
+                            // Re-join: a restarted processor re-dialling
+                            // with its old id goes back into rotation (a
+                            // no-op on the first connect).
+                            engine.mark_up(id);
+                            ever_connected += 1;
                         }
-                        processor_conn[id] = Some(conn_id);
-                        idle[id] = true;
-                        ever_connected += 1;
-                    }
-                    Frame::Hello {
-                        role: Role::Client, ..
-                    } => client_conn = Some(conn_id),
-                    Frame::Submit { seq, query } => {
-                        backlog.push_back((seq as usize, query));
-                        submitted += 1;
-                    }
-                    Frame::SubmitEnd => submit_done = true,
-                    Frame::Completion(mut completion) => {
-                        let proc_id = completion.processor as usize;
-                        // `remove`, not `get`: each seq completes exactly
-                        // once, so this bounds the map at the admission
-                        // window instead of the whole workload.
-                        completion.arrived_ns = arrivals.remove(&completion.seq).unwrap_or(0);
-                        engine.complete(
-                            QueryRecord {
-                                seq: completion.seq,
-                                arrived: completion.arrived_ns,
-                                started: completion.started_ns,
-                                completed: completion.completed_ns,
-                                processor: proc_id,
-                            },
-                            &completion.stats,
-                        );
-                        completed += 1;
-                        if proc_id < p {
-                            idle[proc_id] = true;
-                            outstanding[proc_id] = None;
+                        Frame::Hello {
+                            role: Role::Client, ..
+                        } => client_conn = Some(conn_id),
+                        Frame::Submit { seq, query } => {
+                            backlog.push_back((seq as usize, query));
+                            submitted += 1;
                         }
-                        if let Some(client) = client_conn {
-                            if let Some(sink) = sinks.get_mut(&client) {
-                                sink.send(&Frame::Completion(completion))?;
+                        Frame::SubmitEnd => submit_done = true,
+                        Frame::Completion(mut completion) => {
+                            let proc_id = completion.processor as usize;
+                            // `remove`, not `get`: each seq completes
+                            // exactly once, so this bounds the map at the
+                            // admission window instead of the whole
+                            // workload.
+                            completion.arrived_ns = arrivals.remove(&completion.seq).unwrap_or(0);
+                            engine.complete(
+                                QueryRecord {
+                                    seq: completion.seq,
+                                    arrived: completion.arrived_ns,
+                                    started: completion.started_ns,
+                                    completed: completion.completed_ns,
+                                    processor: proc_id,
+                                },
+                                &completion.stats,
+                            );
+                            completed += 1;
+                            if proc_id < p {
+                                in_flight[proc_id] = in_flight[proc_id].saturating_sub(1);
+                                // Out-of-order acknowledgement is legal
+                                // under overlap; correlate by seq.
+                                if let Some(pos) = outstanding[proc_id]
+                                    .iter()
+                                    .position(|&(s, _)| s == completion.seq)
+                                {
+                                    outstanding[proc_id].remove(pos);
+                                }
+                            }
+                            if let Some(client) = client_conn {
+                                reactor.send(client, &Frame::Completion(completion))?;
                                 if opts.snapshot_every > 0
                                     && completed.is_multiple_of(opts.snapshot_every)
                                     && completed < submitted
                                 {
-                                    sink.send(&Frame::Metrics(engine.snapshot()))?;
+                                    reactor.send(client, &Frame::Metrics(engine.snapshot()))?;
                                 }
                             }
                         }
-                    }
-                    Frame::MetricsRequest => {
-                        // Any peer may sample the run mid-flight; answer
-                        // with the totals accumulated so far.
-                        if let Some(sink) = sinks.get_mut(&conn_id) {
-                            sink.send(&Frame::Metrics(engine.snapshot()))?;
+                        Frame::MetricsRequest => {
+                            // Any peer may sample the run mid-flight;
+                            // answer with the totals accumulated so far (a
+                            // requester that died in the meantime is
+                            // handled by its own Closed event).
+                            let _ = reactor.send(conn_id, &Frame::Metrics(engine.snapshot()));
                         }
-                    }
-                    Frame::Shutdown => {
-                        // Any peer may abort the run (the harness uses this
-                        // when its client fails before connecting properly).
-                        return Err(WireError::Protocol(format!(
-                            "run aborted by conn {conn_id}"
-                        )));
-                    }
-                    other => {
-                        return Err(WireError::Protocol(format!(
-                            "router got {} from conn {conn_id}",
-                            other.kind()
-                        )))
-                    }
-                },
-                RouterEvent::Frame(conn_id, Err(_)) => {
-                    // A registered peer dropped. Losing the client (the
-                    // rest of the submissions and every result) is always
-                    // fatal. A processor death is masked: the engine marks
-                    // it down (redistributing its queued work through the
-                    // strategy) and its outstanding dispatched query is
-                    // resubmitted, so the run continues on the survivors —
-                    // unless none remain. A stray dial or a peer that
-                    // never said hello is ignorable.
-                    sinks.remove(&conn_id);
-                    if client_conn == Some(conn_id) {
-                        return Err(WireError::Closed);
-                    }
-                    if let Some(proc_id) = processor_conn.iter().position(|&c| c == Some(conn_id)) {
-                        processor_conn[proc_id] = None;
-                        idle[proc_id] = false;
-                        engine.mark_down(proc_id);
-                        if let Some((seq, query)) = outstanding[proc_id].take() {
-                            engine.resubmit(seq, query);
-                        }
-                        let unfinished =
-                            !submit_done || completed < submitted || engine.pending() > 0;
-                        if processor_conn.iter().all(Option::is_none) && unfinished {
+                        Frame::Shutdown => {
+                            // Any peer may abort the run (the harness uses
+                            // this when its client fails before connecting
+                            // properly).
                             return Err(WireError::Protocol(format!(
-                                "all {ever_connected} connected processor(s) died mid-run"
+                                "run aborted by conn {conn_id}"
                             )));
+                        }
+                        other => {
+                            return Err(WireError::Protocol(format!(
+                                "router got {} from conn {conn_id}",
+                                other.kind()
+                            )))
+                        }
+                    },
+                    ReactorEvent::Closed(conn_id) => {
+                        // A registered peer dropped. Losing the client (the
+                        // rest of the submissions and every result) is
+                        // always fatal. A processor death is masked: the
+                        // engine marks it down (redistributing its queued
+                        // work through the strategy) and every outstanding
+                        // dispatched query is resubmitted, so the run
+                        // continues on the survivors — unless none remain.
+                        // A stray dial or a peer that never said hello is
+                        // ignorable.
+                        if client_conn == Some(conn_id) {
+                            return Err(WireError::Closed);
+                        }
+                        if let Some(proc_id) =
+                            processor_conn.iter().position(|&c| c == Some(conn_id))
+                        {
+                            processor_conn[proc_id] = None;
+                            in_flight[proc_id] = 0;
+                            engine.mark_down(proc_id);
+                            for (seq, query) in outstanding[proc_id].drain(..) {
+                                engine.resubmit(seq, query);
+                            }
+                            let unfinished =
+                                !submit_done || completed < submitted || engine.pending() > 0;
+                            if processor_conn.iter().all(Option::is_none) && unfinished {
+                                return Err(WireError::Protocol(format!(
+                                    "all {ever_connected} connected processor(s) died mid-run"
+                                )));
+                            }
                         }
                     }
                 }
@@ -616,22 +832,16 @@ pub fn run_router(
         Ok(())
     })();
 
-    // Teardown: snapshot to the client, shutdown to everyone, stop accepting.
+    // Teardown: snapshot to the client, shutdown to everyone. Dropping the
+    // reactor closes the listener and every connection.
     let snapshot = engine.snapshot();
     if let Some(client) = client_conn {
-        if let Some(sink) = sinks.get_mut(&client) {
-            let _ = sink.send(&Frame::Metrics(snapshot.clone()));
-            let _ = sink.send(&Frame::Shutdown);
-        }
+        let _ = reactor.send(client, &Frame::Metrics(snapshot.clone()));
+        let _ = reactor.send(client, &Frame::Shutdown);
     }
     for conn_id in processor_conn.into_iter().flatten() {
-        if let Some(sink) = sinks.get_mut(&conn_id) {
-            let _ = sink.send(&Frame::Shutdown);
-        }
+        let _ = reactor.send(conn_id, &Frame::Shutdown);
     }
-    stop.store(true, Ordering::SeqCst);
-    let _ = transport.dial(&addr);
-    let _ = acceptor.join();
 
     result.map(|()| snapshot)
 }
@@ -655,7 +865,7 @@ mod tests {
             .collect();
         let expected = payloads.clone();
         let writer = std::thread::spawn(move || {
-            send_batch_response(&mut sender, 42, payloads).unwrap();
+            send_batch_response(|f| sender.send(f), 42, payloads).unwrap();
         });
 
         let mut frames = 0;
@@ -683,7 +893,7 @@ mod tests {
         let mut listener = transport.listen(&transport.any_addr()).unwrap();
         let mut sender = transport.dial(&listener.addr()).unwrap();
         let mut receiver = listener.accept().unwrap();
-        send_batch_response(&mut sender, 7, Vec::new()).unwrap();
+        send_batch_response(|f| sender.send(f), 7, Vec::new()).unwrap();
         match receiver.recv().unwrap() {
             Frame::FetchBatchResponse { req_id, payloads } => {
                 assert_eq!(req_id, 7);

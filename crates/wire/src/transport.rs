@@ -113,6 +113,13 @@ pub trait Listener: Send {
     /// Blocks for the next inbound connection.
     fn accept(&mut self) -> WireResult<Connection>;
 
+    /// Polls for an inbound connection without blocking: `Ok(Some)` when a
+    /// dial was waiting, `Ok(None)` when none is. This is the accept-side
+    /// primitive of the readiness reactor — one poll loop can watch its
+    /// listener *and* every established connection without parking a
+    /// thread on either.
+    fn try_accept(&mut self) -> WireResult<Option<Connection>>;
+
     /// The address peers dial to reach this listener.
     fn addr(&self) -> String;
 }
@@ -171,7 +178,10 @@ impl TcpTransport {
 impl Transport for TcpTransport {
     fn listen(&self, addr: &str) -> WireResult<Box<dyn Listener>> {
         let listener = TcpListener::bind(addr)?;
-        Ok(Box::new(TcpFrameListener { listener }))
+        Ok(Box::new(TcpFrameListener {
+            listener,
+            nonblocking: false,
+        }))
     }
 
     fn dial(&self, addr: &str) -> WireResult<Connection> {
@@ -216,12 +226,39 @@ fn tcp_connection(stream: TcpStream) -> WireResult<Connection> {
 
 struct TcpFrameListener {
     listener: TcpListener,
+    /// Set on the first `try_accept` and never reverted (same discipline
+    /// as the stream half: a listener is either blocking-driven or
+    /// reactor-polled, never interleaved).
+    nonblocking: bool,
 }
 
 impl Listener for TcpFrameListener {
     fn accept(&mut self) -> WireResult<Connection> {
-        let (stream, _) = self.listener.accept()?;
-        tcp_connection(stream)
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => return tcp_connection(stream),
+                // Only reachable when `try_accept` switched the socket to
+                // non-blocking; honour the blocking contract by waiting.
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::yield_now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn try_accept(&mut self) -> WireResult<Option<Connection>> {
+        if !self.nonblocking {
+            self.listener.set_nonblocking(true)?;
+            self.nonblocking = true;
+        }
+        match self.listener.accept() {
+            Ok((stream, _)) => tcp_connection(stream).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Ok(None),
+            Err(e) => Err(e.into()),
+        }
     }
 
     fn addr(&self) -> String {
@@ -442,6 +479,15 @@ struct InProcListener {
 impl Listener for InProcListener {
     fn accept(&mut self) -> WireResult<Connection> {
         self.inbox.recv().map_err(|_| WireError::Closed)
+    }
+
+    fn try_accept(&mut self) -> WireResult<Option<Connection>> {
+        use crossbeam::channel::TryRecvError;
+        match self.inbox.try_recv() {
+            Ok(conn) => Ok(Some(conn)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(WireError::Closed),
+        }
     }
 
     fn addr(&self) -> String {

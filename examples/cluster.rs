@@ -25,9 +25,11 @@ use grouting_core::prelude::*;
 fn main() {
     let transport = TransportKind::from_env();
     let fetch = grouting_core::wire::FetchMode::from_env();
+    let overlap = grouting_core::wire::overlap_from_env(2);
     let graph = DatasetProfile::at_scale(ProfileName::WebGraph, 0.1).generate();
     println!(
-        "WebGraph-profile graph: {} nodes, {} edges; transport: {transport}; fetch: {fetch}",
+        "WebGraph-profile graph: {} nodes, {} edges; transport: {transport}; fetch: {fetch}; \
+         overlap: {overlap}",
         graph.node_count(),
         graph.edge_count()
     );

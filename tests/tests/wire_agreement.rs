@@ -49,11 +49,19 @@ fn seeded_setup() -> (Arc<StorageTier>, Vec<Query>) {
 /// assignment is a pure function of the query node, and each processor
 /// serves its own queue in submission order. Both deployments must land on
 /// byte-identical routing decisions and cache statistics.
+///
+/// `overlap: 1` pins the strictly serial processor path: with one query in
+/// flight per processor, the staged wire executor replays the exact access
+/// sequence of the in-process engine, making cache statistics
+/// byte-comparable. (Overlap ≥ 2 interleaves queries over a shared cache,
+/// which legally shifts the hit/miss split between them — covered by the
+/// overlap-4 test below, which pins answers and routing instead.)
 fn deterministic_config() -> LiveConfig {
     LiveConfig {
         processors: 4,
         stealing: false,
         cache_capacity: 8 << 20,
+        overlap: 1,
         ..LiveConfig::paper_default(4, RoutingKind::Hash)
     }
 }
@@ -131,6 +139,42 @@ fn batched_tcp_cluster_agrees_with_inproc_engine() {
 #[test]
 fn batched_inproc_fabric_agrees_with_inproc_engine() {
     assert_agreement(TransportKind::InProc, FetchMode::Batched);
+}
+
+#[test]
+fn overlap4_cluster_matches_assignments_and_results() {
+    // Cross-query fetch overlap must never change WHAT is computed or
+    // WHERE: with hash routing and stealing off, the assignment is a pure
+    // function of the query node, so even four queries in flight per
+    // processor must reproduce the in-process engine's routing decisions
+    // and answers exactly. (Cache-stat equality is deliberately not
+    // asserted here — interleaved queries may split hits/misses between
+    // themselves differently; total accesses are pinned by the
+    // overlap-pipeline unit tests.)
+    let (tier, queries) = seeded_setup();
+    let cfg = LiveConfig {
+        overlap: 4,
+        ..deterministic_config()
+    };
+    let inproc = run_live(Arc::clone(&tier), None, None, &queries, &cfg);
+    let wired = run_cluster(
+        Arc::clone(&tier),
+        None,
+        None,
+        &queries,
+        &cfg,
+        TransportKind::from_env(),
+        Preset::Local,
+        FetchMode::Batched,
+    )
+    .expect("overlap-4 wire cluster completes");
+    assert_eq!(wired.results, inproc.results);
+    assert_eq!(
+        assignments(&wired, queries.len()),
+        assignments(&inproc, queries.len()),
+        "routing assignments diverged at overlap 4"
+    );
+    assert_eq!(wired.stolen, 0);
 }
 
 #[test]

@@ -1,13 +1,25 @@
 //! Offline stand-in for `criterion`.
 //!
-//! Implements the macro/struct surface `benches/micro.rs` uses —
+//! Implements the macro/struct surface the repo's benches use —
 //! [`Criterion::benchmark_group`], [`Bencher::iter`]/[`Bencher::iter_batched`],
 //! [`criterion_group!`], [`criterion_main!`] — as a plain wall-clock timer:
-//! a short warm-up, then a fixed measurement window, then one `name … mean`
-//! line per benchmark on stdout. No statistics, HTML reports, or comparison
-//! baselines; the goal is that `cargo bench` runs and prints sane numbers
-//! without crates.io access.
+//! a short warm-up, then a fixed measurement window sliced into samples,
+//! then one `group/name … median` line per benchmark on stdout. No HTML
+//! reports or comparison baselines; the goal is that `cargo bench` runs
+//! and prints sane numbers without crates.io access.
+//!
+//! Two extras the real criterion also offers, used by CI:
+//!
+//! * **Name filtering** — the first non-flag CLI argument restricts which
+//!   benchmarks run (`cargo bench --bench micro -- reactor` runs only
+//!   benchmarks whose `group/name` contains `reactor`), so the perf gate
+//!   can sample one group without paying for the whole suite;
+//! * **Machine-readable results** — when `GROUTING_BENCH_JSON` names a
+//!   path, `criterion_main!` writes `{"group/name": median_ns, …}` there
+//!   on exit, which CI uploads as an artifact and feeds to the
+//!   `bench_gate` regression check.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// How batched setup outputs are grouped (accepted, not acted on).
@@ -21,32 +33,127 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Collected medians (`group/name` → nanoseconds), written out on exit.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+/// The CLI benchmark-name filter, if any.
+static FILTER: Mutex<Option<String>> = Mutex::new(None);
+
+/// Captures the benchmark name filter from the CLI arguments (the first
+/// argument not starting with `-`). Called by `criterion_main!`.
+pub fn init_from_args() {
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    *FILTER.lock().unwrap() = filter;
+}
+
+fn filter_matches(full_name: &str) -> bool {
+    match FILTER.lock().unwrap().as_deref() {
+        Some(f) => full_name.contains(f),
+        None => true,
+    }
+}
+
+/// Whether any benchmark of `group` could match the CLI filter — lets a
+/// bench target skip a group's (possibly expensive, thread-spawning)
+/// setup entirely when a filter excludes it. The filter's group part
+/// (everything before a `/`, or the whole filter) is compared both ways,
+/// so `reactor_dispatch_latency/inproc` enables exactly that group. A
+/// filter naming only a benchmark (`inproc`) matches no group and runs
+/// nothing — [`write_results_json`] warns when a filtered run measured
+/// zero benchmarks.
+pub fn group_enabled(group: &str) -> bool {
+    match FILTER.lock().unwrap().as_deref() {
+        Some(f) => {
+            let group_part = f.split('/').next().unwrap_or(f);
+            group.contains(group_part) || group_part.contains(group)
+        }
+        None => true,
+    }
+}
+
+fn record_result(full_name: &str, median_ns: f64) {
+    RESULTS
+        .lock()
+        .unwrap()
+        .push((full_name.to_string(), median_ns));
+}
+
+/// Writes the collected medians as JSON to `$GROUTING_BENCH_JSON`, if set.
+/// Called by `criterion_main!` after every group has run. Also warns when
+/// a filtered run measured nothing (a filter that names a benchmark
+/// without its group skips every group's setup).
+pub fn write_results_json() {
+    if RESULTS.lock().unwrap().is_empty() {
+        if let Some(f) = FILTER.lock().unwrap().as_deref() {
+            eprintln!("warning: filter {f:?} matched no benchmarks (use group or group/name)");
+        }
+    }
+    let Ok(path) = std::env::var("GROUTING_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("{\n");
+    for (i, (name, median)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        // Bench names are plain ASCII identifiers; escape the JSON
+        // specials anyway for safety.
+        let escaped: String = name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        out.push_str(&format!("  \"{escaped}\": {median:.1}{comma}\n"));
+    }
+    out.push_str("}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("bench results written to {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
 /// Timing driver handed to each benchmark closure.
 pub struct Bencher {
-    total: Duration,
+    /// Per-sample mean nanoseconds (each sample times a small batch of
+    /// passes, so fast benchmarks aren't dominated by clock overhead).
+    samples: Vec<f64>,
     iters: u64,
 }
 
 impl Bencher {
     fn new() -> Self {
         Self {
-            total: Duration::ZERO,
+            samples: Vec::new(),
             iters: 0,
         }
     }
 
     fn measure<F: FnMut()>(&mut self, mut pass: F) {
-        // Warm-up, then time iterations until the window closes.
+        // Warm-up.
         for _ in 0..3 {
             pass();
         }
+        // Calibrate: size sample batches to ~2 ms so the 200 ms window
+        // yields ~100 samples whatever the per-pass cost.
+        let t = Instant::now();
+        pass();
+        let once = t.elapsed().max(Duration::from_nanos(1));
+        self.iters += 1;
+        let per_sample = (Duration::from_millis(2).as_nanos() / once.as_nanos()).max(1) as u64;
         let window = Duration::from_millis(200);
         let start = Instant::now();
         while start.elapsed() < window {
             let t = Instant::now();
-            pass();
-            self.total += t.elapsed();
-            self.iters += 1;
+            for _ in 0..per_sample {
+                pass();
+            }
+            let elapsed = t.elapsed();
+            self.samples
+                .push(elapsed.as_nanos() as f64 / per_sample as f64);
+            self.iters += per_sample;
         }
     }
 
@@ -72,28 +179,39 @@ impl Bencher {
             let input = setup();
             let t = Instant::now();
             std::hint::black_box(routine(input));
-            self.total += t.elapsed();
+            self.samples.push(t.elapsed().as_nanos() as f64);
             self.iters += 1;
         }
     }
 
-    fn report(&self, group: &str, name: &str) {
-        if self.iters == 0 {
-            println!("{group}/{name}: no iterations");
-            return;
+    fn median_ns(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
         }
-        let mean = self.total.as_nanos() as f64 / self.iters as f64;
-        let (value, unit) = if mean >= 1e9 {
-            (mean / 1e9, "s")
-        } else if mean >= 1e6 {
-            (mean / 1e6, "ms")
-        } else if mean >= 1e3 {
-            (mean / 1e3, "µs")
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        Some(sorted[sorted.len() / 2])
+    }
+
+    fn report(&self, group: &str, name: &str) {
+        let full = format!("{group}/{name}");
+        let Some(median) = self.median_ns() else {
+            println!("{full}: no iterations");
+            return;
+        };
+        record_result(&full, median);
+        let (value, unit) = if median >= 1e9 {
+            (median / 1e9, "s")
+        } else if median >= 1e6 {
+            (median / 1e6, "ms")
+        } else if median >= 1e3 {
+            (median / 1e3, "µs")
         } else {
-            (mean, "ns")
+            (median, "ns")
         };
         println!(
-            "{group}/{name}: {value:.2} {unit}/iter ({} iters)",
+            "{full}: {value:.2} {unit}/iter (median of {} samples, {} iters)",
+            self.samples.len(),
             self.iters
         );
     }
@@ -111,8 +229,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Runs one benchmark in the group.
+    /// Runs one benchmark in the group (skipped when a CLI filter was
+    /// given and does not match `group/name`).
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if !filter_matches(&format!("{}/{name}", self.name)) {
+            return self;
+        }
         let mut b = Bencher::new();
         f(&mut b);
         b.report(&self.name, name);
@@ -138,6 +260,9 @@ impl Criterion {
 
     /// Runs one ungrouped benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if !filter_matches(&format!("bench/{name}")) {
+            return self;
+        }
         let mut b = Bencher::new();
         f(&mut b);
         b.report("bench", name);
@@ -156,12 +281,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emits `main` running the listed groups.
+/// Emits `main` running the listed groups, honouring the CLI name filter
+/// and writing the JSON results file on exit when configured.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::init_from_args();
             $($group();)+
+            $crate::write_results_json();
         }
     };
 }
@@ -183,5 +311,13 @@ mod tests {
         });
         g.finish();
         assert!(ran > 0);
+    }
+
+    #[test]
+    fn median_is_computed() {
+        let mut b = Bencher::new();
+        b.samples = vec![5.0, 1.0, 3.0];
+        assert_eq!(b.median_ns(), Some(3.0));
+        assert_eq!(Bencher::new().median_ns(), None);
     }
 }
