@@ -55,6 +55,58 @@ fn human(ns: f64) -> String {
     }
 }
 
+/// The gate's verdict over one baseline/results pair.
+#[derive(Debug, PartialEq, Eq)]
+struct GateOutcome {
+    /// Benchmarks compared against the baseline.
+    checked: usize,
+    /// Regressions past the factor PLUS baseline keys absent from the
+    /// results — a renamed or dropped bench *fails* the gate rather than
+    /// silently shrinking its coverage.
+    failed: usize,
+}
+
+impl GateOutcome {
+    fn passed(&self) -> bool {
+        self.checked > 0 && self.failed == 0
+    }
+}
+
+/// Compares every baseline entry under `prefix` against `results`,
+/// printing one verdict line per benchmark. A baseline key missing from
+/// the results counts as a failure (reported as `MISSING`), so the gate
+/// cannot be dodged by renaming a bench.
+fn run_gate(
+    baseline: &BTreeMap<String, f64>,
+    results: &BTreeMap<String, f64>,
+    prefix: &str,
+    factor: f64,
+) -> GateOutcome {
+    let mut outcome = GateOutcome {
+        checked: 0,
+        failed: 0,
+    };
+    for (name, &base) in baseline.iter().filter(|(n, _)| n.starts_with(prefix)) {
+        let Some(&fresh) = results.get(name) else {
+            eprintln!("MISSING  {name}: in baseline but not in results");
+            outcome.failed += 1;
+            continue;
+        };
+        outcome.checked += 1;
+        let ratio = fresh / base;
+        let verdict = if ratio > factor { "REGRESSED" } else { "ok" };
+        println!(
+            "{verdict:>9}  {name}: {} vs baseline {} ({ratio:.2}x, limit {factor:.2}x)",
+            human(fresh),
+            human(base),
+        );
+        if ratio > factor {
+            outcome.failed += 1;
+        }
+    }
+    outcome
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [baseline_path, results_path, prefix, factor] = &args[..] else {
@@ -79,38 +131,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let mut checked = 0;
-    let mut failed = 0;
-    for (name, &base) in baseline
-        .iter()
-        .filter(|(n, _)| n.starts_with(prefix.as_str()))
-    {
-        let Some(&fresh) = results.get(name) else {
-            eprintln!("MISSING  {name}: in baseline but not in results");
-            failed += 1;
-            continue;
-        };
-        checked += 1;
-        let ratio = fresh / base;
-        let verdict = if ratio > factor { "REGRESSED" } else { "ok" };
-        println!(
-            "{verdict:>9}  {name}: {} vs baseline {} ({ratio:.2}x, limit {factor:.2}x)",
-            human(fresh),
-            human(base),
-        );
-        if ratio > factor {
-            failed += 1;
-        }
-    }
-    if checked == 0 {
+    let outcome = run_gate(&baseline, &results, prefix, factor);
+    if outcome.checked == 0 && outcome.failed == 0 {
         eprintln!("no baseline entries match prefix {prefix:?} — gate would be vacuous");
         return ExitCode::FAILURE;
     }
-    if failed > 0 {
-        eprintln!("{failed} benchmark(s) regressed beyond {factor:.2}x");
+    if !outcome.passed() {
+        eprintln!(
+            "{} benchmark(s) regressed beyond {factor:.2}x or went missing",
+            outcome.failed
+        );
         return ExitCode::FAILURE;
     }
-    println!("bench gate passed: {checked} benchmark(s) within {factor:.2}x of baseline");
+    println!(
+        "bench gate passed: {} benchmark(s) within {factor:.2}x of baseline",
+        outcome.checked
+    );
     ExitCode::SUCCESS
 }
 
@@ -133,5 +169,67 @@ mod tests {
         assert_eq!(human(1500.0), "1.50 µs");
         assert_eq!(human(2.5e6), "2.50 ms");
         assert_eq!(human(3.0e9), "3.00 s");
+    }
+
+    fn map(entries: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        entries.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn gate_passes_within_factor() {
+        let baseline = map(&[("g/a", 100.0), ("g/b", 200.0), ("other/c", 1.0)]);
+        let results = map(&[("g/a", 150.0), ("g/b", 100.0), ("other/c", 99.0)]);
+        let out = run_gate(&baseline, &results, "g/", 2.0);
+        assert_eq!(
+            out,
+            GateOutcome {
+                checked: 2,
+                failed: 0
+            }
+        );
+        assert!(out.passed(), "other/c is outside the prefix");
+    }
+
+    #[test]
+    fn gate_fails_on_regression() {
+        let baseline = map(&[("g/a", 100.0)]);
+        let results = map(&[("g/a", 300.0)]);
+        let out = run_gate(&baseline, &results, "g/", 2.0);
+        assert_eq!(
+            out,
+            GateOutcome {
+                checked: 1,
+                failed: 1
+            }
+        );
+        assert!(!out.passed());
+    }
+
+    #[test]
+    fn gate_fails_when_a_baseline_key_is_missing_from_results() {
+        // A renamed bench must not dodge the regression check: the key
+        // present in the baseline but absent from the fresh results is a
+        // failure, not a skip.
+        let baseline = map(&[("g/a", 100.0), ("g/renamed", 50.0)]);
+        let results = map(&[("g/a", 100.0), ("g/new_name", 50.0)]);
+        let out = run_gate(&baseline, &results, "g/", 2.0);
+        assert_eq!(out.checked, 1);
+        assert_eq!(out.failed, 1, "missing key counts as failure");
+        assert!(!out.passed());
+    }
+
+    #[test]
+    fn gate_with_no_matching_prefix_is_vacuous_not_passing() {
+        let baseline = map(&[("g/a", 100.0)]);
+        let results = map(&[("g/a", 100.0)]);
+        let out = run_gate(&baseline, &results, "nope/", 2.0);
+        assert_eq!(
+            out,
+            GateOutcome {
+                checked: 0,
+                failed: 0
+            }
+        );
+        assert!(!out.passed());
     }
 }

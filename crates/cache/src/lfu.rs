@@ -108,6 +108,10 @@ impl<K: Eq + Hash + Clone + Ord + Send, V: Send> Cache<K, V> for LfuCache<K, V> 
         self.map.contains_key(key)
     }
 
+    fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|s| &s.value)
+    }
+
     fn bytes(&self) -> usize {
         self.bytes
     }

@@ -42,6 +42,12 @@ pub trait Cache<K: Eq + Hash + Clone, V>: Send {
     /// Whether `key` is resident (no promotion side effects).
     fn contains(&self, key: &K) -> bool;
 
+    /// Looks up `key` *without* promotion side effects: recency, frequency,
+    /// and eviction state stay untouched. Speculative readers (the prefetch
+    /// predictors) use this so inspecting cache contents can never perturb
+    /// the demand path's Eq. 8/9 accounting.
+    fn peek(&self, key: &K) -> Option<&V>;
+
     /// Resident payload bytes.
     fn bytes(&self) -> usize;
 

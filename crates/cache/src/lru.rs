@@ -114,6 +114,11 @@ impl<K: Eq + Hash + Clone + Send, V: Send> Cache<K, V> for LruCache<K, V> {
         self.slab[idx].as_ref().map(|e| &e.value)
     }
 
+    fn peek(&self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.slab[idx].as_ref().map(|e| &e.value)
+    }
+
     fn insert(&mut self, key: K, value: V, bytes: usize) -> Vec<(K, V)> {
         let mut evicted = Vec::new();
 

@@ -39,6 +39,10 @@ impl<K: Eq + Hash + Clone + Send, V: Send> Cache<K, V> for NullCache<K, V> {
         false
     }
 
+    fn peek(&self, _key: &K) -> Option<&V> {
+        None
+    }
+
     fn bytes(&self) -> usize {
         0
     }

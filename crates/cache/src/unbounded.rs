@@ -46,6 +46,10 @@ impl<K: Eq + Hash + Clone + Send, V: Send> Cache<K, V> for UnboundedCache<K, V> 
         self.map.contains_key(key)
     }
 
+    fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|(v, _)| v)
+    }
+
     fn bytes(&self) -> usize {
         self.bytes
     }

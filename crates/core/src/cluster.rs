@@ -241,7 +241,9 @@ impl GRouting {
 
     /// The live-runtime config equivalent to this cluster's settings.
     /// Wire deployments honour `GROUTING_OVERLAP` for the per-processor
-    /// in-flight window (default 2, cross-query fetch overlap on).
+    /// in-flight window (default 2, cross-query fetch overlap on) and
+    /// `GROUTING_PREFETCH` for speculative frontier prefetching (default
+    /// off; `degree` or `hotspot`, optionally `policy:max_nodes`).
     fn live_config(&self) -> LiveConfig {
         LiveConfig {
             processors: self.processors,
@@ -253,6 +255,7 @@ impl GRouting {
             stealing: true,
             admission_window: 0,
             overlap: grouting_wire::overlap_from_env(2),
+            prefetch: grouting_query::PrefetchConfig::from_env(),
             seed: 0x11FE,
         }
     }

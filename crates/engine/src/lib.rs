@@ -35,7 +35,8 @@ use grouting_metrics::timeline::QueryRecord;
 use grouting_metrics::RunSnapshot;
 use grouting_metrics::Timeline;
 use grouting_query::{
-    AccessStats, BatchSource, ExecOutcome, Executor, MissEvent, ProcessorCache, Query,
+    AccessStats, BatchSource, ExecOutcome, Executor, MissEvent, PrefetchConfig, PrefetchState,
+    PrefetchStats, ProcessorCache, Query,
 };
 use grouting_route::{EmbedRouter, Router, RouterConfig, RoutingKind, Strategy};
 use grouting_storage::StorageTier;
@@ -70,6 +71,11 @@ pub struct EngineConfig {
     /// regardless — overlap only changes behaviour where fetches actually
     /// cross a wire.
     pub overlap: usize,
+    /// Speculative frontier prefetching: policy plus per-batch/staging
+    /// budgets (default [`PrefetchConfig::OFF`]). When enabled, frontier
+    /// batches piggyback predicted next-hop nodes; demand-side Eq. 8/9
+    /// statistics stay byte-identical either way.
+    pub prefetch: PrefetchConfig,
     /// Seed for EMA mean initialisation.
     pub seed: u64,
 }
@@ -88,6 +94,7 @@ impl EngineConfig {
             stealing: true,
             admission_window: 0,
             overlap: 2,
+            prefetch: PrefetchConfig::OFF,
             seed: 0x5EED,
         }
     }
@@ -168,6 +175,10 @@ pub struct Worker {
     id: usize,
     source: Box<dyn BatchSource + Send>,
     cache: ProcessorCache,
+    /// Per-processor speculation state (inert unless configured): the
+    /// predictor, the staged-payload buffer, and the speculative tally —
+    /// persistent across queries exactly like the cache.
+    prefetch: PrefetchState,
 }
 
 impl Worker {
@@ -177,12 +188,26 @@ impl Worker {
     /// [`BatchSource::fetch_batch`] is what the frontier-batched traversal
     /// drives — in-process tier handles serve it directly, wire sources
     /// turn it into one pipelined batch frame per storage server.
+    /// Prefetching starts off; see [`Worker::with_prefetch`].
     pub fn from_parts(
         id: usize,
         source: Box<dyn BatchSource + Send>,
         cache: ProcessorCache,
     ) -> Self {
-        Self { id, source, cache }
+        Self {
+            id,
+            source,
+            cache,
+            prefetch: PrefetchState::new(PrefetchConfig::OFF),
+        }
+    }
+
+    /// Equips the worker with speculative frontier prefetching per
+    /// `config` ([`PrefetchConfig::OFF`] keeps it inert).
+    #[must_use]
+    pub fn with_prefetch(mut self, config: PrefetchConfig) -> Self {
+        self.prefetch = PrefetchState::new(config);
+        self
     }
 
     /// The processor id this worker serves.
@@ -194,10 +219,17 @@ impl Worker {
     /// source, returning the outcome plus the ordered storage-miss log
     /// (the simulator replays it through its contention model).
     pub fn run(&mut self, query: &Query) -> (ExecOutcome, Vec<MissEvent>) {
-        let mut ex = Executor::new(self.source.as_mut(), &mut self.cache);
+        let mut ex =
+            Executor::with_prefetch(self.source.as_mut(), &mut self.cache, &mut self.prefetch);
         let out = ex.run(query);
         let miss_log = ex.take_miss_log();
         (out, miss_log)
+    }
+
+    /// The speculative-traffic tally accumulated over everything this
+    /// worker ran (zeros while prefetching is off).
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.prefetch.stats()
     }
 
     /// Resident bytes in this worker's cache.
@@ -305,6 +337,7 @@ impl Engine {
             (0..p)
                 .map(|id| {
                     Worker::from_parts(id, Box::new(Arc::clone(&assets.tier)), config.build_cache())
+                        .with_prefetch(config.prefetch)
                 })
                 .collect()
         } else {
@@ -411,6 +444,12 @@ impl Engine {
     /// The measurements accumulated *so far*, as a wire-encodable
     /// snapshot — the router answers mid-run [`RunSnapshot`] requests with
     /// this without finishing the run.
+    ///
+    /// Prefetch counters are zero here: speculation state lives with the
+    /// processors (local [`Worker`]s or remote pipeline services), so the
+    /// owner of those processors fills the counters in — the wire router
+    /// from the cumulative tallies its completions carry, the in-process
+    /// frontends from [`Worker::prefetch_stats`].
     pub fn snapshot(&self) -> RunSnapshot {
         RunSnapshot {
             queries: self.timeline.len() as u64,
@@ -418,6 +457,9 @@ impl Engine {
             cache_misses: self.totals.cache_misses,
             evictions: self.totals.evictions,
             stolen: self.router.stolen(),
+            prefetch_issued: 0,
+            prefetch_hits: 0,
+            prefetch_wasted_bytes: 0,
             per_processor: self.timeline.per_processor_counts(self.config.processors),
         }
     }

@@ -177,13 +177,23 @@ impl DatasetProfile {
     }
 }
 
-/// Reads `GROUTING_SCALE` (default 1.0).
+/// Reads `GROUTING_SCALE` (default 1.0). An invalid value — unparsable,
+/// non-positive, or non-finite — is *reported* with one stderr line
+/// naming it, rather than silently treated as 1.0.
 pub fn env_scale() -> f64 {
-    std::env::var("GROUTING_SCALE")
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .filter(|s| *s > 0.0 && s.is_finite())
-        .unwrap_or(1.0)
+    match std::env::var("GROUTING_SCALE") {
+        Err(_) => 1.0,
+        Ok(raw) => match raw.parse::<f64>() {
+            Ok(s) if s > 0.0 && s.is_finite() => s,
+            _ => {
+                eprintln!(
+                    "warning: invalid GROUTING_SCALE value {raw:?} \
+                     (expected a positive finite number); using 1.0"
+                );
+                1.0
+            }
+        },
+    }
 }
 
 #[cfg(test)]

@@ -67,6 +67,9 @@ pub fn run_cluster(
         cache_hits: run.snapshot.cache_hits,
         cache_misses: run.snapshot.cache_misses,
         stolen: run.snapshot.stolen,
+        prefetch_issued: run.snapshot.prefetch_issued,
+        prefetch_hits: run.snapshot.prefetch_hits,
+        prefetch_wasted_bytes: run.snapshot.prefetch_wasted_bytes,
         timeline: run.timeline,
         wall_ns: run.wall_ns,
     })

@@ -16,6 +16,13 @@ pub struct LiveReport {
     pub cache_misses: u64,
     /// Queries stolen across processors.
     pub stolen: u64,
+    /// Speculative nodes appended to frontier batches (zeros unless the
+    /// run was configured with a prefetch policy).
+    pub prefetch_issued: u64,
+    /// Demand accesses served from the speculative staging buffer.
+    pub prefetch_hits: u64,
+    /// Speculatively fetched bytes dropped without ever being demanded.
+    pub prefetch_wasted_bytes: u64,
     /// Wall-clock duration of the whole run.
     pub wall_ns: u64,
 }
@@ -38,6 +45,15 @@ impl LiveReport {
         }
         self.timeline.len() as f64 / (self.wall_ns as f64 / 1e9)
     }
+
+    /// Fraction of issued speculations that were demanded, in `[0, 1]`.
+    pub fn prefetch_hit_rate(&self) -> f64 {
+        if self.prefetch_issued == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / self.prefetch_issued as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -52,6 +68,9 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             stolen: 0,
+            prefetch_issued: 0,
+            prefetch_hits: 0,
+            prefetch_wasted_bytes: 0,
             wall_ns: 0,
         };
         assert_eq!(r.hit_rate(), 0.0);
@@ -66,6 +85,9 @@ mod tests {
             cache_hits: 9,
             cache_misses: 1,
             stolen: 0,
+            prefetch_issued: 4,
+            prefetch_hits: 3,
+            prefetch_wasted_bytes: 0,
             wall_ns: 1,
         };
         assert!((r.hit_rate() - 0.9).abs() < 1e-12);

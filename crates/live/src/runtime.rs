@@ -37,6 +37,10 @@ pub struct LiveConfig {
     /// query per worker regardless — the knob only matters for
     /// [`crate::deploy::run_cluster`].
     pub overlap: usize,
+    /// Speculative frontier prefetching (default off): frontier batches
+    /// piggyback predicted next-hop nodes. Demand-side cache statistics
+    /// are byte-identical either way.
+    pub prefetch: grouting_query::PrefetchConfig,
     /// Seed for EMA initialisation.
     pub seed: u64,
 }
@@ -54,6 +58,7 @@ impl LiveConfig {
             stealing: true,
             admission_window: 0,
             overlap: 2,
+            prefetch: grouting_query::PrefetchConfig::OFF,
             seed: 0x11FE,
         }
     }
@@ -70,6 +75,7 @@ impl LiveConfig {
             stealing: self.stealing,
             admission_window: self.admission_window,
             overlap: self.overlap,
+            prefetch: self.prefetch,
             seed: self.seed,
         }
     }
@@ -146,6 +152,9 @@ pub fn run_live(
                     Job::Stop => break,
                 }
             }
+            // The worker's cumulative speculation tally survives the
+            // thread: the runtime folds it into the report.
+            worker.prefetch_stats()
         }));
     }
     drop(ack_tx);
@@ -204,8 +213,9 @@ pub fn run_live(
     for tx in &job_txs {
         let _ = tx.send(Job::Stop);
     }
+    let mut prefetch_totals = grouting_query::PrefetchStats::default();
     for h in handles {
-        h.join().expect("worker thread exits cleanly");
+        prefetch_totals.merge(&h.join().expect("worker thread exits cleanly"));
     }
 
     let run = engine.finish();
@@ -218,6 +228,9 @@ pub fn run_live(
         cache_hits: run.totals.cache_hits,
         cache_misses: run.totals.cache_misses,
         stolen: run.stolen,
+        prefetch_issued: prefetch_totals.issued,
+        prefetch_hits: prefetch_totals.hits,
+        prefetch_wasted_bytes: prefetch_totals.wasted_bytes,
         wall_ns: now_ns().saturating_sub(run_start),
     }
 }

@@ -22,6 +22,15 @@ pub struct RunSnapshot {
     pub evictions: u64,
     /// Queries served by a non-preferred processor.
     pub stolen: u64,
+    /// Speculative nodes appended to frontier batches (prefetch traffic —
+    /// accounted apart from the Eq. 8/9 demand counters above).
+    pub prefetch_issued: u64,
+    /// Demand accesses served from the speculative staging buffer
+    /// ("hit because prefetched": still a demand miss above, but one whose
+    /// round trip was already paid).
+    pub prefetch_hits: u64,
+    /// Speculatively fetched bytes dropped without ever being demanded.
+    pub prefetch_wasted_bytes: u64,
     /// Queries served per processor (index = processor id).
     pub per_processor: Vec<u64>,
 }
@@ -37,9 +46,39 @@ impl RunSnapshot {
         }
     }
 
+    /// Fraction of issued speculations that were demanded, in `[0, 1]`.
+    pub fn prefetch_hit_rate(&self) -> f64 {
+        if self.prefetch_issued == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / self.prefetch_issued as f64
+        }
+    }
+
+    /// Adds another snapshot's totals into this one (counters sum;
+    /// per-processor counts sum element-wise, growing to the longer list).
+    /// This is how partial snapshots — e.g. one per router epoch, or one
+    /// per deployment in a sweep — combine into a whole.
+    pub fn merge(&mut self, other: &RunSnapshot) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.evictions += other.evictions;
+        self.stolen += other.stolen;
+        self.prefetch_issued += other.prefetch_issued;
+        self.prefetch_hits += other.prefetch_hits;
+        self.prefetch_wasted_bytes += other.prefetch_wasted_bytes;
+        if self.per_processor.len() < other.per_processor.len() {
+            self.per_processor.resize(other.per_processor.len(), 0);
+        }
+        for (mine, theirs) in self.per_processor.iter_mut().zip(&other.per_processor) {
+            *mine += theirs;
+        }
+    }
+
     /// Encoded size in bytes (matches `encode().len()` exactly).
     pub fn encoded_len(&self) -> usize {
-        5 * 8 + 4 + 8 * self.per_processor.len()
+        8 * 8 + 4 + 8 * self.per_processor.len()
     }
 
     /// Encodes to the little-endian wire layout.
@@ -50,6 +89,9 @@ impl RunSnapshot {
         buf.put_u64_le(self.cache_misses);
         buf.put_u64_le(self.evictions);
         buf.put_u64_le(self.stolen);
+        buf.put_u64_le(self.prefetch_issued);
+        buf.put_u64_le(self.prefetch_hits);
+        buf.put_u64_le(self.prefetch_wasted_bytes);
         buf.put_u32_le(self.per_processor.len() as u32);
         for &c in &self.per_processor {
             buf.put_u64_le(c);
@@ -64,9 +106,9 @@ impl RunSnapshot {
     /// Returns a description of the malformation on truncated or oversized
     /// input.
     pub fn decode(mut data: Bytes) -> Result<Self, String> {
-        if data.remaining() < 5 * 8 + 4 {
+        if data.remaining() < 8 * 8 + 4 {
             return Err(format!(
-                "snapshot header needs 44 bytes, have {}",
+                "snapshot header needs 68 bytes, have {}",
                 data.remaining()
             ));
         }
@@ -75,6 +117,9 @@ impl RunSnapshot {
         let cache_misses = data.get_u64_le();
         let evictions = data.get_u64_le();
         let stolen = data.get_u64_le();
+        let prefetch_issued = data.get_u64_le();
+        let prefetch_hits = data.get_u64_le();
+        let prefetch_wasted_bytes = data.get_u64_le();
         let processors = data.get_u32_le() as usize;
         if data.remaining() != 8 * processors {
             return Err(format!(
@@ -90,6 +135,9 @@ impl RunSnapshot {
             cache_misses,
             evictions,
             stolen,
+            prefetch_issued,
+            prefetch_hits,
+            prefetch_wasted_bytes,
             per_processor,
         })
     }
@@ -106,6 +154,9 @@ mod tests {
             cache_misses: 200,
             evictions: 13,
             stolen: 4,
+            prefetch_issued: 64,
+            prefetch_hits: 48,
+            prefetch_wasted_bytes: 4096,
             per_processor: vec![250, 251, 249, 250],
         }
     }
@@ -122,6 +173,32 @@ mod tests {
     fn hit_rate_math() {
         assert!((sample().hit_rate() - 0.8).abs() < 1e-12);
         assert_eq!(RunSnapshot::default().hit_rate(), 0.0);
+        assert!((sample().prefetch_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(RunSnapshot::default().prefetch_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_per_processor() {
+        let mut a = sample();
+        let b = RunSnapshot {
+            queries: 10,
+            cache_hits: 5,
+            cache_misses: 5,
+            evictions: 1,
+            stolen: 2,
+            prefetch_issued: 6,
+            prefetch_hits: 2,
+            prefetch_wasted_bytes: 100,
+            per_processor: vec![1, 2, 3, 4, 5],
+        };
+        a.merge(&b);
+        assert_eq!(a.queries, 1010);
+        assert_eq!(a.cache_hits, 805);
+        assert_eq!(a.prefetch_issued, 70);
+        assert_eq!(a.prefetch_hits, 50);
+        assert_eq!(a.prefetch_wasted_bytes, 4196);
+        // Element-wise, grown to the longer list.
+        assert_eq!(a.per_processor, vec![251, 253, 252, 254, 5]);
     }
 
     #[test]
@@ -146,6 +223,9 @@ mod tests {
             misses in 0u64..1 << 40,
             evictions in 0u64..1 << 30,
             stolen in 0u64..1 << 30,
+            pf_issued in 0u64..1 << 40,
+            pf_hits in 0u64..1 << 40,
+            pf_wasted in 0u64..1 << 40,
             per in proptest::collection::vec(0u64..1 << 50, 0..12),
         ) {
             let s = RunSnapshot {
@@ -154,6 +234,9 @@ mod tests {
                 cache_misses: misses,
                 evictions,
                 stolen,
+                prefetch_issued: pf_issued,
+                prefetch_hits: pf_hits,
+                prefetch_wasted_bytes: pf_wasted,
                 per_processor: per,
             };
             let bytes = s.encode();

@@ -57,6 +57,21 @@ impl<'a, S: RecordSource> Executor<'a, S> {
         }
     }
 
+    /// An executor whose store carries the processor's speculation state:
+    /// frontier fetches piggyback predicted next-hop nodes per the
+    /// configured [`crate::prefetch::Prefetcher`], and demand misses are
+    /// served from the staging buffer when the bytes already arrived.
+    /// Demand accounting stays byte-identical to [`Executor::new`].
+    pub fn with_prefetch(
+        source: S,
+        cache: &'a mut ProcessorCache,
+        prefetch: &'a mut crate::prefetch::PrefetchState,
+    ) -> Self {
+        Self {
+            store: CacheBackedStore::with_prefetch(source, cache, prefetch),
+        }
+    }
+
     /// Drains the ordered per-miss event log accumulated by queries run so
     /// far (used by the simulator's storage-contention model).
     pub fn take_miss_log(&mut self) -> Vec<crate::fetch::MissEvent> {
@@ -445,6 +460,14 @@ impl StagedQuery {
     /// The query being executed.
     pub fn query(&self) -> &Query {
         &self.query
+    }
+
+    /// The frontier whose fetch is pending (request order) — the full
+    /// frontier, cache hits included, which is what a speculative
+    /// predictor wants as context alongside the [`Step::Fetch`] miss set.
+    /// Empty between fetches.
+    pub fn frontier(&self) -> &[NodeId] {
+        &self.frontier
     }
 
     /// Drains the ordered per-miss event log accumulated so far.

@@ -17,6 +17,8 @@ use grouting_graph::codec::AdjacencyRecord;
 use grouting_graph::NodeId;
 use grouting_storage::StorageTier;
 
+use crate::prefetch::PrefetchState;
+
 /// Where missed adjacency records come from.
 ///
 /// The decoupled architecture means a processor's miss path is pluggable:
@@ -141,6 +143,11 @@ pub struct MissEvent {
 pub struct CacheBackedStore<'a, S: RecordSource> {
     source: S,
     cache: &'a mut ProcessorCache,
+    /// Speculation state borrowed from the processor, when prefetching is
+    /// deployed. Demand accounting is byte-identical either way (see
+    /// [`crate::prefetch`]): the staging buffer only changes *where* a
+    /// miss's bytes come from, never whether the access counts as one.
+    prefetch: Option<&'a mut PrefetchState>,
     stats: AccessStats,
     miss_log: Vec<MissEvent>,
 }
@@ -153,6 +160,27 @@ impl<'a, S: RecordSource> CacheBackedStore<'a, S> {
         Self {
             source,
             cache,
+            prefetch: None,
+            stats: AccessStats::default(),
+            miss_log: Vec::new(),
+        }
+    }
+
+    /// Like [`CacheBackedStore::new`], with the processor's speculation
+    /// state attached: staged payloads satisfy demand misses without a
+    /// wire exchange, and [`CacheBackedStore::plan_speculative`] /
+    /// [`CacheBackedStore::absorb_speculative`] become functional. An
+    /// inert ([`PrefetchConfig::OFF`]) state degrades every path to the
+    /// plain constructor's behaviour.
+    pub fn with_prefetch(
+        source: S,
+        cache: &'a mut ProcessorCache,
+        prefetch: &'a mut PrefetchState,
+    ) -> Self {
+        Self {
+            source,
+            cache,
+            prefetch: Some(prefetch),
             stats: AccessStats::default(),
             miss_log: Vec::new(),
         }
@@ -178,9 +206,17 @@ impl<'a, S: RecordSource> CacheBackedStore<'a, S> {
             self.stats.cache_hits += 1;
             return Some(Arc::clone(rec));
         }
-        let payload = prefetched
-            .remove(&node)
-            .unwrap_or_else(|| self.source.fetch_raw(node));
+        // Miss-path payload priority: the batch answer for this node, then
+        // the speculative staging buffer (bytes already fetched ahead of
+        // time — counted below exactly like any other miss), then a scalar
+        // source fetch.
+        let payload = match prefetched.remove(&node) {
+            Some(p) => p,
+            None => match self.prefetch.as_mut().and_then(|s| s.take(node)) {
+                Some(p) => Some(p),
+                None => self.source.fetch_raw(node),
+            },
+        };
         let (server, bytes) = payload?;
         self.stats.cache_misses += 1;
         self.stats.miss_bytes += bytes.len() as u64;
@@ -217,10 +253,22 @@ impl<'a, S: RecordSource> CacheBackedStore<'a, S> {
         S: BatchSource,
     {
         let miss_nodes = self.plan_many(nodes);
+        // Speculation piggybacks on the demand batch: predicted next-hop
+        // nodes travel in the same exchange, land in the staging buffer,
+        // and spare a later frontier its round trip. Demand accounting is
+        // untouched — apply_many never sees the speculative tail.
+        let spec = self.plan_speculative(nodes, &miss_nodes);
         let payloads = if miss_nodes.is_empty() {
             Vec::new()
-        } else {
+        } else if spec.is_empty() {
             self.source.fetch_batch(&miss_nodes)
+        } else {
+            let mut combined = miss_nodes.clone();
+            combined.extend(&spec);
+            let mut payloads = self.source.fetch_batch(&combined);
+            let spec_payloads = payloads.split_off(miss_nodes.len());
+            self.absorb_speculative(&spec, spec_payloads);
+            payloads
         };
         self.apply_many(nodes, &miss_nodes, payloads)
     }
@@ -230,16 +278,53 @@ impl<'a, S: RecordSource> CacheBackedStore<'a, S> {
     /// [`Cache::contains`] so no recency/frequency state moves. The staged
     /// executor calls this to learn what a frontier needs from storage
     /// *before* any bytes travel, so the fetch can be submitted
-    /// asynchronously and overlapped with another query's compute.
+    /// asynchronously and overlapped with another query's compute. Nodes
+    /// whose payloads are already staged speculatively need no wire
+    /// exchange either — they are left out of the miss set and the apply
+    /// pass serves them from the staging buffer.
     pub fn plan_many(&mut self, nodes: &[NodeId]) -> Vec<NodeId> {
         let mut miss_nodes: Vec<NodeId> = Vec::new();
         let mut miss_set: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
         for &node in nodes {
-            if !self.cache.contains(&node) && miss_set.insert(node) {
+            if self.cache.contains(&node) {
+                continue;
+            }
+            // A staged payload is *reserved* here, not merely observed:
+            // leaving the node out of the demand batch is a promise the
+            // apply can consume the payload, so budget eviction must not
+            // drop it in between.
+            if let Some(state) = self.prefetch.as_mut() {
+                if state.reserve_staged(node) {
+                    continue;
+                }
+            }
+            if miss_set.insert(node) {
                 miss_nodes.push(node);
             }
         }
         miss_nodes
+    }
+
+    /// Observes `frontier` and proposes the speculative nodes to append to
+    /// the batch fetching its `miss` portion (empty without an attached,
+    /// enabled [`PrefetchState`], or when nothing is being fetched —
+    /// speculation only piggybacks, it never creates an exchange). The
+    /// caller ships `miss ++ returned` as one batch and feeds the
+    /// speculative tail to [`CacheBackedStore::absorb_speculative`].
+    pub fn plan_speculative(&mut self, frontier: &[NodeId], miss: &[NodeId]) -> Vec<NodeId> {
+        match self.prefetch.as_mut() {
+            Some(state) => state.plan(frontier, miss, &*self.cache),
+            None => Vec::new(),
+        }
+    }
+
+    /// Stages the payloads answering a speculative proposal (same order as
+    /// [`CacheBackedStore::plan_speculative`] returned it). A no-op
+    /// without an attached prefetch state.
+    pub fn absorb_speculative(&mut self, nodes: &[NodeId], payloads: Vec<Option<(u16, Bytes)>>) {
+        if let Some(state) = self.prefetch.as_mut() {
+            state.absorb(nodes, payloads, &*self.cache);
+        }
     }
 
     /// Pass 2 of a batched frontier fetch: replays the scalar access

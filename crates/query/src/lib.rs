@@ -19,6 +19,7 @@
 pub mod executor;
 pub mod fetch;
 pub mod patterns;
+pub mod prefetch;
 pub mod types;
 
 pub use executor::{ExecOutcome, Executor, StagedQuery, Step};
@@ -26,4 +27,8 @@ pub use fetch::{
     AccessStats, BatchSource, CacheBackedStore, MissEvent, ProcessorCache, RecordSource,
 };
 pub use patterns::{match_pattern, PathPattern, PatternMatch};
+pub use prefetch::{
+    DegreePrefetcher, HotspotPrefetcher, PrefetchConfig, PrefetchPolicy, PrefetchState,
+    PrefetchStats, Prefetcher,
+};
 pub use types::{Query, QueryResult};

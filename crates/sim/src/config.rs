@@ -85,6 +85,12 @@ pub struct SimConfig {
     /// paper's router queues the entire remaining workload, so a deep
     /// window is the faithful default.
     pub admission_window: usize,
+    /// Speculative frontier prefetching (default off). Demand-side cache
+    /// statistics — and hence every simulated cost — are byte-identical
+    /// whether or not speculation runs; the simulator threads the knob
+    /// through so its workers exercise the same code path the deployments
+    /// run.
+    pub prefetch: grouting_query::PrefetchConfig,
     /// Cost model.
     pub cost: CostModel,
     /// Seed for EMA initialisation.
@@ -107,6 +113,7 @@ impl SimConfig {
             load_factor: 20.0,
             stealing: true,
             admission_window: 0,
+            prefetch: grouting_query::PrefetchConfig::OFF,
             cost: CostModel::infiniband(),
             seed: 0x5EED,
         }
@@ -132,6 +139,7 @@ impl SimConfig {
             // The simulator executes one query per processor at a time;
             // fetch overlap is a wire-deployment concern.
             overlap: 1,
+            prefetch: self.prefetch,
             seed: self.seed,
         }
     }

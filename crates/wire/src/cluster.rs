@@ -65,15 +65,23 @@ impl std::fmt::Display for TransportKind {
 }
 
 /// Honours the `GROUTING_OVERLAP` environment knob for the per-processor
-/// in-flight query window: `default` when unset or unparsable, clamped to
-/// ≥ 1 (`GROUTING_OVERLAP=1` forces strictly serial execution for
-/// comparison runs; `2` is the double-buffered default).
+/// in-flight query window: `default` when unset, clamped to ≥ 1
+/// (`GROUTING_OVERLAP=1` forces strictly serial execution for comparison
+/// runs; `2` is the double-buffered default). An unparsable value is
+/// *reported* — one stderr line naming it — rather than silently treated
+/// as the default.
 pub fn overlap_from_env(default: usize) -> usize {
-    std::env::var("GROUTING_OVERLAP")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(default)
-        .max(1)
+    match std::env::var("GROUTING_OVERLAP") {
+        Err(_) => default,
+        Ok(raw) => raw.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!(
+                "warning: invalid GROUTING_OVERLAP value {raw:?} \
+                 (expected a positive integer); using default {default}"
+            );
+            default
+        }),
+    }
+    .max(1)
 }
 
 /// Deployment shape of a wire cluster.
@@ -129,6 +137,21 @@ impl ClusterConfig {
     /// The per-processor in-flight query window this cluster runs with.
     pub fn overlap(&self) -> usize {
         self.engine.overlap.max(1)
+    }
+
+    /// Overrides the speculative-prefetch policy and budget (the engine's
+    /// [`grouting_engine::EngineConfig::prefetch`] knob; default off).
+    /// Only the batched fetch path speculates — scalar-mode processors
+    /// ignore it.
+    #[must_use]
+    pub fn with_prefetch(mut self, prefetch: grouting_query::PrefetchConfig) -> Self {
+        self.engine.prefetch = prefetch;
+        self
+    }
+
+    /// The speculative-prefetch configuration this cluster runs with.
+    pub fn prefetch(&self) -> grouting_query::PrefetchConfig {
+        self.engine.prefetch
     }
 }
 

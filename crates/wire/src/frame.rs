@@ -27,7 +27,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use grouting_graph::{NodeId, NodeLabelId};
 use grouting_metrics::RunSnapshot;
-use grouting_query::{AccessStats, Query, QueryResult};
+use grouting_query::{AccessStats, PrefetchStats, Query, QueryResult};
 
 use crate::error::{WireError, WireResult};
 
@@ -73,6 +73,13 @@ pub struct Completion {
     pub result: QueryResult,
     /// Cache/storage access statistics.
     pub stats: AccessStats,
+    /// The serving processor's *cumulative* speculative-prefetch tally
+    /// (issued/hits/wasted since it started). Cumulative rather than
+    /// per-query because speculation crosses query boundaries — one
+    /// query's piggybacked bytes serve another's demand — so the router
+    /// keeps the latest value per processor and sums those for the run
+    /// snapshot. Zeros whenever prefetching is off.
+    pub prefetch: PrefetchStats,
     /// Router arrival timestamp (0 until the router stamps it).
     pub arrived_ns: u64,
     /// Execution start timestamp.
@@ -202,6 +209,9 @@ impl Frame {
                 buf.put_u64_le(c.stats.cache_misses);
                 buf.put_u64_le(c.stats.miss_bytes);
                 buf.put_u64_le(c.stats.evictions);
+                buf.put_u64_le(c.prefetch.issued);
+                buf.put_u64_le(c.prefetch.hits);
+                buf.put_u64_le(c.prefetch.wasted_bytes);
                 buf.put_u64_le(c.arrived_ns);
                 buf.put_u64_le(c.started_ns);
                 buf.put_u64_le(c.completed_ns);
@@ -295,18 +305,24 @@ impl Frame {
                 let seq = data.get_u64_le();
                 let processor = data.get_u32_le();
                 let result = get_result(&mut data)?;
-                need(&data, 7 * 8)?;
+                need(&data, 10 * 8)?;
                 let stats = AccessStats {
                     cache_hits: data.get_u64_le(),
                     cache_misses: data.get_u64_le(),
                     miss_bytes: data.get_u64_le(),
                     evictions: data.get_u64_le(),
                 };
+                let prefetch = PrefetchStats {
+                    issued: data.get_u64_le(),
+                    hits: data.get_u64_le(),
+                    wasted_bytes: data.get_u64_le(),
+                };
                 Frame::Completion(Completion {
                     seq,
                     processor,
                     result,
                     stats,
+                    prefetch,
                     arrived_ns: data.get_u64_le(),
                     started_ns: data.get_u64_le(),
                     completed_ns: data.get_u64_le(),
@@ -599,6 +615,11 @@ mod tests {
                     miss_bytes: 300,
                     evictions: 1,
                 },
+                prefetch: PrefetchStats {
+                    issued: 12,
+                    hits: 9,
+                    wasted_bytes: 256,
+                },
                 arrived_ns: 10,
                 started_ns: 20,
                 completed_ns: 30,
@@ -639,6 +660,9 @@ mod tests {
                 cache_misses: 3,
                 evictions: 0,
                 stolen: 1,
+                prefetch_issued: 4,
+                prefetch_hits: 2,
+                prefetch_wasted_bytes: 64,
                 per_processor: vec![5, 5],
             }),
             Frame::Shutdown,
@@ -846,6 +870,11 @@ mod tests {
                     miss_bytes: bytes_,
                     evictions: misses / 7,
                 },
+                prefetch: PrefetchStats {
+                    issued: hits / 3,
+                    hits: hits / 4,
+                    wasted_bytes: bytes_ / 2,
+                },
                 arrived_ns: ts,
                 started_ns: ts + 1,
                 completed_ns: ts + 2,
@@ -878,6 +907,9 @@ mod tests {
                 cache_misses: queries / 3,
                 evictions: hits / 5,
                 stolen: queries / 9,
+                prefetch_issued: hits / 2,
+                prefetch_hits: hits / 3,
+                prefetch_wasted_bytes: queries / 2,
                 per_processor: per,
             });
             proptest::prop_assert_eq!(Frame::decode(f.encode()).unwrap(), f);
@@ -927,6 +959,11 @@ mod tests {
                         miss_bytes: count,
                         evictions: count / 9,
                     },
+                    prefetch: PrefetchStats {
+                        issued: count / 4,
+                        hits: count / 5,
+                        wasted_bytes: count / 2,
+                    },
                     arrived_ns: seq / 3,
                     started_ns: seq / 2,
                     completed_ns: seq,
@@ -943,6 +980,9 @@ mod tests {
                     cache_misses: count / 3,
                     evictions: count / 5,
                     stolen: count / 7,
+                    prefetch_issued: count / 11,
+                    prefetch_hits: count / 13,
+                    prefetch_wasted_bytes: count / 2,
                     per_processor: vec![count; (id % 6) as usize],
                 }),
                 9 => Frame::FetchBatchRequest {

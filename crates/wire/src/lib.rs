@@ -303,6 +303,7 @@ mod tests {
                         processor: 0,
                         result: out.result,
                         stats: out.stats,
+                        prefetch: grouting_query::PrefetchStats::default(),
                         arrived_ns: 0,
                         started_ns: 1,
                         completed_ns: 2,
@@ -425,6 +426,7 @@ mod tests {
                     processor: id,
                     result: out.result,
                     stats: out.stats,
+                    prefetch: grouting_query::PrefetchStats::default(),
                     arrived_ns: 0,
                     started_ns: 1,
                     completed_ns: 2,

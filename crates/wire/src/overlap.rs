@@ -25,7 +25,11 @@
 
 use std::collections::VecDeque;
 
-use grouting_query::{CacheBackedStore, ExecOutcome, ProcessorCache, Query, StagedQuery, Step};
+use grouting_graph::NodeId;
+use grouting_query::{
+    CacheBackedStore, ExecOutcome, PrefetchConfig, PrefetchState, PrefetchStats, ProcessorCache,
+    Query, StagedQuery, Step,
+};
 
 use crate::error::WireResult;
 use crate::flow::{MultiplexedStorageSource, PendingBatch};
@@ -47,27 +51,58 @@ struct ActiveQuery {
     seq: u64,
     staged: StagedQuery,
     /// The in-flight frontier fetch, `None` only transiently (a query is
-    /// parked here exactly when it awaits payloads).
+    /// parked here exactly when it awaits payloads). Covers the demand
+    /// miss set *plus* any speculative tail.
     pending: Option<PendingBatch>,
+    /// The demand miss set `pending` answers first (its payloads lead;
+    /// the rest are speculative and go to the staging buffer). Also
+    /// registered with the prefetch state so other queries' predictions
+    /// don't re-request bytes already travelling.
+    demand: Vec<NodeId>,
+    /// The speculative nodes riding on `pending`, in request order.
+    spec: Vec<NodeId>,
     started_ns: u64,
 }
 
 /// The per-processor overlap engine: dispatched queries wait in a FIFO,
 /// up to `overlap` of them run as interleaved staged executions.
+///
+/// With prefetching configured ([`QueryPipeline::with_prefetch`]), every
+/// frontier batch going out piggybacks the configured predictor's
+/// speculative nodes; their payloads land in a processor-wide staging
+/// buffer that later frontiers (of *any* query in the pipeline) are
+/// served from without a wire exchange. Demand-side accounting is
+/// byte-identical with speculation on or off.
 pub struct QueryPipeline {
     overlap: usize,
     queue: VecDeque<(u64, Query)>,
     active: VecDeque<ActiveQuery>,
+    prefetch: PrefetchState,
 }
 
 impl QueryPipeline {
-    /// A pipeline admitting at most `overlap` (≥ 1) concurrent queries.
+    /// A pipeline admitting at most `overlap` (≥ 1) concurrent queries,
+    /// with speculation off.
     pub fn new(overlap: usize) -> Self {
         Self {
             overlap: overlap.max(1),
             queue: VecDeque::new(),
             active: VecDeque::new(),
+            prefetch: PrefetchState::new(PrefetchConfig::OFF),
         }
+    }
+
+    /// Equips the pipeline with speculative frontier prefetching per
+    /// `config` ([`PrefetchConfig::OFF`] keeps it inert).
+    #[must_use]
+    pub fn with_prefetch(mut self, config: PrefetchConfig) -> Self {
+        self.prefetch = PrefetchState::new(config);
+        self
+    }
+
+    /// The cumulative speculative tally (zeros while prefetching is off).
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        self.prefetch.stats()
     }
 
     /// Accepts a dispatched query (admitted into execution by the next
@@ -122,18 +157,31 @@ impl QueryPipeline {
                 .pending
                 .as_mut()
                 .expect("parked queries await a fetch");
-            let Some(payloads) = source.try_collect(pending)? else {
+            let Some(mut payloads) = source.try_collect(pending)? else {
                 slot += 1;
                 continue;
             };
             active.pending = None;
-            let step = {
-                let mut store = CacheBackedStore::new(&mut *source, cache);
-                active.staged.resume(&mut store, Some(payloads))
+            // The speculative tail goes to the staging buffer; the staged
+            // query sees exactly the demand payloads it asked for.
+            let demand_nodes = std::mem::take(&mut active.demand);
+            let spec_payloads = payloads.split_off(demand_nodes.len());
+            let spec_nodes = std::mem::take(&mut active.spec);
+            self.prefetch.demand_arrived(&demand_nodes);
+            let (step, spec) = {
+                let mut store =
+                    CacheBackedStore::with_prefetch(&mut *source, cache, &mut self.prefetch);
+                store.absorb_speculative(&spec_nodes, spec_payloads);
+                let step = active.staged.resume(&mut store, Some(payloads));
+                let spec = match &step {
+                    Step::Fetch(miss) => store.plan_speculative(active.staged.frontier(), miss),
+                    Step::Done(_) => Vec::new(),
+                };
+                (step, spec)
             };
             match step {
                 Step::Fetch(miss) => {
-                    self.active[slot].pending = Some(source.submit_frontier(&miss)?);
+                    self.submit(source, slot, miss, spec)?;
                     slot += 1;
                 }
                 Step::Done(outcome) => {
@@ -153,6 +201,32 @@ impl QueryPipeline {
         Ok(completed)
     }
 
+    /// Ships the demand miss set plus its speculative tail as one frontier
+    /// submission and parks it on `self.active[slot]`.
+    fn submit(
+        &mut self,
+        source: &mut MultiplexedStorageSource,
+        slot: usize,
+        miss: Vec<NodeId>,
+        spec: Vec<NodeId>,
+    ) -> WireResult<()> {
+        let pending = if spec.is_empty() {
+            source.submit_frontier(&miss)?
+        } else {
+            let mut combined = miss.clone();
+            combined.extend(&spec);
+            source.submit_frontier(&combined)?
+        };
+        // Other queries' predictions must not re-request these bytes
+        // while they travel.
+        self.prefetch.demand_submitted(&miss);
+        let active = &mut self.active[slot];
+        active.pending = Some(pending);
+        active.demand = miss;
+        active.spec = spec;
+        Ok(())
+    }
+
     /// Starts the oldest queued query: runs its compute up to the first
     /// remote fetch (submitted immediately) and parks it in the active
     /// window, or records it as completed when it never needed the wire.
@@ -168,19 +242,28 @@ impl QueryPipeline {
         };
         let mut staged = StagedQuery::new(query);
         let started_ns = now_ns();
-        let step = {
-            let mut store = CacheBackedStore::new(&mut *source, cache);
-            staged.resume(&mut store, None)
+        let (step, spec) = {
+            let mut store =
+                CacheBackedStore::with_prefetch(&mut *source, cache, &mut self.prefetch);
+            let step = staged.resume(&mut store, None);
+            let spec = match &step {
+                Step::Fetch(miss) => store.plan_speculative(staged.frontier(), miss),
+                Step::Done(_) => Vec::new(),
+            };
+            (step, spec)
         };
         match step {
             Step::Fetch(miss) => {
-                let pending = source.submit_frontier(&miss)?;
                 self.active.push_back(ActiveQuery {
                     seq,
                     staged,
-                    pending: Some(pending),
+                    pending: None,
+                    demand: Vec::new(),
+                    spec: Vec::new(),
                     started_ns,
                 });
+                let slot = self.active.len() - 1;
+                self.submit(source, slot, miss, spec)?;
             }
             Step::Done(outcome) => completed.push(CompletedQuery {
                 seq,
@@ -202,6 +285,7 @@ mod tests {
     use grouting_engine::Worker;
     use grouting_graph::{GraphBuilder, NodeId};
     use grouting_partition::HashPartitioner;
+    use grouting_query::PrefetchPolicy;
     use grouting_storage::{NetworkModel, StorageTier};
     use std::sync::Arc;
 
@@ -242,6 +326,20 @@ mod tests {
     /// Runs `queries` through a pipeline at `overlap` against wire-backed
     /// storage, returning (seq → outcome) in completion order.
     fn run_pipeline(overlap: usize, queries: &[Query]) -> Vec<(u64, ExecOutcome)> {
+        run_pipeline_with(overlap, queries, PrefetchConfig::OFF, || {
+            Box::new(LruCache::new(1 << 20))
+        })
+        .0
+    }
+
+    /// Like [`run_pipeline`], with a prefetch configuration and a custom
+    /// cache; also returns the pipeline's speculative tally.
+    fn run_pipeline_with(
+        overlap: usize,
+        queries: &[Query],
+        prefetch: PrefetchConfig,
+        make_cache: impl Fn() -> ProcessorCache,
+    ) -> (Vec<(u64, ExecOutcome)>, PrefetchStats) {
         let tier = loaded_tier(48, 3);
         let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
         let handles: Vec<_> = (0..tier.server_count())
@@ -257,8 +355,8 @@ mod tests {
         let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
         let mut source =
             MultiplexedStorageSource::new(Arc::clone(&transport), &addrs, tier.partitioner());
-        let mut cache: ProcessorCache = Box::new(LruCache::new(1 << 20));
-        let mut pipeline = QueryPipeline::new(overlap);
+        let mut cache: ProcessorCache = make_cache();
+        let mut pipeline = QueryPipeline::new(overlap).with_prefetch(prefetch);
         for (seq, q) in queries.iter().enumerate() {
             pipeline.push(seq as u64, *q);
         }
@@ -270,18 +368,22 @@ mod tests {
             }
             std::thread::yield_now();
         }
+        let stats = pipeline.prefetch_stats();
         drop(source);
         for h in handles {
             h.shutdown();
         }
-        out
+        (out, stats)
     }
 
     /// The serial reference: the same queries through an engine worker
     /// whose source is the tier itself.
     fn run_serial(queries: &[Query]) -> Vec<ExecOutcome> {
+        run_serial_with(queries, Box::new(LruCache::new(1 << 20)))
+    }
+
+    fn run_serial_with(queries: &[Query], cache: ProcessorCache) -> Vec<ExecOutcome> {
         let tier = loaded_tier(48, 3);
-        let cache: ProcessorCache = Box::new(LruCache::new(1 << 20));
         let mut worker = Worker::from_parts(0, Box::new(Arc::clone(&tier)), cache);
         queries.iter().map(|q| worker.run(q).0).collect()
     }
@@ -334,5 +436,54 @@ mod tests {
     #[test]
     fn zero_overlap_is_clamped_to_serial() {
         assert_eq!(QueryPipeline::new(0).overlap, 1);
+    }
+
+    #[test]
+    fn prefetching_pipeline_is_demand_identical_to_serial_worker() {
+        // The pipeline's speculative piggyback over the real wire source:
+        // at overlap 1 every demand-side number — answers, hits, misses,
+        // bytes — must match the serial no-prefetch worker exactly, for
+        // both policies.
+        let q = queries(48, 24);
+        let serial = run_serial(&q);
+        for policy in [PrefetchPolicy::Degree, PrefetchPolicy::Hotspot] {
+            let (piped, _) = run_pipeline_with(1, &q, PrefetchConfig::with_policy(policy), || {
+                Box::new(LruCache::new(1 << 20))
+            });
+            assert_eq!(piped.len(), q.len());
+            for (i, (seq, outcome)) in piped.iter().enumerate() {
+                assert_eq!(*seq as usize, i, "{policy}: overlap 1 is in order");
+                assert_eq!(outcome.result, serial[i].result, "{policy} seq {seq}");
+                assert_eq!(outcome.stats, serial[i].stats, "{policy} seq {seq}");
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_prefetch_stages_repeat_traffic_over_the_wire() {
+        // A cache that retains nothing forces every access over the wire;
+        // the history predictor stages the hot region so repeat queries
+        // are served from the buffer — visible as a live speculative
+        // tally, with answers still identical to the serial worker.
+        let q: Vec<Query> = (0..10u32)
+            .map(|i| Query::NeighborAggregation {
+                node: n(i % 3),
+                hops: 2,
+                label: None,
+            })
+            .collect();
+        let serial = run_serial_with(&q, Box::new(grouting_cache::NullCache::new()));
+        let (piped, stats) = run_pipeline_with(
+            1,
+            &q,
+            PrefetchConfig::with_policy(PrefetchPolicy::Hotspot),
+            || Box::new(grouting_cache::NullCache::new()),
+        );
+        for (i, (_, outcome)) in piped.iter().enumerate() {
+            assert_eq!(outcome.result, serial[i].result, "seq {i}");
+            assert_eq!(outcome.stats, serial[i].stats, "seq {i}");
+        }
+        assert!(stats.issued > 0, "speculation must fire");
+        assert!(stats.hits > 0, "repeat frontiers must be served from stage");
     }
 }

@@ -486,6 +486,9 @@ fn run_processor_scalar(
                     processor: id as u32,
                     result: out.result,
                     stats: out.stats,
+                    // The scalar path never speculates (piggybacking on
+                    // per-node round trips would *add* RTTs).
+                    prefetch: grouting_query::PrefetchStats::default(),
                     arrived_ns: 0,
                     started_ns,
                     completed_ns,
@@ -519,7 +522,7 @@ fn run_processor_overlapped(
     let mut source =
         MultiplexedStorageSource::new(Arc::clone(transport), storage_addrs, partitioner);
     let mut cache = config.build_cache();
-    let mut pipeline = QueryPipeline::new(config.overlap.max(1));
+    let mut pipeline = QueryPipeline::new(config.overlap.max(1)).with_prefetch(config.prefetch);
     let router = transport.dial(router_addr)?;
     let (mut sink, mut stream) = router.split();
     sink.send(&Frame::Hello {
@@ -555,6 +558,9 @@ fn run_processor_overlapped(
                 processor: id as u32,
                 result: done.outcome.result,
                 stats: done.outcome.stats,
+                // Cumulative per-processor speculation tally; the router
+                // keeps the latest per processor for the run snapshot.
+                prefetch: pipeline.prefetch_stats(),
                 arrived_ns: 0,
                 started_ns: done.started_ns,
                 completed_ns: done.completed_ns,
@@ -641,6 +647,13 @@ pub fn run_router(
     // resubmitted.
     let mut outstanding: Vec<Vec<(u64, grouting_query::Query)>> = vec![Vec::new(); p];
     let mut ever_connected = 0usize;
+    // Latest cumulative speculation tally per processor (completions carry
+    // it); summed into every snapshot the router emits. A restarted
+    // processor restarts its tally — the pre-death speculation is folded
+    // into `prefetch_retired` when the death is noticed.
+    let mut prefetch_live: Vec<grouting_query::PrefetchStats> =
+        vec![grouting_query::PrefetchStats::default(); p];
+    let mut prefetch_retired = grouting_query::PrefetchStats::default();
     let mut client_conn: Option<u64> = None;
     let mut backlog: VecDeque<(usize, grouting_query::Query)> = VecDeque::new();
     let mut arrivals: HashMap<u64, u64> = HashMap::new();
@@ -753,6 +766,7 @@ pub fn run_router(
                             );
                             completed += 1;
                             if proc_id < p {
+                                prefetch_live[proc_id] = completion.prefetch;
                                 in_flight[proc_id] = in_flight[proc_id].saturating_sub(1);
                                 // Out-of-order acknowledgement is legal
                                 // under overlap; correlate by seq.
@@ -769,7 +783,12 @@ pub fn run_router(
                                     && completed.is_multiple_of(opts.snapshot_every)
                                     && completed < submitted
                                 {
-                                    reactor.send(client, &Frame::Metrics(engine.snapshot()))?;
+                                    let snap = snapshot_with_prefetch(
+                                        &engine,
+                                        &prefetch_live,
+                                        &prefetch_retired,
+                                    );
+                                    reactor.send(client, &Frame::Metrics(snap))?;
                                 }
                             }
                         }
@@ -778,7 +797,9 @@ pub fn run_router(
                             // answer with the totals accumulated so far (a
                             // requester that died in the meantime is
                             // handled by its own Closed event).
-                            let _ = reactor.send(conn_id, &Frame::Metrics(engine.snapshot()));
+                            let snap =
+                                snapshot_with_prefetch(&engine, &prefetch_live, &prefetch_retired);
+                            let _ = reactor.send(conn_id, &Frame::Metrics(snap));
                         }
                         Frame::Shutdown => {
                             // Any peer may abort the run (the harness uses
@@ -813,6 +834,10 @@ pub fn run_router(
                         {
                             processor_conn[proc_id] = None;
                             in_flight[proc_id] = 0;
+                            // A restarted processor reports a fresh tally;
+                            // bank what the dead incarnation speculated.
+                            prefetch_retired.merge(&prefetch_live[proc_id]);
+                            prefetch_live[proc_id] = grouting_query::PrefetchStats::default();
                             engine.mark_down(proc_id);
                             for (seq, query) in outstanding[proc_id].drain(..) {
                                 engine.resubmit(seq, query);
@@ -834,7 +859,7 @@ pub fn run_router(
 
     // Teardown: snapshot to the client, shutdown to everyone. Dropping the
     // reactor closes the listener and every connection.
-    let snapshot = engine.snapshot();
+    let snapshot = snapshot_with_prefetch(&engine, &prefetch_live, &prefetch_retired);
     if let Some(client) = client_conn {
         let _ = reactor.send(client, &Frame::Metrics(snapshot.clone()));
         let _ = reactor.send(client, &Frame::Shutdown);
@@ -844,6 +869,25 @@ pub fn run_router(
     }
 
     result.map(|()| snapshot)
+}
+
+/// The engine's current snapshot with the speculation counters filled in:
+/// the live per-processor cumulative tallies plus whatever dead processor
+/// incarnations banked before they went away.
+fn snapshot_with_prefetch(
+    engine: &Engine,
+    live: &[grouting_query::PrefetchStats],
+    retired: &grouting_query::PrefetchStats,
+) -> RunSnapshot {
+    let mut total = *retired;
+    for stats in live {
+        total.merge(stats);
+    }
+    let mut snapshot = engine.snapshot();
+    snapshot.prefetch_issued = total.issued;
+    snapshot.prefetch_hits = total.hits;
+    snapshot.prefetch_wasted_bytes = total.wasted_bytes;
+    snapshot
 }
 
 #[cfg(test)]

@@ -178,6 +178,69 @@ fn overlap4_cluster_matches_assignments_and_results() {
 }
 
 #[test]
+fn prefetching_cluster_agrees_with_prefetch_off_engine() {
+    // The speculative-prefetch acceptance gate: with `GROUTING_PREFETCH`
+    // semantics on (hotspot policy, default budget) the wire cluster must
+    // produce identical answers, identical per-query routing assignments,
+    // and identical *demand* cache statistics to the in-process engine
+    // running with prefetch off — speculation moves bytes earlier, never
+    // what Eq. 8/9 count. The run must also actually speculate (a vacuous
+    // pass with zero issued prefetches would prove nothing).
+    let (tier, queries) = seeded_setup();
+    let off_cfg = deterministic_config();
+    let on_cfg = LiveConfig {
+        prefetch: grouting_core::query::PrefetchConfig::with_policy(
+            grouting_core::query::PrefetchPolicy::Hotspot,
+        ),
+        // A cache too small to retain the hotspot region: repeat traffic
+        // keeps missing, which is exactly where speculation fires.
+        cache_capacity: 64 << 10,
+        ..off_cfg
+    };
+    let small_cache_off = LiveConfig {
+        cache_capacity: 64 << 10,
+        ..off_cfg
+    };
+
+    let inproc = run_live(Arc::clone(&tier), None, None, &queries, &small_cache_off);
+    let wired = run_cluster(
+        Arc::clone(&tier),
+        None,
+        None,
+        &queries,
+        &on_cfg,
+        TransportKind::from_env(),
+        Preset::Local,
+        FetchMode::Batched,
+    )
+    .expect("prefetching wire cluster completes");
+
+    assert_eq!(wired.results, inproc.results);
+    assert_eq!(
+        assignments(&wired, queries.len()),
+        assignments(&inproc, queries.len()),
+        "routing assignments diverged under prefetch"
+    );
+    assert_eq!(
+        wired.cache_hits, inproc.cache_hits,
+        "demand hit counts diverged under prefetch"
+    );
+    assert_eq!(wired.cache_misses, inproc.cache_misses);
+    assert!(
+        wired.prefetch_issued > 0,
+        "the run must actually speculate to pin anything"
+    );
+    assert!(
+        wired.prefetch_hits > 0,
+        "hotspot repeats must be served from the staging buffer"
+    );
+    assert_eq!(
+        inproc.prefetch_issued, 0,
+        "the reference must not speculate"
+    );
+}
+
+#[test]
 fn no_cache_scheme_has_zero_hits_over_the_wire() {
     let (tier, queries) = seeded_setup();
     let cfg = LiveConfig {

@@ -77,10 +77,49 @@ fn record_result(full_name: &str, median_ns: f64) {
         .push((full_name.to_string(), median_ns));
 }
 
+/// Records an arbitrary named value into the results JSON alongside the
+/// timing medians — benches use this to publish companion counters (e.g.
+/// prefetch hit totals) into the same machine-readable artifact CI
+/// uploads. Honours the CLI name filter like a benchmark would.
+pub fn record_metric(full_name: &str, value: f64) {
+    if !filter_matches(full_name) {
+        return;
+    }
+    record_result(full_name, value);
+}
+
+/// Parses the shim's own flat `{"name": number, …}` output (the same
+/// grammar `bench_gate` reads) so re-runs can merge into an existing file.
+fn parse_results_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('"') {
+        rest = &rest[start + 1..];
+        let Some(end) = rest.find('"') else { break };
+        let key = rest[..end].to_string();
+        rest = &rest[end + 1..];
+        let Some(colon) = rest.find(':') else { break };
+        rest = &rest[colon + 1..];
+        let value: String = rest
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+            .collect();
+        if let Ok(v) = value.parse::<f64>() {
+            out.push((key, v));
+        }
+    }
+    out
+}
+
 /// Writes the collected medians as JSON to `$GROUTING_BENCH_JSON`, if set.
 /// Called by `criterion_main!` after every group has run. Also warns when
 /// a filtered run measured nothing (a filter that names a benchmark
 /// without its group skips every group's setup).
+///
+/// An existing results file is *merged into*, fresh values winning per
+/// key — so several filtered bench invocations (as CI runs) accumulate
+/// one combined artifact instead of the last overwriting the rest.
 pub fn write_results_json() {
     if RESULTS.lock().unwrap().is_empty() {
         if let Some(f) = FILTER.lock().unwrap().as_deref() {
@@ -94,9 +133,18 @@ pub fn write_results_json() {
         return;
     }
     let results = RESULTS.lock().unwrap();
+    let mut merged: Vec<(String, f64)> = std::fs::read_to_string(&path)
+        .map(|text| parse_results_json(&text))
+        .unwrap_or_default();
+    for (name, median) in results.iter() {
+        match merged.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => slot.1 = *median,
+            None => merged.push((name.clone(), *median)),
+        }
+    }
     let mut out = String::from("{\n");
-    for (i, (name, median)) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
+    for (i, (name, median)) in merged.iter().enumerate() {
+        let comma = if i + 1 < merged.len() { "," } else { "" };
         // Bench names are plain ASCII identifiers; escape the JSON
         // specials anyway for safety.
         let escaped: String = name
