@@ -459,6 +459,66 @@ fn reactor_dispatch_latency(c: &mut Criterion) {
     g.finish();
 }
 
+fn reactor_idle_cpu_1k(c: &mut Criterion) {
+    if !criterion::group_enabled("reactor_idle_cpu_1k") {
+        return;
+    }
+    use grouting_core::wire::{PollerKind, Reactor, TcpTransport, Transport, TransportKind};
+    use std::sync::Arc;
+
+    if TransportKind::from_env() == TransportKind::InProc {
+        // The comparison is about kernel readiness over real descriptors;
+        // channels have neither, so skip.
+        return;
+    }
+
+    // The idle-cost acceptance shape: ONE reactor holding ~1k established,
+    // silent TCP connections, measured per idle poll round. The sweep
+    // backend must try_recv every connection (O(connections) syscalls per
+    // round); epoll asks the kernel once (O(1) per round, regardless of
+    // connection count). `note_progress` before each round pins both
+    // backends to their non-blocking path, so the number is pure CPU cost,
+    // not sleep time.
+    const CONNS: usize = 1000;
+    // Dial in batches under the listener's accept backlog (128 in std),
+    // draining accepts between batches so no connect ever parks.
+    const DIAL_BATCH: usize = 64;
+
+    let mut g = c.benchmark_group("reactor_idle_cpu_1k");
+    g.sample_size(20);
+    for (name, kind) in [("sweep", PollerKind::Sweep), ("epoll", PollerKind::Epoll)] {
+        let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new());
+        let listener = transport.listen(&transport.any_addr()).unwrap();
+        let mut reactor = Reactor::with_poller(listener, kind);
+        let addr = reactor.addr();
+        let mut clients = Vec::with_capacity(CONNS);
+        let mut events = Vec::new();
+        while clients.len() < CONNS {
+            for _ in 0..DIAL_BATCH.min(CONNS - clients.len()) {
+                clients.push(transport.dial(&addr).unwrap());
+            }
+            reactor.poll(&mut events).unwrap();
+            events.clear();
+        }
+        while reactor.connections() < CONNS {
+            reactor.poll(&mut events).unwrap();
+            events.clear();
+        }
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                reactor.note_progress();
+                events.clear();
+                reactor
+                    .wait_timeout(&mut events, &|| true, std::time::Duration::ZERO)
+                    .unwrap();
+                assert!(events.is_empty(), "connections must stay silent");
+            })
+        });
+        drop(clients);
+    }
+    g.finish();
+}
+
 fn wire_overlap_throughput(c: &mut Criterion) {
     if !criterion::group_enabled("wire_overlap_throughput") {
         return;
@@ -730,6 +790,7 @@ criterion_group!(
     wire_round_trip,
     wire_frontier_fetch,
     reactor_dispatch_latency,
+    reactor_idle_cpu_1k,
     wire_overlap_throughput,
     wire_prefetch
 );

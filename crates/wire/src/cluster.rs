@@ -21,6 +21,7 @@ use grouting_storage::{NetworkModel, Preset};
 use crate::error::{WireError, WireResult};
 use crate::flow::FetchMode;
 use crate::frame::{Frame, Role};
+use crate::reactor::PollerKind;
 use crate::service::{
     now_ns, run_router, ProcessorService, RouterOptions, ServiceHandle, StorageService,
 };
@@ -103,6 +104,10 @@ pub struct ClusterConfig {
     /// Emit a mid-run metrics snapshot to the client every this many
     /// completions (`0` = final snapshot only).
     pub snapshot_every: u64,
+    /// Readiness backend every peer's poll loop runs on
+    /// ([`PollerKind::from_env`] honours `GROUTING_REACTOR=sweep|epoll`;
+    /// the default is epoll on Linux, the portable sweep elsewhere).
+    pub reactor: PollerKind,
 }
 
 impl ClusterConfig {
@@ -115,6 +120,7 @@ impl ClusterConfig {
             net: Preset::Local,
             fetch: FetchMode::default(),
             snapshot_every: 0,
+            reactor: PollerKind::from_env(),
         }
     }
 
@@ -122,6 +128,13 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_fetch(mut self, fetch: FetchMode) -> Self {
         self.fetch = fetch;
+        self
+    }
+
+    /// Overrides the readiness backend every peer's poll loop runs on.
+    #[must_use]
+    pub fn with_reactor(mut self, reactor: PollerKind) -> Self {
+        self.reactor = reactor;
         self
     }
 
@@ -215,10 +228,11 @@ pub fn launch_cluster(
     // Storage endpoints, one per tier server.
     let mut storage_handles: Vec<ServiceHandle> = Vec::new();
     for _ in 0..assets.tier.server_count() {
-        storage_handles.push(StorageService::spawn(
+        storage_handles.push(StorageService::spawn_with_poller(
             Arc::clone(&transport),
             Arc::clone(&assets.tier),
             net,
+            config.reactor,
         )?);
     }
     let storage_addrs: Vec<String> = storage_handles
@@ -233,6 +247,7 @@ pub fn launch_cluster(
     let router_config = config.engine;
     let router_opts = RouterOptions {
         snapshot_every: config.snapshot_every,
+        poller: config.reactor,
     };
     let router = std::thread::spawn(move || {
         run_router(
@@ -247,7 +262,7 @@ pub fn launch_cluster(
     let partitioner = assets.tier.partitioner();
     let processors: Vec<_> = (0..p)
         .map(|id| {
-            ProcessorService::spawn(
+            ProcessorService::spawn_with_poller(
                 Arc::clone(&transport),
                 id,
                 router_addr.clone(),
@@ -255,6 +270,7 @@ pub fn launch_cluster(
                 Arc::clone(&partitioner),
                 config.engine,
                 config.fetch,
+                config.reactor,
             )
         })
         .collect();

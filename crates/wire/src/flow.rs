@@ -24,6 +24,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
 use grouting_graph::NodeId;
@@ -32,7 +33,7 @@ use grouting_query::{BatchSource, RecordSource};
 
 use crate::error::{WireError, WireResult};
 use crate::frame::Frame;
-use crate::reactor::Backoff;
+use crate::reactor::{Poller, PollerKind};
 use crate::transport::{FrameSink, FrameStream, Transport};
 
 /// Which processor↔storage fetch path a deployment runs.
@@ -74,10 +75,18 @@ impl std::fmt::Display for FetchMode {
 /// encoded adjacency value, `None` where the node is not stored.
 pub type BatchPayloads = Vec<Option<(u16, Bytes)>>;
 
+/// How long an idle collect loop parks on the readiness backend before
+/// re-sweeping anyway (a safety net; with epoll the arrival of any reply
+/// byte wakes the wait early).
+const COLLECT_IDLE_WAIT: Duration = Duration::from_millis(5);
+
 /// One storage connection's multiplexer state.
 struct MuxConn {
     sink: Box<dyn FrameSink>,
     stream: Box<dyn FrameStream>,
+    /// Raw descriptor registered with the poller (`None` for fd-less
+    /// transports, which degrade the wait to the sweep ladder).
+    fd: Option<i32>,
     /// Payloads received so far per correlation id. A storage server may
     /// stream one batch's answer as *several* [`Frame::FetchBatchResponse`]
     /// frames (it chunks responses that would otherwise exceed the frame
@@ -104,18 +113,68 @@ pub struct BatchMux {
     conns: Vec<Option<MuxConn>>,
     next_req_id: u64,
     reconnects: u64,
+    /// Readiness backend the collect loops park on when every pending
+    /// stream has reported `WouldBlock`. Connection tokens are the server
+    /// index; callers may register extra descriptors (a processor's router
+    /// connection) under tokens ≥ [`BatchMux::EXTERNAL_TOKEN_BASE`].
+    poller: Box<dyn Poller>,
+    /// Scratch for ready tokens (reused across waits).
+    poll_scratch: Vec<u64>,
 }
 
 impl BatchMux {
-    /// A multiplexer towards `storage_addrs` (index = storage server id).
+    /// First token available to [`BatchMux::register_external`] — far
+    /// above any storage server index.
+    pub const EXTERNAL_TOKEN_BASE: u64 = 1 << 32;
+
+    /// A multiplexer towards `storage_addrs` (index = storage server id),
+    /// on the readiness backend `GROUTING_REACTOR` selects.
     pub fn new(transport: Arc<dyn Transport>, storage_addrs: &[String]) -> Self {
+        Self::with_poller(transport, storage_addrs, PollerKind::from_env())
+    }
+
+    /// A multiplexer on an explicitly chosen readiness backend.
+    pub fn with_poller(
+        transport: Arc<dyn Transport>,
+        storage_addrs: &[String],
+        kind: PollerKind,
+    ) -> Self {
         Self {
             transport,
             addrs: storage_addrs.to_vec(),
             conns: storage_addrs.iter().map(|_| None).collect(),
             next_req_id: 0,
             reconnects: 0,
+            poller: kind.build(),
+            poll_scratch: Vec::new(),
         }
+    }
+
+    /// Registers a caller-owned descriptor (token ≥
+    /// [`BatchMux::EXTERNAL_TOKEN_BASE`]) with the readiness backend, so
+    /// an idle wait also wakes on that connection's traffic. An `fd` of
+    /// `None` (fd-less transport) degrades every wait to the sweep ladder.
+    pub fn register_external(&mut self, token: u64, fd: Option<i32>) {
+        debug_assert!(token >= Self::EXTERNAL_TOKEN_BASE);
+        self.poller.register(token, fd);
+    }
+
+    /// Parks on the readiness backend until any registered connection has
+    /// traffic, or `timeout` passes. Only safe to call when every pending
+    /// stream last reported `WouldBlock` (see
+    /// [`crate::transport::FrameStream::try_recv`]) — which is exactly the
+    /// no-progress state the collect loops call it from.
+    pub fn idle_wait(&mut self, timeout: Duration) {
+        let mut ready = std::mem::take(&mut self.poll_scratch);
+        ready.clear();
+        let _ = self.poller.wait(&mut ready, timeout);
+        self.poll_scratch = ready;
+    }
+
+    /// Tells the readiness backend progress happened, resetting its idle
+    /// ladder so the next wait spins briefly before blocking.
+    pub fn note_progress(&mut self) {
+        self.poller.reset();
     }
 
     /// Number of storage servers this multiplexer addresses.
@@ -133,9 +192,12 @@ impl BatchMux {
     fn conn(&mut self, server: usize) -> WireResult<&mut MuxConn> {
         if self.conns[server].is_none() {
             let (sink, stream) = self.transport.dial(&self.addrs[server])?.split();
+            let fd = stream.raw_fd();
+            self.poller.register(server as u64, fd);
             self.conns[server] = Some(MuxConn {
                 sink,
                 stream,
+                fd,
                 ready: HashMap::new(),
                 pending: HashMap::new(),
             });
@@ -153,14 +215,21 @@ impl BatchMux {
     ///
     /// Propagates dial/resubmission failures (the peer is really gone).
     fn reconnect(&mut self, server: usize) -> WireResult<()> {
-        let pending = self.conns[server]
+        let (pending, old_fd) = self.conns[server]
             .take()
-            .map(|c| c.pending)
+            .map(|c| (c.pending, c.fd))
             .unwrap_or_default();
+        // The old connection (and its fd) is gone by now; deregister
+        // BEFORE dialling so a kernel-recycled descriptor number cannot be
+        // mistaken for the old registration.
+        self.poller.deregister(server as u64, old_fd);
         let (sink, stream) = self.transport.dial(&self.addrs[server])?.split();
+        let fd = stream.raw_fd();
+        self.poller.register(server as u64, fd);
         let mut conn = MuxConn {
             sink,
             stream,
+            fd,
             ready: HashMap::new(),
             pending,
         };
@@ -319,7 +388,6 @@ impl BatchMux {
     pub fn collect_many(&mut self, wanted: &[(usize, u64)]) -> WireResult<Vec<BatchPayloads>> {
         let mut out: Vec<Option<BatchPayloads>> = vec![None; wanted.len()];
         let mut remaining = wanted.len();
-        let mut backoff = Backoff::new();
         // One reconnect attempt per server per collect: masks a storage
         // restart without looping forever against a peer that is gone.
         let mut reconnected = vec![false; self.conns.len()];
@@ -343,13 +411,14 @@ impl BatchMux {
                     }
                 }
             }
-            // Yield between empty sweeps (handing the core to the server
-            // is what makes the reply land), sleeping only once genuinely
-            // idle so a slow server doesn't cost a core.
+            // An empty sweep means every pending stream reported
+            // `WouldBlock`; park on the readiness backend until a reply
+            // byte lands (epoll) or briefly yield (sweep ladder) so a slow
+            // server doesn't cost a core.
             if progressed {
-                backoff.reset();
+                self.note_progress();
             } else {
-                backoff.idle();
+                self.idle_wait(COLLECT_IDLE_WAIT);
             }
         }
         Ok(out.into_iter().map(|p| p.expect("collected")).collect())
@@ -369,16 +438,51 @@ pub struct MultiplexedStorageSource {
 
 impl MultiplexedStorageSource {
     /// A source fetching from `storage_addrs` (index = storage server id)
-    /// with `partitioner` as the placement function.
+    /// with `partitioner` as the placement function, on the readiness
+    /// backend `GROUTING_REACTOR` selects.
     pub fn new(
         transport: Arc<dyn Transport>,
         storage_addrs: &[String],
         partitioner: Arc<dyn Partitioner>,
     ) -> Self {
+        Self::with_poller(
+            transport,
+            storage_addrs,
+            partitioner,
+            PollerKind::from_env(),
+        )
+    }
+
+    /// A source on an explicitly chosen readiness backend.
+    pub fn with_poller(
+        transport: Arc<dyn Transport>,
+        storage_addrs: &[String],
+        partitioner: Arc<dyn Partitioner>,
+        kind: PollerKind,
+    ) -> Self {
         Self {
             partitioner,
-            mux: BatchMux::new(transport, storage_addrs),
+            mux: BatchMux::with_poller(transport, storage_addrs, kind),
         }
+    }
+
+    /// Registers a caller-owned descriptor with the underlying
+    /// multiplexer's readiness backend (see
+    /// [`BatchMux::register_external`]).
+    pub fn register_external(&mut self, token: u64, fd: Option<i32>) {
+        self.mux.register_external(token, fd);
+    }
+
+    /// Parks until any registered connection has traffic (see
+    /// [`BatchMux::idle_wait`]).
+    pub fn idle_wait(&mut self, timeout: Duration) {
+        self.mux.idle_wait(timeout);
+    }
+
+    /// Resets the readiness backend's idle ladder (see
+    /// [`BatchMux::note_progress`]).
+    pub fn note_progress(&mut self) {
+        self.mux.note_progress();
     }
 
     fn home(&self, node: NodeId) -> usize {
@@ -541,17 +645,18 @@ impl BatchSource for MultiplexedStorageSource {
         };
         // Collect phase: readiness loop over every pending connection —
         // the same submit/poll primitives the overlapped pipeline drives,
-        // just awaited inline.
-        let mut backoff = Backoff::new();
+        // just awaited inline. An unproductive poll round means every
+        // involved stream reported `WouldBlock`, so parking on the
+        // readiness backend is safe.
         loop {
             let before = pending.remaining;
             match self.try_collect(&mut pending) {
                 Ok(Some(out)) => return out,
                 Ok(None) => {
                     if pending.remaining < before {
-                        backoff.reset();
+                        self.mux.note_progress();
                     } else {
-                        backoff.idle();
+                        self.mux.idle_wait(COLLECT_IDLE_WAIT);
                     }
                 }
                 Err(e) => panic!("storage batch fetch failed: {e}"),

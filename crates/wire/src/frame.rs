@@ -267,6 +267,72 @@ impl Frame {
         buf.freeze()
     }
 
+    /// Encodes this frame as a chunk sequence whose concatenation is
+    /// byte-identical to [`Frame::encode`]'s output, with each response
+    /// payload handed out as its own zero-copy [`Bytes`] view — so a
+    /// vectored send can scatter-gather a large batch response straight
+    /// from the storage tier's buffers instead of flattening it into one
+    /// allocation. Frames without payload sections return a single chunk.
+    pub fn encode_chunks(&self) -> Vec<Bytes> {
+        match self {
+            Frame::FetchResponse {
+                node,
+                payload: Some((server, value)),
+            } => {
+                let mut meta = BytesMut::with_capacity(12);
+                meta.put_u8(TAG_FETCH_RESPONSE);
+                meta.put_u32_le(node.raw());
+                meta.put_u8(1);
+                meta.put_u16_le(*server);
+                meta.put_u32_le(value.len() as u32);
+                let mut chunks = vec![meta.freeze()];
+                if !value.is_empty() {
+                    chunks.push(value.clone());
+                }
+                chunks
+            }
+            Frame::FetchBatchResponse { req_id, payloads } => {
+                // Fixed-width fields accumulate into one meta buffer;
+                // `cuts` marks where a payload interleaves. The chunks are
+                // then meta slices and payload views — payload bytes are
+                // never copied.
+                let mut meta = BytesMut::with_capacity(13 + payloads.len() * 7);
+                let mut cuts: Vec<(usize, Bytes)> = Vec::new();
+                meta.put_u8(TAG_FETCH_BATCH_RESPONSE);
+                meta.put_u64_le(*req_id);
+                meta.put_u32_le(payloads.len() as u32);
+                for payload in payloads {
+                    match payload {
+                        None => meta.put_u8(0),
+                        Some((server, value)) => {
+                            meta.put_u8(1);
+                            meta.put_u16_le(*server);
+                            meta.put_u32_le(value.len() as u32);
+                            if !value.is_empty() {
+                                cuts.push((meta.len(), value.clone()));
+                            }
+                        }
+                    }
+                }
+                let meta = meta.freeze();
+                let mut chunks = Vec::with_capacity(cuts.len() * 2 + 1);
+                let mut at = 0;
+                for (cut, value) in cuts {
+                    if cut > at {
+                        chunks.push(meta.slice(at..cut));
+                    }
+                    chunks.push(value);
+                    at = cut;
+                }
+                if at < meta.len() || chunks.is_empty() {
+                    chunks.push(meta.slice(at..));
+                }
+                chunks
+            }
+            _ => vec![self.encode()],
+        }
+    }
+
     /// Decodes a frame from payload bytes.
     ///
     /// # Errors
@@ -701,6 +767,24 @@ mod tests {
         for q in queries {
             let f = Frame::Submit { seq: 1, query: q };
             assert_eq!(Frame::decode(f.encode()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn encode_chunks_concatenation_matches_encode() {
+        for frame in sample_frames() {
+            let flat = frame.encode();
+            let chunks = frame.encode_chunks();
+            let mut joined = Vec::new();
+            for c in &chunks {
+                joined.extend_from_slice(c);
+            }
+            assert_eq!(&joined[..], &flat[..], "{}", frame.kind());
+            assert!(
+                chunks.iter().all(|c| !c.is_empty()),
+                "{} emitted an empty chunk",
+                frame.kind()
+            );
         }
     }
 

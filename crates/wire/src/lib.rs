@@ -48,6 +48,8 @@ pub mod frame;
 pub mod overlap;
 pub mod reactor;
 pub mod service;
+#[cfg(target_os = "linux")]
+pub(crate) mod sys;
 pub mod transport;
 
 pub use cluster::{launch_cluster, overlap_from_env, ClusterConfig, ClusterRun, TransportKind};
@@ -55,7 +57,7 @@ pub use error::{WireError, WireResult};
 pub use flow::{BatchMux, FetchMode, MultiplexedStorageSource, PendingBatch};
 pub use frame::{Completion, Frame, Role};
 pub use overlap::{CompletedQuery, QueryPipeline};
-pub use reactor::{Backoff, Reactor, ReactorEvent};
+pub use reactor::{Backoff, Poller, PollerKind, Reactor, ReactorEvent, SweepPoller};
 pub use service::{
     now_ns, run_router, ProcessorService, RemoteStorageSource, RouterOptions, ServiceHandle,
     StorageService,

@@ -46,11 +46,16 @@ use grouting_query::{BatchSource, RecordSource};
 use grouting_storage::{NetworkModel, StorageTier};
 
 use crate::error::{WireError, WireResult};
-use crate::flow::{FetchMode, MultiplexedStorageSource};
+use crate::flow::{BatchMux, FetchMode, MultiplexedStorageSource};
 use crate::frame::{Completion, Frame, Role};
 use crate::overlap::QueryPipeline;
-use crate::reactor::{Backoff, Reactor, ReactorEvent};
+use crate::reactor::{PollerKind, Reactor, ReactorEvent};
 use crate::transport::{ConnectionPool, Listener, Transport};
+
+/// How long an idle service loop parks on its readiness backend before
+/// re-checking its stop flag (epoll wakes early on any traffic; the sweep
+/// backend degrades to the yield/sleep ladder, which returns far sooner).
+const SERVICE_IDLE_WAIT: std::time::Duration = std::time::Duration::from_millis(5);
 
 /// Monotonic nanoseconds since a process-wide epoch, shared by every
 /// service so lifecycle timestamps are comparable within one machine.
@@ -124,12 +129,27 @@ impl StorageService {
         tier: Arc<StorageTier>,
         net: NetworkModel,
     ) -> WireResult<ServiceHandle> {
+        Self::spawn_with_poller(transport, tier, net, PollerKind::from_env())
+    }
+
+    /// Like [`StorageService::spawn`], on an explicitly chosen readiness
+    /// backend instead of the `GROUTING_REACTOR` default.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the transport cannot bind a listener.
+    pub fn spawn_with_poller(
+        transport: Arc<dyn Transport>,
+        tier: Arc<StorageTier>,
+        net: NetworkModel,
+        poller: PollerKind,
+    ) -> WireResult<ServiceHandle> {
         let listener = transport.listen(&transport.any_addr())?;
         let addr = listener.addr();
         let stop = Arc::new(AtomicBool::new(false));
         let stop_loop = Arc::clone(&stop);
         let join = std::thread::spawn(move || {
-            let mut reactor = Reactor::new(listener);
+            let mut reactor = Reactor::with_poller(listener, poller);
             let mut events: Vec<ReactorEvent> = Vec::new();
             // Responses whose emulated flight time has not elapsed yet.
             // Arrival order, but due times are NOT monotone (the delay
@@ -139,7 +159,6 @@ impl StorageService {
             // batch responses correlate by req_id, and the scalar pool
             // keeps one outstanding request per connection.
             let mut in_flight: VecDeque<DelayedResponse> = VecDeque::new();
-            let mut backoff = Backoff::new();
             loop {
                 if stop_loop.load(Ordering::SeqCst) {
                     return;
@@ -178,9 +197,12 @@ impl StorageService {
                     false
                 });
                 if progressed {
-                    backoff.reset();
+                    reactor.note_progress();
                 } else if in_flight.is_empty() {
-                    backoff.idle();
+                    // Nothing buffered, nothing due: park on the readiness
+                    // backend until a request arrives (epoll wakes on the
+                    // first byte; the stop flag is re-checked on return).
+                    reactor.idle_wait(SERVICE_IDLE_WAIT);
                 } else {
                     // Responses are due within the emulated RTT; yielding
                     // keeps due-time precision tight without burning the
@@ -433,6 +455,33 @@ impl ProcessorService {
         config: EngineConfig,
         fetch: FetchMode,
     ) -> std::thread::JoinHandle<WireResult<()>> {
+        Self::spawn_with_poller(
+            transport,
+            id,
+            router_addr,
+            storage_addrs,
+            partitioner,
+            config,
+            fetch,
+            PollerKind::from_env(),
+        )
+    }
+
+    /// Like [`ProcessorService::spawn`], on an explicitly chosen readiness
+    /// backend instead of the `GROUTING_REACTOR` default. (The scalar
+    /// path's blocking per-node exchanges never poll, so the choice only
+    /// affects [`FetchMode::Batched`].)
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_with_poller(
+        transport: Arc<dyn Transport>,
+        id: usize,
+        router_addr: String,
+        storage_addrs: Vec<String>,
+        partitioner: Arc<dyn Partitioner>,
+        config: EngineConfig,
+        fetch: FetchMode,
+        poller: PollerKind,
+    ) -> std::thread::JoinHandle<WireResult<()>> {
         std::thread::spawn(move || match fetch {
             FetchMode::Scalar => run_processor_scalar(
                 &transport,
@@ -449,6 +498,7 @@ impl ProcessorService {
                 &storage_addrs,
                 partitioner,
                 &config,
+                poller,
             ),
         })
     }
@@ -518,18 +568,26 @@ fn run_processor_overlapped(
     storage_addrs: &[String],
     partitioner: Arc<dyn Partitioner>,
     config: &EngineConfig,
+    poller: PollerKind,
 ) -> WireResult<()> {
-    let mut source =
-        MultiplexedStorageSource::new(Arc::clone(transport), storage_addrs, partitioner);
+    let mut source = MultiplexedStorageSource::with_poller(
+        Arc::clone(transport),
+        storage_addrs,
+        partitioner,
+        poller,
+    );
     let mut cache = config.build_cache();
     let mut pipeline = QueryPipeline::new(config.overlap.max(1)).with_prefetch(config.prefetch);
     let router = transport.dial(router_addr)?;
     let (mut sink, mut stream) = router.split();
+    // The router connection joins the storage connections on the source's
+    // readiness backend, so an idle processor parks on ONE wait covering
+    // dispatches and fetch replies alike.
+    source.register_external(BatchMux::EXTERNAL_TOKEN_BASE, stream.raw_fd());
     sink.send(&Frame::Hello {
         role: Role::Processor,
         id: id as u32,
     })?;
-    let mut backoff = Backoff::new();
     loop {
         let mut progressed = false;
         // Drain whatever the router has sent — every queued dispatch goes
@@ -568,9 +626,13 @@ fn run_processor_overlapped(
             progressed = true;
         }
         if progressed {
-            backoff.reset();
+            source.note_progress();
         } else {
-            backoff.idle();
+            // No dispatch drained, no query finished: the router stream
+            // and every awaited storage stream reported `WouldBlock`
+            // (pipeline.step never parks runnable compute), so blocking
+            // until one of those sockets has traffic is safe.
+            source.idle_wait(SERVICE_IDLE_WAIT);
         }
     }
 }
@@ -580,12 +642,23 @@ fn run_processor_overlapped(
 // ---------------------------------------------------------------------------
 
 /// Router-loop behaviour knobs beyond the engine configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct RouterOptions {
     /// Emit a [`Frame::Metrics`] snapshot to the client every this many
     /// completions (`0` = only the final snapshot). Mid-run snapshots feed
     /// live dashboards without waiting for the workload to drain.
     pub snapshot_every: u64,
+    /// Readiness backend for the router's reactor.
+    pub poller: PollerKind,
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        Self {
+            snapshot_every: 0,
+            poller: PollerKind::from_env(),
+        }
+    }
 }
 
 /// Runs the router node over `listener` until the workload completes.
@@ -637,7 +710,7 @@ pub fn run_router(
     let overlap = config.overlap.max(1);
     // Router half only: the processors (and their caches) are remote.
     let mut engine = Engine::new_router_only(assets, config);
-    let mut reactor = Reactor::new(listener);
+    let mut reactor = Reactor::with_poller(listener, opts.poller);
 
     // Router state: which connection is which peer.
     let mut processor_conn: Vec<Option<u64>> = vec![None; p];

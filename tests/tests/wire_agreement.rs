@@ -241,6 +241,70 @@ fn prefetching_cluster_agrees_with_prefetch_off_engine() {
 }
 
 #[test]
+fn epoll_and_sweep_backends_agree_byte_for_byte() {
+    // The readiness backend (`GROUTING_REACTOR`) decides how the service
+    // poll loops *idle* — blocking `epoll_wait` on Linux vs the portable
+    // yield/sleep sweep — and must never change what a run computes or
+    // counts. Same seeded workload under both backends: identical
+    // answers, identical per-query routing assignments, identical demand
+    // cache statistics, and (at overlap 1, where execution is strictly
+    // serial) an identical speculative-prefetch tally. On non-Linux hosts
+    // `epoll` falls back to the sweep backend, making this vacuously true
+    // there and a real two-backend comparison on Linux.
+    let (tier, queries) = seeded_setup();
+    let cfg = LiveConfig {
+        prefetch: grouting_core::query::PrefetchConfig::with_policy(
+            grouting_core::query::PrefetchPolicy::Hotspot,
+        ),
+        // Small enough that the hotspot region keeps missing, so the run
+        // actually speculates and the prefetch comparison pins something.
+        cache_capacity: 64 << 10,
+        ..deterministic_config()
+    };
+    let run_with_backend = |backend: &str| {
+        std::env::set_var("GROUTING_REACTOR", backend);
+        let report = run_cluster(
+            Arc::clone(&tier),
+            None,
+            None,
+            &queries,
+            &cfg,
+            TransportKind::from_env(),
+            Preset::Local,
+            FetchMode::Batched,
+        )
+        .expect("wire cluster completes");
+        std::env::remove_var("GROUTING_REACTOR");
+        report
+    };
+    let sweep = run_with_backend("sweep");
+    let epoll = run_with_backend("epoll");
+
+    assert_eq!(epoll.results, sweep.results);
+    assert_eq!(
+        assignments(&epoll, queries.len()),
+        assignments(&sweep, queries.len()),
+        "routing assignments diverged between reactor backends"
+    );
+    assert_eq!(
+        epoll.cache_hits, sweep.cache_hits,
+        "hit counts diverged between reactor backends"
+    );
+    assert_eq!(epoll.cache_misses, sweep.cache_misses);
+    assert_eq!(epoll.stolen, sweep.stolen);
+    assert_eq!(
+        epoll.prefetch_issued, sweep.prefetch_issued,
+        "speculation tallies diverged between reactor backends"
+    );
+    assert_eq!(epoll.prefetch_hits, sweep.prefetch_hits);
+    assert_eq!(epoll.prefetch_wasted_bytes, sweep.prefetch_wasted_bytes);
+    assert!(
+        sweep.prefetch_issued > 0,
+        "the run must actually speculate to pin anything"
+    );
+}
+
+#[test]
 fn no_cache_scheme_has_zero_hits_over_the_wire() {
     let (tier, queries) = seeded_setup();
     let cfg = LiveConfig {

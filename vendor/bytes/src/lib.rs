@@ -6,6 +6,15 @@
 //! [`Buf`]/[`BufMut`] cursor traits with the little-endian accessors the
 //! codecs call. Zero-copy semantics are preserved: `Bytes::slice` and
 //! `clone` share one allocation via `Arc`.
+//!
+//! One deliberate extension over the upstream API: [`BufferPool`], a
+//! bounded free-list of receive buffers for the wire data plane. Buffers
+//! are checked out as [`BytesMut`], frozen into [`Bytes`] once a frame's
+//! bytes have landed, sliced zero-copy into payload views, and checked
+//! back in when the transport is done with the frame. Reclamation goes
+//! through `Arc::try_unwrap`, so a buffer can only re-enter the free list
+//! once **no** live [`Bytes`] view references it — pool reuse can never
+//! alias payload bytes still held elsewhere.
 
 use std::ops::{Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
@@ -240,6 +249,16 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Total capacity of the underlying allocation.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Drops the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Appends raw bytes.
     pub fn extend_from_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
@@ -248,6 +267,86 @@ impl BytesMut {
     /// Converts into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+}
+
+/// A bounded free-list of reusable byte buffers.
+///
+/// The lifecycle is `checkout → fill → freeze → slice → checkin`:
+/// [`BufferPool::checkout`] hands out an empty [`BytesMut`] (reusing a
+/// previously reclaimed allocation when one is available), the caller
+/// fills it with received bytes and freezes it, decoders take zero-copy
+/// [`Bytes::slice`] views into it, and [`BufferPool::checkin`] offers the
+/// buffer back. A buffer is reclaimed **only** when the checked-in view
+/// holds the allocation's last reference (`Arc::try_unwrap`); while any
+/// payload view is still alive the allocation simply stays out of the
+/// pool and is freed by the last view's drop, exactly as without a pool.
+/// Reuse therefore can never scribble over bytes a live view can read.
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+    max_buffers: usize,
+    buffer_capacity: usize,
+    reclaimed: u64,
+}
+
+impl BufferPool {
+    /// A pool handing out buffers with at least `buffer_capacity` bytes
+    /// reserved, retaining at most `max_buffers` free allocations.
+    pub fn new(buffer_capacity: usize, max_buffers: usize) -> Self {
+        Self {
+            free: Vec::new(),
+            max_buffers,
+            buffer_capacity,
+            reclaimed: 0,
+        }
+    }
+
+    /// An empty buffer, reusing a reclaimed allocation when available.
+    pub fn checkout(&mut self) -> BytesMut {
+        let data = self
+            .free
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(self.buffer_capacity));
+        BytesMut { data }
+    }
+
+    /// Offers a frozen buffer back to the pool. Returns `true` when the
+    /// allocation was reclaimed into the free list — i.e. `bytes` was its
+    /// last live view and the allocation is worth keeping.
+    pub fn checkin(&mut self, bytes: Bytes) -> bool {
+        match Arc::try_unwrap(bytes.data) {
+            Ok(data) => self.retain(data),
+            Err(_) => false,
+        }
+    }
+
+    /// Returns an unfrozen buffer (e.g. one that never filled a complete
+    /// frame) straight to the pool.
+    pub fn checkin_mut(&mut self, buf: BytesMut) {
+        self.retain(buf.data);
+    }
+
+    fn retain(&mut self, mut data: Vec<u8>) -> bool {
+        // Undersized allocations (notably the empty placeholder a consumer
+        // swaps in while it owns no frame bytes) would poison the free
+        // list with useless buffers; only full-size allocations re-enter.
+        if data.capacity() < self.buffer_capacity || self.free.len() >= self.max_buffers {
+            return false;
+        }
+        data.clear();
+        self.free.push(data);
+        self.reclaimed += 1;
+        true
+    }
+
+    /// Free buffers currently pooled.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total successful reclamations over the pool's lifetime.
+    pub fn reclaimed(&self) -> u64 {
+        self.reclaimed
     }
 }
 
@@ -315,5 +414,55 @@ mod tests {
     fn advance_past_end_panics() {
         let mut b = Bytes::from(vec![1u8]);
         b.advance(2);
+    }
+
+    #[test]
+    fn pool_reuses_reclaimed_allocations() {
+        let mut pool = BufferPool::new(64, 4);
+        let mut buf = pool.checkout();
+        buf.extend_from_slice(b"hello");
+        let frozen = buf.freeze();
+        assert!(pool.checkin(frozen), "sole view must reclaim");
+        assert_eq!(pool.available(), 1);
+        let again = pool.checkout();
+        assert!(again.is_empty(), "reclaimed buffers come back cleared");
+        assert!(again.capacity() >= 64);
+        assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn pool_never_reclaims_while_a_view_is_alive() {
+        let mut pool = BufferPool::new(64, 4);
+        let mut buf = pool.checkout();
+        buf.extend_from_slice(b"payload bytes here");
+        let frozen = buf.freeze();
+        let view = frozen.slice(8..13);
+        assert_eq!(&view[..], b"bytes");
+        // The frame buffer goes back while a payload view is still live:
+        // reclamation must refuse, and the view must stay intact even
+        // after further checkouts.
+        assert!(!pool.checkin(frozen), "live view must block reclaim");
+        assert_eq!(pool.available(), 0);
+        let mut other = pool.checkout();
+        other.extend_from_slice(b"XXXXXXXXXXXXXXXXXXXXXX");
+        assert_eq!(&view[..], b"bytes", "view survives pool churn");
+    }
+
+    #[test]
+    fn pool_rejects_undersized_buffers() {
+        let mut pool = BufferPool::new(64, 4);
+        assert!(!pool.checkin(Bytes::new()), "placeholder must not pollute");
+        pool.checkin_mut(BytesMut::new());
+        assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut pool = BufferPool::new(16, 2);
+        let bufs: Vec<BytesMut> = (0..5).map(|_| pool.checkout()).collect();
+        for buf in bufs {
+            pool.checkin_mut(buf);
+        }
+        assert_eq!(pool.available(), 2, "free list is capped at max_buffers");
     }
 }
