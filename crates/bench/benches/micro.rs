@@ -196,6 +196,7 @@ fn wire_frames(c: &mut Criterion) {
             hops: 2,
             label: None,
         },
+        trace: None,
     };
     let completion = Frame::Completion(Completion {
         seq: 123_456,
@@ -211,6 +212,7 @@ fn wire_frames(c: &mut Criterion) {
         arrived_ns: 1,
         started_ns: 2,
         completed_ns: 3,
+        trace: None,
     });
     let fetch_response = Frame::FetchResponse {
         node: NodeId::new(42),
@@ -778,6 +780,116 @@ fn wire_prefetch(c: &mut Criterion) {
     }
 }
 
+fn trace_overhead(c: &mut Criterion) {
+    if !criterion::group_enabled("trace_overhead") {
+        return;
+    }
+    use grouting_core::live::{run_cluster, LiveConfig};
+    use grouting_core::route::RoutingKind;
+    use grouting_core::storage::{Preset, StorageTier};
+    use grouting_core::trace::{Stage, TraceLevel};
+    use grouting_core::wire::{FetchMode, TransportKind};
+    use std::sync::Arc;
+
+    // The tracing layer's acceptance gate: the same small wire cluster run
+    // end to end with tracing off vs stats. "off" must be the exact
+    // pre-tracing fast path (no trace blocks on the wire, no clock reads
+    // in the reactor); "stats" pays per-frame timestamps, per-stage
+    // histogram records, and busy/idle clocking — the gate holds that bill
+    // to a few percent of wall time. Runs on whatever transport the
+    // sandbox offers: the comparison is tracing-on vs tracing-off on the
+    // SAME fabric, so it is meaningful over channels too.
+    let graph = bench_graph();
+    let tier = Arc::new(StorageTier::new(Arc::new(HashPartitioner::new(3))));
+    tier.load_graph(&graph).unwrap();
+    let queries: Vec<Query> = (0..48u32)
+        .map(|i| Query::NeighborAggregation {
+            node: NodeId::new((i % 12) * 97 + 1),
+            hops: 2,
+            label: None,
+        })
+        .collect();
+    let cfg_at = |level: TraceLevel| LiveConfig {
+        processors: 4,
+        stealing: false,
+        cache_capacity: 8 << 20,
+        overlap: 2,
+        trace: level,
+        ..LiveConfig::paper_default(4, RoutingKind::Hash)
+    };
+    let transport = TransportKind::from_env();
+    let run_at = |level: TraceLevel| {
+        run_cluster(
+            Arc::clone(&tier),
+            None,
+            None,
+            &queries,
+            &cfg_at(level),
+            transport,
+            Preset::Local,
+            FetchMode::Batched,
+        )
+        .expect("cluster run completes")
+    };
+
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10);
+    for (name, level) in [("off", TraceLevel::Off), ("stats", TraceLevel::Stats)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_at(level);
+                assert_eq!(report.results.len(), queries.len());
+                std::hint::black_box(report.wall_ns)
+            })
+        });
+    }
+    g.finish();
+
+    // Publish the per-stage latency percentiles of one instrumented run
+    // next to the timings, so the uploaded artifact carries the stage
+    // breakdown (where a query's time actually goes) alongside the
+    // overhead medians.
+    let trace = run_at(TraceLevel::Stats)
+        .trace
+        .expect("stats run returns a trace");
+    for stage in Stage::ALL {
+        let h = trace.stages.stage(stage);
+        if h.count() == 0 {
+            continue;
+        }
+        criterion::record_metric(
+            &format!("trace_overhead/{stage}_p50_ns"),
+            h.p50().unwrap_or(0) as f64,
+        );
+        criterion::record_metric(
+            &format!("trace_overhead/{stage}_p99_ns"),
+            h.p99().unwrap_or(0) as f64,
+        );
+        criterion::record_metric(
+            &format!("trace_overhead/{stage}_p999_ns"),
+            h.p999().unwrap_or(0) as f64,
+        );
+    }
+    // The results file prints one decimal place, so the busy fraction is
+    // published as a percentage (a 2% loop would round to 0.0 as a ratio).
+    criterion::record_metric(
+        "trace_overhead/reactor_busy_pct",
+        trace.reactor.busy_ratio() * 100.0,
+    );
+    criterion::record_metric(
+        "trace_overhead/reactor_frames_in",
+        trace.reactor.frames_in as f64,
+    );
+    criterion::record_metric(
+        "trace_overhead/reactor_busy_ns",
+        trace.reactor.busy_ns as f64,
+    );
+    criterion::record_metric(
+        "trace_overhead/reactor_idle_ns",
+        trace.reactor.idle_ns as f64,
+    );
+}
+
 criterion_group!(
     benches,
     murmur,
@@ -792,6 +904,7 @@ criterion_group!(
     reactor_dispatch_latency,
     reactor_idle_cpu_1k,
     wire_overlap_throughput,
-    wire_prefetch
+    wire_prefetch,
+    trace_overhead
 );
 criterion_main!(benches);

@@ -243,7 +243,9 @@ impl GRouting {
     /// Wire deployments honour `GROUTING_OVERLAP` for the per-processor
     /// in-flight window (default 2, cross-query fetch overlap on) and
     /// `GROUTING_PREFETCH` for speculative frontier prefetching (default
-    /// off; `degree` or `hotspot`, optionally `policy:max_nodes`).
+    /// off; `degree` or `hotspot`, optionally `policy:max_nodes`), and
+    /// `GROUTING_TRACE` for the query-tracing level (default off;
+    /// `stats` or `spans`).
     fn live_config(&self) -> LiveConfig {
         LiveConfig {
             processors: self.processors,
@@ -256,6 +258,7 @@ impl GRouting {
             admission_window: 0,
             overlap: grouting_wire::overlap_from_env(2),
             prefetch: grouting_query::PrefetchConfig::from_env(),
+            trace: grouting_trace::TraceLevel::from_env(),
             seed: 0x11FE,
         }
     }

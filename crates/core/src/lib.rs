@@ -64,6 +64,7 @@ pub use grouting_query as query;
 pub use grouting_route as route;
 pub use grouting_sim as sim;
 pub use grouting_storage as storage;
+pub use grouting_trace as trace;
 pub use grouting_wire as wire;
 pub use grouting_workload as workload;
 

@@ -186,8 +186,8 @@ pub fn env_scale() -> f64 {
         Ok(raw) => match raw.parse::<f64>() {
             Ok(s) if s > 0.0 && s.is_finite() => s,
             _ => {
-                eprintln!(
-                    "warning: invalid GROUTING_SCALE value {raw:?} \
+                grouting_metrics::log_warn!(
+                    "invalid GROUTING_SCALE value {raw:?} \
                      (expected a positive finite number); using 1.0"
                 );
                 1.0

@@ -59,7 +59,9 @@ pub fn run_cluster(
     let assets = EngineAssets::new(tier)
         .with_landmarks(landmarks)
         .with_embedding(embedding);
-    let mut cluster_cfg = ClusterConfig::new(cfg.engine_config(), transport).with_fetch(fetch);
+    let mut cluster_cfg = ClusterConfig::new(cfg.engine_config(), transport)
+        .with_fetch(fetch)
+        .with_trace(cfg.trace);
     cluster_cfg.net = net;
     let run = launch_cluster(&assets, queries, &cluster_cfg)?;
     Ok(LiveReport {
@@ -70,6 +72,7 @@ pub fn run_cluster(
         prefetch_issued: run.snapshot.prefetch_issued,
         prefetch_hits: run.snapshot.prefetch_hits,
         prefetch_wasted_bytes: run.snapshot.prefetch_wasted_bytes,
+        trace: run.trace,
         timeline: run.timeline,
         wall_ns: run.wall_ns,
     })

@@ -23,6 +23,10 @@ pub struct LiveReport {
     pub prefetch_hits: u64,
     /// Speculatively fetched bytes dropped without ever being demanded.
     pub prefetch_wasted_bytes: u64,
+    /// The trace layer's view of the run — per-stage latency histograms,
+    /// reactor telemetry, and (at span level) recent query spans. `None`
+    /// for the in-process runtime and for untraced wire runs.
+    pub trace: Option<grouting_trace::TraceSnapshot>,
     /// Wall-clock duration of the whole run.
     pub wall_ns: u64,
 }
@@ -71,6 +75,7 @@ mod tests {
             prefetch_issued: 0,
             prefetch_hits: 0,
             prefetch_wasted_bytes: 0,
+            trace: None,
             wall_ns: 0,
         };
         assert_eq!(r.hit_rate(), 0.0);
@@ -88,6 +93,7 @@ mod tests {
             prefetch_issued: 4,
             prefetch_hits: 3,
             prefetch_wasted_bytes: 0,
+            trace: None,
             wall_ns: 1,
         };
         assert!((r.hit_rate() - 0.9).abs() < 1e-12);

@@ -41,6 +41,11 @@ pub struct LiveConfig {
     /// piggyback predicted next-hop nodes. Demand-side cache statistics
     /// are byte-identical either way.
     pub prefetch: grouting_query::PrefetchConfig,
+    /// End-to-end tracing level for *wire* deployments (default honours
+    /// `GROUTING_TRACE=off|stats|spans`). The threaded in-process runtime
+    /// never traces — the knob only matters for
+    /// [`crate::deploy::run_cluster`].
+    pub trace: grouting_trace::TraceLevel,
     /// Seed for EMA initialisation.
     pub seed: u64,
 }
@@ -59,6 +64,7 @@ impl LiveConfig {
             admission_window: 0,
             overlap: 2,
             prefetch: grouting_query::PrefetchConfig::OFF,
+            trace: grouting_trace::TraceLevel::from_env(),
             seed: 0x11FE,
         }
     }
@@ -231,6 +237,7 @@ pub fn run_live(
         prefetch_issued: prefetch_totals.issued,
         prefetch_hits: prefetch_totals.hits,
         prefetch_wasted_bytes: prefetch_totals.wasted_bytes,
+        trace: None,
         wall_ns: now_ns().saturating_sub(run_start),
     }
 }

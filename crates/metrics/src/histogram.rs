@@ -7,6 +7,7 @@
 //! sub-buckets, giving a bounded relative error of `2^-precision` with O(1)
 //! record cost and a few KiB of memory.
 
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use grouting_metrics_sealed::Sealed;
 
 mod grouting_metrics_sealed {
@@ -32,7 +33,7 @@ const SUB_BUCKETS: usize = 1 << PRECISION_BITS;
 const MAGNITUDES: usize = 64 - PRECISION_BITS as usize;
 
 /// A log-linear histogram over `u64` values (typically nanoseconds).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -154,6 +155,11 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// Convenience accessor for the 99.9th percentile.
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -172,6 +178,114 @@ impl Histogram {
         self.sum = 0;
         self.min = u64::MAX;
         self.max = 0;
+    }
+
+    /// Encoded size in bytes (matches what [`Histogram::encode_into`]
+    /// appends exactly). Sparse: only non-empty buckets travel.
+    pub fn encoded_len(&self) -> usize {
+        let nonzero = self.buckets.iter().filter(|&&c| c != 0).count();
+        8 + 16 + 8 + 8 + 4 + nonzero * (4 + 8)
+    }
+
+    /// Appends the little-endian sparse wire layout: the summary fields,
+    /// then one `(bucket index, count)` pair per non-empty bucket in index
+    /// order. Two histograms with the same recorded multiset encode
+    /// identically.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.count);
+        buf.put_u128_le(self.sum);
+        buf.put_u64_le(self.min);
+        buf.put_u64_le(self.max);
+        let nonzero = self.buckets.iter().filter(|&&c| c != 0).count();
+        buf.put_u32_le(nonzero as u32);
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c != 0 {
+                buf.put_u32_le(i as u32);
+                buf.put_u64_le(c);
+            }
+        }
+    }
+
+    /// Encodes to a standalone buffer (see [`Histogram::encode_into`]).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decodes one histogram from the front of `data`, consuming exactly
+    /// its own bytes and leaving any remainder untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation on truncated input,
+    /// out-of-range or non-increasing bucket indexes, or a bucket/count
+    /// mismatch.
+    pub fn decode_prefix(data: &mut Bytes) -> Result<Self, String> {
+        if data.remaining() < 8 + 16 + 8 + 8 + 4 {
+            return Err(format!(
+                "histogram header needs 44 bytes, have {}",
+                data.remaining()
+            ));
+        }
+        let count = data.get_u64_le();
+        let sum = data.get_u128_le();
+        let min = data.get_u64_le();
+        let max = data.get_u64_le();
+        let nonzero = data.get_u32_le() as usize;
+        if data.remaining() < nonzero * 12 {
+            return Err(format!(
+                "histogram body needs {} bytes for {nonzero} buckets, have {}",
+                nonzero * 12,
+                data.remaining()
+            ));
+        }
+        let mut h = Self::new();
+        let mut total = 0u64;
+        let mut prev: Option<usize> = None;
+        for _ in 0..nonzero {
+            let idx = data.get_u32_le() as usize;
+            let c = data.get_u64_le();
+            if idx >= h.buckets.len() {
+                return Err(format!("histogram bucket index {idx} out of range"));
+            }
+            if prev.is_some_and(|p| idx <= p) {
+                return Err("histogram bucket indexes must increase".to_string());
+            }
+            if c == 0 {
+                return Err("histogram sparse bucket with zero count".to_string());
+            }
+            prev = Some(idx);
+            h.buckets[idx] = c;
+            total += c;
+        }
+        if total != count {
+            return Err(format!(
+                "histogram bucket total {total} disagrees with count {count}"
+            ));
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        Ok(h)
+    }
+
+    /// Decodes from the wire layout, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// See [`Histogram::decode_prefix`]; additionally errors when bytes
+    /// remain after the histogram.
+    pub fn decode(mut data: Bytes) -> Result<Self, String> {
+        let h = Self::decode_prefix(&mut data)?;
+        if data.has_remaining() {
+            return Err(format!(
+                "{} trailing bytes after histogram",
+                data.remaining()
+            ));
+        }
+        Ok(h)
     }
 }
 
@@ -255,6 +369,90 @@ mod tests {
     }
 
     #[test]
+    fn p999_sits_at_the_tail() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1_000u64);
+        }
+        h.record(1_000_000u64);
+        // With 100 observations, p999 rounds up to the 100th — the single
+        // outlier — while p99 still sits on the bulk.
+        let p999 = h.p999().unwrap();
+        assert!(p999 > 900_000, "p999={p999}");
+        assert!(h.p99().unwrap() < 1_100, "p99={:?}", h.p99());
+        assert_eq!(Histogram::new().p999(), None);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 31, 32, 1_000, 65_535, 1 << 30, u64::MAX / 3] {
+            h.record(v);
+            h.record(v);
+        }
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), h.encoded_len());
+        assert_eq!(Histogram::decode(bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn empty_histogram_round_trips() {
+        let h = Histogram::new();
+        let decoded = Histogram::decode(h.encode()).unwrap();
+        assert_eq!(decoded, h);
+        assert_eq!(decoded.count(), 0);
+        assert_eq!(decoded.quantile(0.5), None);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input() {
+        let mut h = Histogram::new();
+        h.record(42u64);
+        let bytes = h.encode();
+        // Truncation at every cut point.
+        for cut in 0..bytes.len() {
+            assert!(Histogram::decode(bytes.slice(0..cut)).is_err(), "cut {cut}");
+        }
+        // Trailing bytes.
+        let mut raw = bytes.to_vec();
+        raw.push(0);
+        assert!(Histogram::decode(Bytes::from(raw)).is_err());
+        // A bucket total disagreeing with the count field.
+        let mut raw = bytes.to_vec();
+        raw[0] = 2; // count says 2, the single bucket still says 1
+        assert!(Histogram::decode(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn decode_prefix_leaves_the_remainder() {
+        let mut h = Histogram::new();
+        h.record(7u64);
+        let mut raw = h.encode().to_vec();
+        raw.extend_from_slice(b"tail");
+        let mut data = Bytes::from(raw);
+        assert_eq!(Histogram::decode_prefix(&mut data).unwrap(), h);
+        assert_eq!(&data[..], b"tail");
+    }
+
+    #[test]
+    fn merged_histogram_encodes_like_a_combined_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [5u64, 500, 50_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [9u64, 900, 90_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.encode(), both.encode());
+        assert_eq!(a.p999(), both.p999());
+    }
+
+    #[test]
     fn bucket_index_monotone_on_boundaries() {
         // Bucket lower bounds must be non-decreasing with index so quantile
         // scans return non-decreasing values.
@@ -290,6 +488,17 @@ mod tests {
             } else {
                 proptest::prop_assert_eq!(low, v);
             }
+        }
+
+        #[test]
+        fn prop_encode_round_trips(values in proptest::collection::vec(0u64..u64::MAX / 2, 0..200)) {
+            let mut h = Histogram::new();
+            for v in &values {
+                h.record(*v);
+            }
+            let bytes = h.encode();
+            proptest::prop_assert_eq!(bytes.len(), h.encoded_len());
+            proptest::prop_assert_eq!(Histogram::decode(bytes).unwrap(), h);
         }
 
         #[test]

@@ -9,6 +9,7 @@
 
 pub mod counter;
 pub mod histogram;
+pub mod logger;
 pub mod report;
 pub mod snapshot;
 pub mod throughput;

@@ -99,13 +99,31 @@ impl RunSnapshot {
         buf.freeze()
     }
 
-    /// Decodes from the wire layout.
+    /// Decodes from the wire layout, rejecting trailing bytes.
     ///
     /// # Errors
     ///
     /// Returns a description of the malformation on truncated or oversized
     /// input.
     pub fn decode(mut data: Bytes) -> Result<Self, String> {
+        let snapshot = Self::decode_prefix(&mut data)?;
+        if data.has_remaining() {
+            return Err(format!(
+                "{} trailing bytes after snapshot",
+                data.remaining()
+            ));
+        }
+        Ok(snapshot)
+    }
+
+    /// Decodes one snapshot from the front of `data`, consuming exactly
+    /// its own bytes and leaving any remainder untouched — the hook frames
+    /// use to carry optional sections (e.g. a trace snapshot) after it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation on truncated input.
+    pub fn decode_prefix(data: &mut Bytes) -> Result<Self, String> {
         if data.remaining() < 8 * 8 + 4 {
             return Err(format!(
                 "snapshot header needs 68 bytes, have {}",
@@ -121,7 +139,7 @@ impl RunSnapshot {
         let prefetch_hits = data.get_u64_le();
         let prefetch_wasted_bytes = data.get_u64_le();
         let processors = data.get_u32_le() as usize;
-        if data.remaining() != 8 * processors {
+        if data.remaining() < 8 * processors {
             return Err(format!(
                 "snapshot body needs {} bytes for {processors} processors, have {}",
                 8 * processors,

@@ -141,8 +141,8 @@ impl PrefetchConfig {
         match std::env::var("GROUTING_PREFETCH") {
             Err(_) => Self::OFF,
             Ok(raw) => Self::parse(&raw).unwrap_or_else(|| {
-                eprintln!(
-                    "warning: invalid GROUTING_PREFETCH value {raw:?} \
+                grouting_metrics::log_warn!(
+                    "invalid GROUTING_PREFETCH value {raw:?} \
                      (expected off|degree|hotspot[:max_nodes]); prefetch stays off"
                 );
                 Self::OFF

@@ -13,10 +13,12 @@
 use std::sync::Arc;
 
 use grouting_engine::{EngineAssets, EngineConfig};
+use grouting_metrics::log_warn;
 use grouting_metrics::timeline::QueryRecord;
 use grouting_metrics::{RunSnapshot, Timeline};
 use grouting_query::{Query, QueryResult};
 use grouting_storage::{NetworkModel, Preset};
+use grouting_trace::{Stage, TelemetryCounters, TraceLevel, TraceSnapshot};
 
 use crate::error::{WireError, WireResult};
 use crate::flow::FetchMode;
@@ -75,8 +77,8 @@ pub fn overlap_from_env(default: usize) -> usize {
     match std::env::var("GROUTING_OVERLAP") {
         Err(_) => default,
         Ok(raw) => raw.parse::<usize>().unwrap_or_else(|_| {
-            eprintln!(
-                "warning: invalid GROUTING_OVERLAP value {raw:?} \
+            log_warn!(
+                "invalid GROUTING_OVERLAP value {raw:?} \
                  (expected a positive integer); using default {default}"
             );
             default
@@ -108,6 +110,10 @@ pub struct ClusterConfig {
     /// ([`PollerKind::from_env`] honours `GROUTING_REACTOR=sweep|epoll`;
     /// the default is epoll on Linux, the portable sweep elsewhere).
     pub reactor: PollerKind,
+    /// End-to-end tracing level ([`TraceLevel::from_env`] honours
+    /// `GROUTING_TRACE=off|stats|spans`; default off, which keeps every
+    /// frame byte-identical to an untraced deployment).
+    pub trace: TraceLevel,
 }
 
 impl ClusterConfig {
@@ -121,7 +127,15 @@ impl ClusterConfig {
             fetch: FetchMode::default(),
             snapshot_every: 0,
             reactor: PollerKind::from_env(),
+            trace: TraceLevel::from_env(),
         }
+    }
+
+    /// Overrides the end-to-end tracing level.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceLevel) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Overrides the processor↔storage fetch path.
@@ -181,6 +195,10 @@ pub struct ClusterRun {
     /// Periodic mid-run snapshots, in emission order (empty unless
     /// [`ClusterConfig::snapshot_every`] was set).
     pub mid_snapshots: Vec<RunSnapshot>,
+    /// The trace layer's view of the run — per-stage latency histograms,
+    /// reactor telemetry, and (at [`TraceLevel::Spans`]) the last query
+    /// spans. `None` when the run traced at [`TraceLevel::Off`].
+    pub trace: Option<TraceSnapshot>,
     /// Wall-clock duration observed by the client.
     pub wall_ns: u64,
 }
@@ -224,15 +242,23 @@ pub fn launch_cluster(
     let transport = config.transport.build();
     let net = NetworkModel::from(config.net);
     let p = config.engine.processors;
+    // One shared telemetry sink for every peer in this deployment (all
+    // peers are threads of this process); absent when tracing is off so
+    // the hot paths skip their clock reads entirely.
+    let telemetry = config
+        .trace
+        .enabled()
+        .then(|| Arc::new(TelemetryCounters::new()));
 
     // Storage endpoints, one per tier server.
     let mut storage_handles: Vec<ServiceHandle> = Vec::new();
     for _ in 0..assets.tier.server_count() {
-        storage_handles.push(StorageService::spawn_with_poller(
+        storage_handles.push(StorageService::spawn_full(
             Arc::clone(&transport),
             Arc::clone(&assets.tier),
             net,
             config.reactor,
+            telemetry.clone(),
         )?);
     }
     let storage_addrs: Vec<String> = storage_handles
@@ -248,6 +274,8 @@ pub fn launch_cluster(
     let router_opts = RouterOptions {
         snapshot_every: config.snapshot_every,
         poller: config.reactor,
+        trace: config.trace,
+        telemetry: telemetry.clone(),
     };
     let router = std::thread::spawn(move || {
         run_router(
@@ -262,7 +290,7 @@ pub fn launch_cluster(
     let partitioner = assets.tier.partitioner();
     let processors: Vec<_> = (0..p)
         .map(|id| {
-            ProcessorService::spawn_with_poller(
+            ProcessorService::spawn_full(
                 Arc::clone(&transport),
                 id,
                 router_addr.clone(),
@@ -271,12 +299,13 @@ pub fn launch_cluster(
                 config.engine,
                 config.fetch,
                 config.reactor,
+                telemetry.clone(),
             )
         })
         .collect();
 
     // The client: stream the workload, then collect completions.
-    let run = drive_client(&*transport, &router_addr, queries);
+    let run = drive_client(&*transport, &router_addr, queries, config.trace);
     if run.is_err() {
         // The router is still parked on its event loop; tell it to abort
         // so the joins below cannot hang on a half-started run.
@@ -315,7 +344,7 @@ pub fn launch_cluster(
         }
         Err(router_err) => return Err(router_err),
     };
-    let (results, timeline, client_snapshot, mid_snapshots, wall_ns) = run?;
+    let (results, timeline, client_snapshot, mid_snapshots, trace, wall_ns) = run?;
     if dead_processors > 0 {
         return Err(WireError::Protocol(format!(
             "{dead_processors} processor thread(s) died mid-run"
@@ -330,6 +359,7 @@ pub fn launch_cluster(
         timeline,
         snapshot,
         mid_snapshots,
+        trace,
         wall_ns,
     })
 }
@@ -339,6 +369,7 @@ type ClientRun = (
     Timeline,
     RunSnapshot,
     Vec<RunSnapshot>,
+    Option<TraceSnapshot>,
     u64,
 );
 
@@ -346,6 +377,7 @@ fn drive_client(
     transport: &dyn Transport,
     router_addr: &str,
     queries: &[Query],
+    trace: TraceLevel,
 ) -> WireResult<ClientRun> {
     let started = now_ns();
     let mut conn = transport.dial(router_addr)?;
@@ -357,6 +389,9 @@ fn drive_client(
         conn.send(&Frame::Submit {
             seq: seq as u64,
             query: *query,
+            // Stamped at send time: the router's queue-wait stage starts
+            // here, so client→router transit is charged to the queue.
+            submitted_ns: trace.enabled().then(now_ns),
         })?;
     }
     conn.send(&Frame::SubmitEnd)?;
@@ -366,6 +401,11 @@ fn drive_client(
     // The last Metrics frame before Shutdown is the run's final snapshot;
     // anything earlier is a periodic mid-run emission.
     let mut snapshots: Vec<RunSnapshot> = Vec::new();
+    // The completion stage — processor marks a query done to client holds
+    // the result — is only observable here, so the client records it and
+    // folds it into the router's trace snapshot below.
+    let mut traces: Vec<TraceSnapshot> = Vec::new();
+    let mut completion_stages = grouting_trace::StageStats::default();
     loop {
         match conn.recv() {
             Ok(Frame::Completion(c)) => {
@@ -374,6 +414,10 @@ fn drive_client(
                     return Err(WireError::Protocol(format!(
                         "unexpected completion for seq {seq}"
                     )));
+                }
+                if trace.enabled() {
+                    completion_stages
+                        .record(Stage::Completion, now_ns().saturating_sub(c.completed_ns));
                 }
                 results[seq] = Some(c.result);
                 timeline.push(QueryRecord {
@@ -384,7 +428,10 @@ fn drive_client(
                     processor: c.processor as usize,
                 });
             }
-            Ok(Frame::Metrics(s)) => snapshots.push(s),
+            Ok(Frame::Metrics { snapshot, trace }) => {
+                snapshots.push(snapshot);
+                traces.extend(trace.map(|t| *t));
+            }
             Ok(Frame::Shutdown) | Err(WireError::Closed) => break,
             Ok(other) => return Err(WireError::Protocol(format!("client got {}", other.kind()))),
             Err(e) => return Err(e),
@@ -397,11 +444,18 @@ fn drive_client(
     let snapshot = snapshots
         .pop()
         .ok_or_else(|| WireError::Protocol("run ended without a snapshot".to_string()))?;
+    // The router's final trace snapshot is cumulative, so earlier periodic
+    // ones are subsumed; graft the client-observed completion stage in.
+    let run_trace = traces.pop().map(|mut t| {
+        t.stages.merge(&completion_stages);
+        t
+    });
     Ok((
         results,
         timeline,
         snapshot,
         snapshots,
+        run_trace,
         now_ns().saturating_sub(started),
     ))
 }

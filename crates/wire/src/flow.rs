@@ -30,10 +30,11 @@ use bytes::Bytes;
 use grouting_graph::NodeId;
 use grouting_partition::Partitioner;
 use grouting_query::{BatchSource, RecordSource};
+use grouting_trace::TelemetryCounters;
 
 use crate::error::{WireError, WireResult};
 use crate::frame::Frame;
-use crate::reactor::{Poller, PollerKind};
+use crate::reactor::{sample_pool, Poller, PollerKind};
 use crate::transport::{FrameSink, FrameStream, Transport};
 
 /// Which processor↔storage fetch path a deployment runs.
@@ -98,6 +99,8 @@ struct MuxConn {
     /// request is complete when its `ready` entry reaches this length,
     /// and a reconnected connection resubmits exactly these.
     pending: HashMap<u64, Vec<NodeId>>,
+    /// Last buffer-pool counters folded into telemetry (delta sampling).
+    pool_seen: (u64, u64),
 }
 
 /// A pipelined batch-fetch multiplexer over the storage endpoints.
@@ -120,6 +123,13 @@ pub struct BatchMux {
     poller: Box<dyn Poller>,
     /// Scratch for ready tokens (reused across waits).
     poll_scratch: Vec<u64>,
+    /// Batches submitted and not yet fully collected, across servers.
+    outstanding: u64,
+    /// Deployment-shared telemetry. Doubles as the trace switch: when set,
+    /// batch requests carry their issue stamp and pool/batch-depth
+    /// counters accumulate; when unset the mux's frames are byte-identical
+    /// to an untraced deployment.
+    telemetry: Option<Arc<TelemetryCounters>>,
 }
 
 impl BatchMux {
@@ -147,7 +157,16 @@ impl BatchMux {
             reconnects: 0,
             poller: kind.build(),
             poll_scratch: Vec::new(),
+            outstanding: 0,
+            telemetry: None,
         }
+    }
+
+    /// Wires deployment-shared telemetry into the multiplexer: batch
+    /// submissions count (with outstanding-depth peaks), receive-pool
+    /// reuse is sampled, and every batch request carries its issue stamp.
+    pub fn set_telemetry(&mut self, telemetry: Arc<TelemetryCounters>) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Registers a caller-owned descriptor (token ≥
@@ -200,6 +219,7 @@ impl BatchMux {
                 fd,
                 ready: HashMap::new(),
                 pending: HashMap::new(),
+                pool_seen: (0, 0),
             });
         }
         Ok(self.conns[server].as_mut().expect("just dialled"))
@@ -232,11 +252,14 @@ impl BatchMux {
             fd,
             ready: HashMap::new(),
             pending,
+            pool_seen: (0, 0),
         };
+        let resubmit_ns = self.telemetry.as_ref().map(|_| crate::service::now_ns());
         for (req_id, nodes) in &conn.pending {
             conn.sink.send(&Frame::FetchBatchRequest {
                 req_id: *req_id,
                 nodes: nodes.clone(),
+                issued_ns: resubmit_ns,
             })?;
         }
         self.conns[server] = Some(conn);
@@ -258,6 +281,7 @@ impl BatchMux {
         let frame = Frame::FetchBatchRequest {
             req_id,
             nodes: nodes.to_vec(),
+            issued_ns: self.telemetry.as_ref().map(|_| crate::service::now_ns()),
         };
         let conn = self.conn(server)?;
         conn.pending.insert(req_id, nodes.to_vec());
@@ -265,6 +289,10 @@ impl BatchMux {
             // The reconnect resubmits everything pending, this request
             // included.
             self.reconnect(server)?;
+        }
+        self.outstanding += 1;
+        if let Some(t) = &self.telemetry {
+            t.batch_submitted(self.outstanding);
         }
         Ok(req_id)
     }
@@ -307,6 +335,7 @@ impl BatchMux {
                     )));
                 }
                 conn.ready.entry(got).or_default().extend(payloads);
+                sample_pool(&self.telemetry, conn.stream.as_ref(), &mut conn.pool_seen);
                 Ok(true)
             }
             Ok(Some(other)) => Err(WireError::Protocol(format!(
@@ -345,6 +374,7 @@ impl BatchMux {
             std::cmp::Ordering::Equal => {
                 let payloads = conn.ready.remove(&req_id);
                 conn.pending.remove(&req_id);
+                self.outstanding = self.outstanding.saturating_sub(1);
                 Ok(payloads)
             }
             std::cmp::Ordering::Greater => Err(WireError::Protocol(format!(
@@ -483,6 +513,12 @@ impl MultiplexedStorageSource {
     /// [`BatchMux::note_progress`]).
     pub fn note_progress(&mut self) {
         self.mux.note_progress();
+    }
+
+    /// Routes the multiplexer's batch-depth and buffer-pool telemetry
+    /// into `telemetry` (see [`BatchMux::set_telemetry`]).
+    pub fn set_telemetry(&mut self, telemetry: Arc<TelemetryCounters>) {
+        self.mux.set_telemetry(telemetry);
     }
 
     fn home(&self, node: NodeId) -> usize {
@@ -691,7 +727,7 @@ mod tests {
             let mut held: Vec<Frame> = Vec::new();
             loop {
                 match conn.recv() {
-                    Ok(Frame::FetchBatchRequest { req_id, nodes }) => {
+                    Ok(Frame::FetchBatchRequest { req_id, nodes, .. }) => {
                         let payloads = nodes.iter().map(|w| payload(w.raw())).collect();
                         let response = Frame::FetchBatchResponse { req_id, payloads };
                         if reverse_pairs {
@@ -786,7 +822,7 @@ mod tests {
             let mut held: Vec<(u64, Vec<NodeId>)> = Vec::new();
             for _ in 0..2 {
                 match conn.recv().unwrap() {
-                    Frame::FetchBatchRequest { req_id, nodes } => held.push((req_id, nodes)),
+                    Frame::FetchBatchRequest { req_id, nodes, .. } => held.push((req_id, nodes)),
                     other => panic!("server got {}", other.kind()),
                 }
             }
@@ -838,7 +874,7 @@ mod tests {
             // then drop it on the floor.
             let mut conn = listener.accept().unwrap();
             match conn.recv().unwrap() {
-                Frame::FetchBatchRequest { req_id, nodes } => {
+                Frame::FetchBatchRequest { req_id, nodes, .. } => {
                     let payloads = nodes.iter().map(|w| payload(w.raw())).collect();
                     conn.send(&Frame::FetchBatchResponse { req_id, payloads })
                         .unwrap();
@@ -849,7 +885,7 @@ mod tests {
             drop(conn);
             // Second connection: serve whatever is resubmitted.
             let mut conn = listener.accept().unwrap();
-            while let Ok(Frame::FetchBatchRequest { req_id, nodes }) = conn.recv() {
+            while let Ok(Frame::FetchBatchRequest { req_id, nodes, .. }) = conn.recv() {
                 let payloads = nodes.iter().map(|w| payload(w.raw())).collect();
                 if conn
                     .send(&Frame::FetchBatchResponse { req_id, payloads })
@@ -898,7 +934,7 @@ mod tests {
             // per-node chunks, then die mid-response.
             let mut conn = listener.accept().unwrap();
             let (req_id, nodes) = match conn.recv().unwrap() {
-                Frame::FetchBatchRequest { req_id, nodes } => (req_id, nodes),
+                Frame::FetchBatchRequest { req_id, nodes, .. } => (req_id, nodes),
                 other => panic!("server got {}", other.kind()),
             };
             assert_eq!(nodes.len(), 4);
@@ -913,7 +949,7 @@ mod tests {
             // Second connection: answer the resubmission in full (also
             // chunked, to exercise reassembly on the fresh connection).
             let mut conn = listener.accept().unwrap();
-            while let Ok(Frame::FetchBatchRequest { req_id, nodes }) = conn.recv() {
+            while let Ok(Frame::FetchBatchRequest { req_id, nodes, .. }) = conn.recv() {
                 for w in &nodes {
                     if conn
                         .send(&Frame::FetchBatchResponse {
@@ -967,7 +1003,7 @@ mod tests {
         let server = std::thread::spawn(move || {
             let mut conn = listener.accept().unwrap();
             let req_id = match conn.recv().unwrap() {
-                Frame::FetchBatchRequest { req_id, nodes } => {
+                Frame::FetchBatchRequest { req_id, nodes, .. } => {
                     let payloads = nodes.iter().map(|w| payload(w.raw())).collect();
                     conn.send(&Frame::FetchBatchResponse { req_id, payloads })
                         .unwrap();

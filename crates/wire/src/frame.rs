@@ -23,11 +23,25 @@
 //!   adjacency record, so byte accounting matches the in-proc engine);
 //! * [`Frame::MetricsRequest`]/[`Frame::Metrics`] — run-total snapshots;
 //! * [`Frame::Shutdown`] — orderly teardown.
+//!
+//! # Optional trace blocks
+//!
+//! When tracing is on (`GROUTING_TRACE=stats|spans`), four frames carry
+//! an optional trace block *appended after* their PR 6 fields: `Submit`
+//! (client submit stamp), `Dispatch` (trace level + dispatch stamp, which
+//! is also how processors learn the run's trace level),
+//! `FetchBatchRequest` (issue stamp), and `Completion` (the processor's
+//! [`QueryTrace`] span block). Presence is signalled by bytes remaining
+//! after the base fields — with tracing off nothing is appended, so the
+//! encoding is byte-identical to an untraced deployment (pinned by the
+//! `wire_agreement` suite), and a PR 6-shaped frame decodes to a frame
+//! with an absent block.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use grouting_graph::{NodeId, NodeLabelId};
 use grouting_metrics::RunSnapshot;
 use grouting_query::{AccessStats, PrefetchStats, Query, QueryResult};
+use grouting_trace::{QueryTrace, TraceLevel, TraceSnapshot};
 
 use crate::error::{WireError, WireResult};
 
@@ -57,13 +71,27 @@ pub enum Role {
     Processor,
 }
 
+/// The trace context a [`Frame::Dispatch`] carries when tracing is on.
+///
+/// Doubles as the trace-level plumbing to processors: a processor that
+/// receives a dispatch with this block knows the run's level and starts
+/// producing [`QueryTrace`] blocks on its completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchTrace {
+    /// The run's trace level (never [`TraceLevel::Off`] — off means the
+    /// block is absent entirely).
+    pub level: TraceLevel,
+    /// Router dispatch timestamp (`now_ns` domain).
+    pub dispatched_ns: u64,
+}
+
 /// One finished query's record, as acknowledged over the wire.
 ///
 /// The processor fills everything except `arrived_ns` (only the router
 /// knows when the query arrived); the router stamps it before forwarding
 /// the completion to the client, making the forwarded frame a complete
 /// lifecycle record.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Completion {
     /// Workload sequence number.
     pub seq: u64,
@@ -86,6 +114,10 @@ pub struct Completion {
     pub started_ns: u64,
     /// Execution completion timestamp.
     pub completed_ns: u64,
+    /// The processor-measured span block (fetch wait vs compute, per
+    /// level at `spans`). `None` when tracing is off, keeping the frame
+    /// byte-identical to an untraced run.
+    pub trace: Option<QueryTrace>,
 }
 
 /// A protocol message between cluster peers.
@@ -104,6 +136,8 @@ pub enum Frame {
         seq: u64,
         /// The query.
         query: Query,
+        /// Client submit stamp, present when the client traces.
+        submitted_ns: Option<u64>,
     },
     /// Client → router: no more submissions will follow.
     SubmitEnd,
@@ -113,6 +147,8 @@ pub enum Frame {
         seq: u64,
         /// The query.
         query: Query,
+        /// Trace context, present when the router traces.
+        trace: Option<DispatchTrace>,
     },
     /// Processor → router → client: one finished query.
     Completion(Completion),
@@ -137,6 +173,8 @@ pub enum Frame {
         req_id: u64,
         /// The nodes whose records are wanted, in request order.
         nodes: Vec<NodeId>,
+        /// Issue stamp, present when the requesting processor traces.
+        issued_ns: Option<u64>,
     },
     /// Storage → processor: the batched records, in request order. A
     /// server may stream one batch's answer as several of these frames
@@ -152,8 +190,16 @@ pub enum Frame {
     },
     /// Client → router: ask for the current run snapshot.
     MetricsRequest,
-    /// Router → client: run totals.
-    Metrics(RunSnapshot),
+    /// Router → client: run totals, plus the trace layer's aggregate when
+    /// tracing is on.
+    Metrics {
+        /// The counters every runtime accumulates.
+        snapshot: RunSnapshot,
+        /// Stage histograms, reactor telemetry, and recent spans; `None`
+        /// when tracing is off (byte-identical to an untraced run).
+        /// Boxed so this rare frame doesn't inflate every [`Frame`] move.
+        trace: Option<Box<TraceSnapshot>>,
+    },
     /// Orderly teardown of the receiving peer/connection.
     Shutdown,
 }
@@ -172,7 +218,7 @@ impl Frame {
             Frame::FetchBatchRequest { .. } => "fetch-batch-request",
             Frame::FetchBatchResponse { .. } => "fetch-batch-response",
             Frame::MetricsRequest => "metrics-request",
-            Frame::Metrics(_) => "metrics",
+            Frame::Metrics { .. } => "metrics",
             Frame::Shutdown => "shutdown",
         }
     }
@@ -189,16 +235,27 @@ impl Frame {
                 });
                 buf.put_u32_le(*id);
             }
-            Frame::Submit { seq, query } => {
+            Frame::Submit {
+                seq,
+                query,
+                submitted_ns,
+            } => {
                 buf.put_u8(TAG_SUBMIT);
                 buf.put_u64_le(*seq);
                 put_query(&mut buf, query);
+                if let Some(ns) = submitted_ns {
+                    buf.put_u64_le(*ns);
+                }
             }
             Frame::SubmitEnd => buf.put_u8(TAG_SUBMIT_END),
-            Frame::Dispatch { seq, query } => {
+            Frame::Dispatch { seq, query, trace } => {
                 buf.put_u8(TAG_DISPATCH);
                 buf.put_u64_le(*seq);
                 put_query(&mut buf, query);
+                if let Some(t) = trace {
+                    buf.put_u8(t.level.as_u8());
+                    buf.put_u64_le(t.dispatched_ns);
+                }
             }
             Frame::Completion(c) => {
                 buf.put_u8(TAG_COMPLETION);
@@ -215,6 +272,9 @@ impl Frame {
                 buf.put_u64_le(c.arrived_ns);
                 buf.put_u64_le(c.started_ns);
                 buf.put_u64_le(c.completed_ns);
+                if let Some(t) = &c.trace {
+                    t.encode_into(&mut buf);
+                }
             }
             Frame::FetchRequest { node } => {
                 buf.put_u8(TAG_FETCH_REQUEST);
@@ -233,12 +293,19 @@ impl Frame {
                     }
                 }
             }
-            Frame::FetchBatchRequest { req_id, nodes } => {
+            Frame::FetchBatchRequest {
+                req_id,
+                nodes,
+                issued_ns,
+            } => {
                 buf.put_u8(TAG_FETCH_BATCH_REQUEST);
                 buf.put_u64_le(*req_id);
                 buf.put_u32_le(nodes.len() as u32);
                 for node in nodes {
                     buf.put_u32_le(node.raw());
+                }
+                if let Some(ns) = issued_ns {
+                    buf.put_u64_le(*ns);
                 }
             }
             Frame::FetchBatchResponse { req_id, payloads } => {
@@ -258,13 +325,69 @@ impl Frame {
                 }
             }
             Frame::MetricsRequest => buf.put_u8(TAG_METRICS_REQUEST),
-            Frame::Metrics(snapshot) => {
+            Frame::Metrics { snapshot, trace } => {
                 buf.put_u8(TAG_METRICS);
                 buf.put_slice(&snapshot.encode());
+                if let Some(t) = trace {
+                    t.encode_into(&mut buf);
+                }
             }
             Frame::Shutdown => buf.put_u8(TAG_SHUTDOWN),
         }
         buf.freeze()
+    }
+
+    /// The exact byte length [`Frame::encode`] would produce, computed
+    /// without allocating or copying payloads — cheap enough for the
+    /// reactor to count wire bytes per frame even when the frame carries
+    /// a multi-megabyte batch response.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Frame::Hello { .. } => 1 + 1 + 4,
+            Frame::Submit {
+                query,
+                submitted_ns,
+                ..
+            } => 1 + 8 + query_encoded_len(query) + submitted_ns.map_or(0, |_| 8),
+            Frame::SubmitEnd => 1,
+            Frame::Dispatch { query, trace, .. } => {
+                1 + 8 + query_encoded_len(query) + trace.map_or(0, |_| 9)
+            }
+            Frame::Completion(c) => {
+                1 + 8
+                    + 4
+                    + result_encoded_len(&c.result)
+                    + 8 * 10
+                    + c.trace.as_ref().map_or(0, QueryTrace::encoded_len)
+            }
+            Frame::FetchRequest { .. } => 1 + 4,
+            Frame::FetchResponse { payload, .. } => {
+                1 + 4
+                    + match payload {
+                        None => 1,
+                        Some((_, value)) => 1 + 2 + 4 + value.len(),
+                    }
+            }
+            Frame::FetchBatchRequest {
+                nodes, issued_ns, ..
+            } => 1 + 8 + 4 + 4 * nodes.len() + issued_ns.map_or(0, |_| 8),
+            Frame::FetchBatchResponse { payloads, .. } => {
+                1 + 8
+                    + 4
+                    + payloads
+                        .iter()
+                        .map(|p| match p {
+                            None => 1,
+                            Some((_, value)) => 1 + 2 + 4 + value.len(),
+                        })
+                        .sum::<usize>()
+            }
+            Frame::MetricsRequest => 1,
+            Frame::Metrics { snapshot, trace } => {
+                1 + snapshot.encoded_len() + trace.as_ref().map_or(0, |t| t.encoded_len())
+            }
+            Frame::Shutdown => 1,
+        }
     }
 
     /// Encodes this frame as a chunk sequence whose concatenation is
@@ -360,9 +483,34 @@ impl Frame {
                 let seq = data.get_u64_le();
                 let query = get_query(&mut data)?;
                 if tag == TAG_SUBMIT {
-                    Frame::Submit { seq, query }
+                    let submitted_ns = if data.has_remaining() {
+                        need(&data, 8)?;
+                        Some(data.get_u64_le())
+                    } else {
+                        None
+                    };
+                    Frame::Submit {
+                        seq,
+                        query,
+                        submitted_ns,
+                    }
                 } else {
-                    Frame::Dispatch { seq, query }
+                    let trace = if data.has_remaining() {
+                        need(&data, 9)?;
+                        let level = TraceLevel::from_u8(data.get_u8()).map_err(WireError::Codec)?;
+                        if level == TraceLevel::Off {
+                            return Err(WireError::Codec(
+                                "dispatch trace block with level off".to_string(),
+                            ));
+                        }
+                        Some(DispatchTrace {
+                            level,
+                            dispatched_ns: data.get_u64_le(),
+                        })
+                    } else {
+                        None
+                    };
+                    Frame::Dispatch { seq, query, trace }
                 }
             }
             TAG_SUBMIT_END => Frame::SubmitEnd,
@@ -383,15 +531,24 @@ impl Frame {
                     hits: data.get_u64_le(),
                     wasted_bytes: data.get_u64_le(),
                 };
+                let arrived_ns = data.get_u64_le();
+                let started_ns = data.get_u64_le();
+                let completed_ns = data.get_u64_le();
+                let trace = if data.has_remaining() {
+                    Some(QueryTrace::decode_prefix(&mut data).map_err(WireError::Codec)?)
+                } else {
+                    None
+                };
                 Frame::Completion(Completion {
                     seq,
                     processor,
                     result,
                     stats,
                     prefetch,
-                    arrived_ns: data.get_u64_le(),
-                    started_ns: data.get_u64_le(),
-                    completed_ns: data.get_u64_le(),
+                    arrived_ns,
+                    started_ns,
+                    completed_ns,
+                    trace,
                 })
             }
             TAG_FETCH_REQUEST => {
@@ -424,7 +581,17 @@ impl Frame {
                 let count = data.get_u32_le() as usize;
                 need(&data, count.saturating_mul(4))?;
                 let nodes = (0..count).map(|_| NodeId::new(data.get_u32_le())).collect();
-                Frame::FetchBatchRequest { req_id, nodes }
+                let issued_ns = if data.has_remaining() {
+                    need(&data, 8)?;
+                    Some(data.get_u64_le())
+                } else {
+                    None
+                };
+                Frame::FetchBatchRequest {
+                    req_id,
+                    nodes,
+                    issued_ns,
+                }
             }
             TAG_FETCH_BATCH_RESPONSE => {
                 need(&data, 12)?;
@@ -452,9 +619,15 @@ impl Frame {
             }
             TAG_METRICS_REQUEST => Frame::MetricsRequest,
             TAG_METRICS => {
-                let rest = data.slice(..);
-                data.advance(rest.len());
-                Frame::Metrics(RunSnapshot::decode(rest).map_err(WireError::Codec)?)
+                let snapshot = RunSnapshot::decode_prefix(&mut data).map_err(WireError::Codec)?;
+                let trace = if data.has_remaining() {
+                    Some(Box::new(
+                        TraceSnapshot::decode_prefix(&mut data).map_err(WireError::Codec)?,
+                    ))
+                } else {
+                    None
+                };
+                Frame::Metrics { snapshot, trace }
             }
             TAG_SHUTDOWN => Frame::Shutdown,
             t => return Err(WireError::Codec(format!("unknown frame tag {t}"))),
@@ -474,6 +647,15 @@ const QUERY_AGG: u8 = 0;
 const QUERY_RWR: u8 = 1;
 const QUERY_REACH: u8 = 2;
 const QUERY_LREACH: u8 = 3;
+
+fn query_encoded_len(query: &Query) -> usize {
+    match query {
+        Query::NeighborAggregation { label, .. } => 1 + 4 + 4 + 1 + label.map_or(0, |_| 2),
+        Query::RandomWalk { .. } => 1 + 4 + 4 + 8 + 8,
+        Query::Reachability { .. } => 1 + 4 + 4 + 4,
+        Query::ConstrainedReachability { .. } => 1 + 4 + 4 + 4 + 2,
+    }
+}
 
 fn put_query(buf: &mut BytesMut, query: &Query) {
     match query {
@@ -577,6 +759,14 @@ const RESULT_COUNT: u8 = 0;
 const RESULT_WALK: u8 = 1;
 const RESULT_REACHABLE: u8 = 2;
 
+fn result_encoded_len(result: &QueryResult) -> usize {
+    match result {
+        QueryResult::Count(_) => 1 + 8,
+        QueryResult::Walk { .. } => 1 + 4 + 8,
+        QueryResult::Reachable(_) => 1 + 1,
+    }
+}
+
 fn put_result(buf: &mut BytesMut, result: &QueryResult) {
     match result {
         QueryResult::Count(c) => {
@@ -657,6 +847,7 @@ mod tests {
                     hops: 2,
                     label: Some(NodeLabelId::new(3)),
                 },
+                submitted_ns: None,
             },
             Frame::SubmitEnd,
             Frame::Dispatch {
@@ -667,6 +858,7 @@ mod tests {
                     restart_prob: 0.15,
                     seed: 99,
                 },
+                trace: None,
             },
             Frame::Completion(Completion {
                 seq: 43,
@@ -689,6 +881,7 @@ mod tests {
                 arrived_ns: 10,
                 started_ns: 20,
                 completed_ns: 30,
+                trace: None,
             }),
             Frame::FetchRequest { node: n(123) },
             Frame::FetchResponse {
@@ -702,10 +895,12 @@ mod tests {
             Frame::FetchBatchRequest {
                 req_id: 7,
                 nodes: vec![n(1), n(5), n(9)],
+                issued_ns: None,
             },
             Frame::FetchBatchRequest {
                 req_id: 8,
                 nodes: Vec::new(),
+                issued_ns: None,
             },
             Frame::FetchBatchResponse {
                 req_id: 7,
@@ -720,19 +915,236 @@ mod tests {
                 payloads: Vec::new(),
             },
             Frame::MetricsRequest,
-            Frame::Metrics(RunSnapshot {
-                queries: 10,
-                cache_hits: 7,
-                cache_misses: 3,
-                evictions: 0,
-                stolen: 1,
-                prefetch_issued: 4,
-                prefetch_hits: 2,
-                prefetch_wasted_bytes: 64,
-                per_processor: vec![5, 5],
-            }),
+            Frame::Metrics {
+                snapshot: RunSnapshot {
+                    queries: 10,
+                    cache_hits: 7,
+                    cache_misses: 3,
+                    evictions: 0,
+                    stolen: 1,
+                    prefetch_issued: 4,
+                    prefetch_hits: 2,
+                    prefetch_wasted_bytes: 64,
+                    per_processor: vec![5, 5],
+                },
+                trace: None,
+            },
             Frame::Shutdown,
         ]
+    }
+
+    /// The trace-carrying variants of every frame that grew an optional
+    /// block, paired with the same frame with the block stripped.
+    fn traced_frame_pairs() -> Vec<(Frame, Frame)> {
+        let mut trace_snapshot = TraceSnapshot::new(grouting_trace::TraceLevel::Spans);
+        trace_snapshot
+            .stages
+            .record(grouting_trace::Stage::DispatchRtt, 42_000);
+        trace_snapshot.reactor.frames_in = 5;
+        trace_snapshot.spans.push(grouting_trace::QuerySpan {
+            seq: 9,
+            processor: 1,
+            levels: 2,
+            queue_ns: 100,
+            rtt_ns: 9_000,
+            fetch_wait_ns: 4_000,
+            compute_ns: 3_000,
+            completion_ns: 500,
+        });
+        let completion = Completion {
+            seq: 43,
+            processor: 2,
+            result: QueryResult::Count(7),
+            stats: AccessStats {
+                cache_hits: 5,
+                cache_misses: 6,
+                miss_bytes: 300,
+                evictions: 1,
+            },
+            prefetch: PrefetchStats {
+                issued: 12,
+                hits: 9,
+                wasted_bytes: 256,
+            },
+            arrived_ns: 10,
+            started_ns: 20,
+            completed_ns: 30,
+            trace: None,
+        };
+        let query = Query::NeighborAggregation {
+            node: n(7),
+            hops: 2,
+            label: None,
+        };
+        vec![
+            (
+                Frame::Submit {
+                    seq: 42,
+                    query,
+                    submitted_ns: Some(123_456),
+                },
+                Frame::Submit {
+                    seq: 42,
+                    query,
+                    submitted_ns: None,
+                },
+            ),
+            (
+                Frame::Dispatch {
+                    seq: 43,
+                    query,
+                    trace: Some(DispatchTrace {
+                        level: grouting_trace::TraceLevel::Stats,
+                        dispatched_ns: 9_999,
+                    }),
+                },
+                Frame::Dispatch {
+                    seq: 43,
+                    query,
+                    trace: None,
+                },
+            ),
+            (
+                Frame::Completion(Completion {
+                    trace: Some(QueryTrace {
+                        fetch_wait_ns: 4_000,
+                        compute_ns: 3_000,
+                        levels: 2,
+                        level_spans: vec![(2_500, 1_800), (1_500, 1_200)],
+                    }),
+                    ..completion.clone()
+                }),
+                Frame::Completion(completion),
+            ),
+            (
+                Frame::FetchBatchRequest {
+                    req_id: 7,
+                    nodes: vec![n(1), n(5)],
+                    issued_ns: Some(77_000),
+                },
+                Frame::FetchBatchRequest {
+                    req_id: 7,
+                    nodes: vec![n(1), n(5)],
+                    issued_ns: None,
+                },
+            ),
+            (
+                Frame::Metrics {
+                    snapshot: RunSnapshot {
+                        queries: 10,
+                        cache_hits: 7,
+                        cache_misses: 3,
+                        evictions: 0,
+                        stolen: 1,
+                        prefetch_issued: 4,
+                        prefetch_hits: 2,
+                        prefetch_wasted_bytes: 64,
+                        per_processor: vec![5, 5],
+                    },
+                    trace: Some(Box::new(trace_snapshot)),
+                },
+                Frame::Metrics {
+                    snapshot: RunSnapshot {
+                        queries: 10,
+                        cache_hits: 7,
+                        cache_misses: 3,
+                        evictions: 0,
+                        stolen: 1,
+                        prefetch_issued: 4,
+                        prefetch_hits: 2,
+                        prefetch_wasted_bytes: 64,
+                        per_processor: vec![5, 5],
+                    },
+                    trace: None,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn traced_frames_round_trip() {
+        for (traced, _) in traced_frame_pairs() {
+            let bytes = traced.encode();
+            assert_eq!(Frame::decode(bytes).unwrap(), traced, "{}", traced.kind());
+        }
+    }
+
+    /// Tracing rides as a pure suffix: the traced encoding starts with
+    /// the exact untraced bytes, so a trace-off deployment emits frames
+    /// byte-identical to the pre-trace protocol — and pre-trace bytes
+    /// decode to frames with the block absent.
+    #[test]
+    fn trace_blocks_are_strict_suffixes() {
+        for (traced, untraced) in traced_frame_pairs() {
+            let with = traced.encode();
+            let without = untraced.encode();
+            assert!(with.len() > without.len(), "{}", traced.kind());
+            assert_eq!(
+                &with[..without.len()],
+                &without[..],
+                "{} block is not a suffix",
+                traced.kind()
+            );
+            assert_eq!(
+                Frame::decode(without).unwrap(),
+                untraced,
+                "{} old-shape bytes stopped decoding",
+                traced.kind()
+            );
+        }
+    }
+
+    /// Cutting a traced frame either errors or (exactly at the block
+    /// boundary) yields the legitimate untraced frame — never a third
+    /// interpretation, and never a panic.
+    #[test]
+    fn traced_truncation_never_misdecodes() {
+        for (traced, untraced) in traced_frame_pairs() {
+            let bytes = traced.encode();
+            let base = untraced.encode().len();
+            for cut in 0..bytes.len() {
+                match Frame::decode(bytes.slice(0..cut)) {
+                    Ok(frame) => {
+                        assert_eq!(cut, base, "{} cut {cut} decoded", traced.kind());
+                        assert_eq!(frame, untraced);
+                    }
+                    Err(_) => assert_ne!(cut, base, "{} base shape rejected", traced.kind()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traced_frames_reject_trailing_bytes() {
+        for (traced, _) in traced_frame_pairs() {
+            let mut raw = traced.encode().to_vec();
+            raw.push(0xAB);
+            assert!(
+                Frame::decode(Bytes::from(raw)).is_err(),
+                "{} accepted trailing byte after trace block",
+                traced.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_trace_with_level_off_is_rejected() {
+        let traced = Frame::Dispatch {
+            seq: 1,
+            query: Query::NeighborAggregation {
+                node: n(1),
+                hops: 1,
+                label: None,
+            },
+            trace: Some(DispatchTrace {
+                level: grouting_trace::TraceLevel::Stats,
+                dispatched_ns: 5,
+            }),
+        };
+        let mut raw = traced.encode().to_vec();
+        let level_at = raw.len() - 9;
+        raw[level_at] = 0; // TraceLevel::Off on the wire
+        assert!(Frame::decode(Bytes::from(raw)).is_err());
     }
 
     #[test]
@@ -765,8 +1177,33 @@ mod tests {
             },
         ];
         for q in queries {
-            let f = Frame::Submit { seq: 1, query: q };
+            let f = Frame::Submit {
+                seq: 1,
+                query: q,
+                submitted_ns: None,
+            };
             assert_eq!(Frame::decode(f.encode()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        for frame in sample_frames() {
+            assert_eq!(
+                frame.encoded_len(),
+                frame.encode().len(),
+                "{}",
+                frame.kind()
+            );
+        }
+        for (traced, untraced) in traced_frame_pairs() {
+            assert_eq!(
+                traced.encoded_len(),
+                traced.encode().len(),
+                "{}",
+                traced.kind()
+            );
+            assert_eq!(untraced.encoded_len(), untraced.encode().len());
         }
     }
 
@@ -832,6 +1269,7 @@ mod tests {
         let request = Frame::FetchBatchRequest {
             req_id: u64::MAX,
             nodes: nodes.clone(),
+            issued_ns: None,
         };
         let encoded = request.encode();
         assert!(encoded.len() < MAX_FRAME_BYTES);
@@ -875,6 +1313,7 @@ mod tests {
             let f = Frame::FetchBatchRequest {
                 req_id,
                 nodes: nodes.into_iter().map(n).collect(),
+                issued_ns: None,
             };
             proptest::prop_assert_eq!(Frame::decode(f.encode()).unwrap(), f);
         }
@@ -907,6 +1346,7 @@ mod tests {
             label in proptest::option::of(0u16..512),
             prob in 0.0f64..1.0,
             seed in 0u64..u64::MAX,
+            submitted_ns in proptest::option::of(0u64..1 << 50),
         ) {
             let query = match kind {
                 0 => Query::NeighborAggregation {
@@ -923,7 +1363,11 @@ mod tests {
                     via_label: NodeLabelId::new(label.unwrap_or(1)),
                 },
             };
-            let f = Frame::Submit { seq, query };
+            let f = Frame::Submit {
+                seq,
+                query,
+                submitted_ns,
+            };
             proptest::prop_assert_eq!(Frame::decode(f.encode()).unwrap(), f);
         }
 
@@ -938,6 +1382,12 @@ mod tests {
             misses in 0u64..1 << 40,
             bytes_ in 0u64..1 << 40,
             ts in 0u64..1 << 50,
+            trace in proptest::option::of((
+                0u64..1 << 40,
+                0u64..1 << 40,
+                0u32..16,
+                proptest::collection::vec((0u64..1 << 40, 0u64..1 << 40), 0..4),
+            )),
         ) {
             let result = match rkind {
                 0 => QueryResult::Count(v),
@@ -962,6 +1412,12 @@ mod tests {
                 arrived_ns: ts,
                 started_ns: ts + 1,
                 completed_ns: ts + 2,
+                trace: trace.map(|(fetch_wait_ns, compute_ns, levels, level_spans)| QueryTrace {
+                    fetch_wait_ns,
+                    compute_ns,
+                    levels,
+                    level_spans,
+                }),
             });
             proptest::prop_assert_eq!(Frame::decode(f.encode()).unwrap(), f);
         }
@@ -984,18 +1440,27 @@ mod tests {
             queries in 0u64..1 << 50,
             hits in 0u64..1 << 50,
             per in proptest::collection::vec(0u64..1 << 40, 0..10),
+            stage_ns in proptest::option::of(1u64..1 << 40),
         ) {
-            let f = Frame::Metrics(RunSnapshot {
-                queries,
-                cache_hits: hits,
-                cache_misses: queries / 3,
-                evictions: hits / 5,
-                stolen: queries / 9,
-                prefetch_issued: hits / 2,
-                prefetch_hits: hits / 3,
-                prefetch_wasted_bytes: queries / 2,
-                per_processor: per,
-            });
+            let f = Frame::Metrics {
+                snapshot: RunSnapshot {
+                    queries,
+                    cache_hits: hits,
+                    cache_misses: queries / 3,
+                    evictions: hits / 5,
+                    stolen: queries / 9,
+                    prefetch_issued: hits / 2,
+                    prefetch_hits: hits / 3,
+                    prefetch_wasted_bytes: queries / 2,
+                    per_processor: per,
+                },
+                trace: stage_ns.map(|ns| {
+                    let mut t = TraceSnapshot::new(grouting_trace::TraceLevel::Stats);
+                    t.stages.record(grouting_trace::Stage::DispatchRtt, ns);
+                    t.reactor.busy_ns = ns / 2;
+                    Box::new(t)
+                }),
+            };
             proptest::prop_assert_eq!(Frame::decode(f.encode()).unwrap(), f);
         }
 
@@ -1027,11 +1492,20 @@ mod tests {
                 1 => Frame::Submit {
                     seq,
                     query: Query::NeighborAggregation { node: n(node), hops: id % 8, label: None },
+                    submitted_ns: (seq % 2 == 0).then_some(seq / 2),
                 },
                 2 => Frame::SubmitEnd,
                 3 => Frame::Dispatch {
                     seq,
                     query: Query::Reachability { source: n(node), target: n(id), hops: 3 },
+                    trace: (seq % 2 == 0).then_some(DispatchTrace {
+                        level: if seq % 4 == 0 {
+                            grouting_trace::TraceLevel::Stats
+                        } else {
+                            grouting_trace::TraceLevel::Spans
+                        },
+                        dispatched_ns: seq / 3,
+                    }),
                 },
                 4 => Frame::Completion(Completion {
                     seq,
@@ -1051,6 +1525,12 @@ mod tests {
                     arrived_ns: seq / 3,
                     started_ns: seq / 2,
                     completed_ns: seq,
+                    trace: (seq % 2 == 0).then(|| QueryTrace {
+                        fetch_wait_ns: seq / 5,
+                        compute_ns: seq / 7,
+                        levels: id % 8,
+                        level_spans: vec![(seq / 9, seq / 11); (id % 3) as usize],
+                    }),
                 }),
                 5 => Frame::FetchRequest { node: n(node) },
                 6 => Frame::FetchResponse {
@@ -1058,20 +1538,28 @@ mod tests {
                     payload: Some((server, Bytes::from(payload))),
                 },
                 7 => Frame::MetricsRequest,
-                8 => Frame::Metrics(RunSnapshot {
-                    queries: count,
-                    cache_hits: count / 2,
-                    cache_misses: count / 3,
-                    evictions: count / 5,
-                    stolen: count / 7,
-                    prefetch_issued: count / 11,
-                    prefetch_hits: count / 13,
-                    prefetch_wasted_bytes: count / 2,
-                    per_processor: vec![count; (id % 6) as usize],
-                }),
+                8 => Frame::Metrics {
+                    snapshot: RunSnapshot {
+                        queries: count,
+                        cache_hits: count / 2,
+                        cache_misses: count / 3,
+                        evictions: count / 5,
+                        stolen: count / 7,
+                        prefetch_issued: count / 11,
+                        prefetch_hits: count / 13,
+                        prefetch_wasted_bytes: count / 2,
+                        per_processor: vec![count; (id % 6) as usize],
+                    },
+                    trace: (seq % 2 == 0).then(|| {
+                        let mut t = TraceSnapshot::new(grouting_trace::TraceLevel::Stats);
+                        t.stages.record(grouting_trace::Stage::RouterQueue, count.max(1));
+                        Box::new(t)
+                    }),
+                },
                 9 => Frame::FetchBatchRequest {
                     req_id: seq,
                     nodes: (0..id % 40).map(|i| n(node.wrapping_add(i))).collect(),
+                    issued_ns: (seq % 2 == 0).then_some(seq / 4),
                 },
                 10 => Frame::FetchBatchResponse {
                     req_id: seq,

@@ -209,6 +209,7 @@ mod tests {
                     hops: 1,
                     label: None,
                 },
+                submitted_ns: None,
             })
             .unwrap();
         drop(client);
@@ -297,7 +298,7 @@ mod tests {
             })
             .unwrap();
             match conn.recv().unwrap() {
-                Frame::Dispatch { seq, query } => {
+                Frame::Dispatch { seq, query, .. } => {
                     let mut cache = config.build_cache();
                     let out = grouting_query::Executor::new(&*flaky_tier, &mut cache).run(&query);
                     conn.send(&Frame::Completion(Completion {
@@ -309,6 +310,7 @@ mod tests {
                         arrived_ns: 0,
                         started_ns: 1,
                         completed_ns: 2,
+                        trace: None,
                     }))
                     .unwrap();
                 }
@@ -345,6 +347,7 @@ mod tests {
                 .send(&Frame::Submit {
                     seq: seq as u64,
                     query: *query,
+                    submitted_ns: None,
                 })
                 .unwrap();
         }
@@ -354,7 +357,7 @@ mod tests {
         loop {
             match client.recv() {
                 Ok(Frame::Completion(_)) => completions += 1,
-                Ok(Frame::Metrics(_)) => {}
+                Ok(Frame::Metrics { .. }) => {}
                 Ok(Frame::Shutdown) | Err(WireError::Closed) => break,
                 Ok(other) => panic!("client got {}", other.kind()),
                 Err(e) => panic!("client recv failed: {e}"),
@@ -411,7 +414,7 @@ mod tests {
             .unwrap();
             conn.send(&Frame::MetricsRequest).unwrap();
             match conn.recv().unwrap() {
-                Frame::Metrics(_) => conn,
+                Frame::Metrics { .. } => conn,
                 other => panic!("processor {id} got {}", other.kind()),
             }
         };
@@ -432,6 +435,7 @@ mod tests {
                     arrived_ns: 0,
                     started_ns: 1,
                     completed_ns: 2,
+                    trace: None,
                 }))
                 .unwrap();
             }
@@ -450,7 +454,7 @@ mod tests {
             let mut cache = config.build_cache();
             loop {
                 match conn.recv() {
-                    Ok(Frame::Dispatch { seq, query }) => {
+                    Ok(Frame::Dispatch { seq, query, .. }) => {
                         healthy_serve(&mut conn, &mut cache, 1, seq, &query);
                     }
                     Ok(Frame::Shutdown) | Err(WireError::Closed) => return,
@@ -475,7 +479,7 @@ mod tests {
         let flaky = std::thread::spawn(move || {
             let mut cache = config.build_cache();
             match flaky_conn.recv().unwrap() {
-                Frame::Dispatch { seq, query } => {
+                Frame::Dispatch { seq, query, .. } => {
                     flaky_serve(&mut flaky_conn, &mut cache, 0, seq, &query);
                 }
                 other => panic!("flaky processor got {}", other.kind()),
@@ -493,14 +497,14 @@ mod tests {
             .unwrap();
             conn.send(&Frame::MetricsRequest).unwrap();
             match conn.recv().unwrap() {
-                Frame::Metrics(_) => rejoined_tx.send(()).unwrap(),
+                Frame::Metrics { .. } => rejoined_tx.send(()).unwrap(),
                 other => panic!("restarted processor got {}", other.kind()),
             }
             let mut cache = config.build_cache();
             let mut served_after_rejoin = 0u64;
             loop {
                 match conn.recv() {
-                    Ok(Frame::Dispatch { seq, query }) => {
+                    Ok(Frame::Dispatch { seq, query, .. }) => {
                         flaky_serve(&mut conn, &mut cache, 0, seq, &query);
                         served_after_rejoin += 1;
                     }
@@ -526,6 +530,7 @@ mod tests {
                 .send(&Frame::Submit {
                     seq: seq as u64,
                     query: *query,
+                    submitted_ns: None,
                 })
                 .unwrap();
         }
@@ -533,7 +538,7 @@ mod tests {
         while completions < 4 {
             match client.recv().unwrap() {
                 Frame::Completion(_) => completions += 1,
-                Frame::Metrics(_) => {}
+                Frame::Metrics { .. } => {}
                 other => panic!("client got {}", other.kind()),
             }
         }
@@ -548,6 +553,7 @@ mod tests {
                 .send(&Frame::Submit {
                     seq: seq as u64,
                     query: *query,
+                    submitted_ns: None,
                 })
                 .unwrap();
         }
@@ -555,7 +561,7 @@ mod tests {
         loop {
             match client.recv() {
                 Ok(Frame::Completion(_)) => completions += 1,
-                Ok(Frame::Metrics(_)) => {}
+                Ok(Frame::Metrics { .. }) => {}
                 Ok(Frame::Shutdown) | Err(WireError::Closed) => break,
                 Ok(other) => panic!("client got {}", other.kind()),
                 Err(e) => panic!("client recv failed: {e}"),
@@ -625,6 +631,7 @@ mod tests {
                 .send(&Frame::Submit {
                     seq: seq as u64,
                     query: *query,
+                    submitted_ns: None,
                 })
                 .unwrap();
         }
@@ -638,7 +645,7 @@ mod tests {
         loop {
             match client.recv() {
                 Ok(Frame::Completion(_)) => completions += 1,
-                Ok(Frame::Metrics(s)) => metrics.push(s),
+                Ok(Frame::Metrics { snapshot, .. }) => metrics.push(snapshot),
                 Ok(Frame::Shutdown) | Err(WireError::Closed) => break,
                 Ok(other) => panic!("client got {}", other.kind()),
                 Err(e) => panic!("client recv failed: {e}"),

@@ -30,6 +30,7 @@ use grouting_query::{
     CacheBackedStore, ExecOutcome, PrefetchConfig, PrefetchState, PrefetchStats, ProcessorCache,
     Query, StagedQuery, Step,
 };
+use grouting_trace::{QueryTrace, TraceLevel};
 
 use crate::error::WireResult;
 use crate::flow::{MultiplexedStorageSource, PendingBatch};
@@ -45,6 +46,9 @@ pub struct CompletedQuery {
     pub started_ns: u64,
     /// When the query finished, [`now_ns`] clock.
     pub completed_ns: u64,
+    /// Fetch-wait vs compute split (per level at
+    /// [`TraceLevel::Spans`]); `None` when the pipeline isn't tracing.
+    pub trace: Option<QueryTrace>,
 }
 
 struct ActiveQuery {
@@ -62,6 +66,11 @@ struct ActiveQuery {
     /// The speculative nodes riding on `pending`, in request order.
     spec: Vec<NodeId>,
     started_ns: u64,
+    /// When the in-flight frontier went on the wire (tracing only; the
+    /// gap to payload consumption is the level's fetch wait).
+    fetch_started_ns: u64,
+    /// Accumulated span block (all zeros while tracing is off).
+    trace: QueryTrace,
 }
 
 /// The per-processor overlap engine: dispatched queries wait in a FIFO,
@@ -78,18 +87,28 @@ pub struct QueryPipeline {
     queue: VecDeque<(u64, Query)>,
     active: VecDeque<ActiveQuery>,
     prefetch: PrefetchState,
+    trace: TraceLevel,
 }
 
 impl QueryPipeline {
     /// A pipeline admitting at most `overlap` (≥ 1) concurrent queries,
-    /// with speculation off.
+    /// with speculation off and tracing off.
     pub fn new(overlap: usize) -> Self {
         Self {
             overlap: overlap.max(1),
             queue: VecDeque::new(),
             active: VecDeque::new(),
             prefetch: PrefetchState::new(PrefetchConfig::OFF),
+            trace: TraceLevel::Off,
         }
+    }
+
+    /// Raises the pipeline's trace level (never lowers it). The processor
+    /// calls this with the level its dispatch frames carry, so the first
+    /// traced dispatch switches instrumentation on for every query that
+    /// resumes afterwards.
+    pub fn set_trace(&mut self, level: TraceLevel) {
+        self.trace = self.trace.max(level);
     }
 
     /// Equips the pipeline with speculative frontier prefetching per
@@ -162,13 +181,22 @@ impl QueryPipeline {
                 continue;
             };
             active.pending = None;
+            // The level's fetch wait ends the moment its payloads are
+            // consumed; the resume that follows is its compute.
+            let fetch_ns = if self.trace.enabled() {
+                now_ns().saturating_sub(active.fetch_started_ns)
+            } else {
+                0
+            };
             // The speculative tail goes to the staging buffer; the staged
             // query sees exactly the demand payloads it asked for.
             let demand_nodes = std::mem::take(&mut active.demand);
             let spec_payloads = payloads.split_off(demand_nodes.len());
             let spec_nodes = std::mem::take(&mut active.spec);
             self.prefetch.demand_arrived(&demand_nodes);
+            let resume_started_ns = if self.trace.enabled() { now_ns() } else { 0 };
             let (step, spec) = {
+                let active = &mut self.active[slot];
                 let mut store =
                     CacheBackedStore::with_prefetch(&mut *source, cache, &mut self.prefetch);
                 store.absorb_speculative(&spec_nodes, spec_payloads);
@@ -179,6 +207,16 @@ impl QueryPipeline {
                 };
                 (step, spec)
             };
+            if self.trace.enabled() {
+                let compute_ns = now_ns().saturating_sub(resume_started_ns);
+                let active = &mut self.active[slot];
+                active.trace.fetch_wait_ns += fetch_ns;
+                active.trace.compute_ns += compute_ns;
+                active.trace.levels += 1;
+                if self.trace.spans() {
+                    active.trace.level_spans.push((fetch_ns, compute_ns));
+                }
+            }
             match step {
                 Step::Fetch(miss) => {
                     self.submit(source, slot, miss, spec)?;
@@ -191,6 +229,7 @@ impl QueryPipeline {
                         outcome,
                         started_ns: finished.started_ns,
                         completed_ns: now_ns(),
+                        trace: self.trace.enabled().then_some(finished.trace),
                     });
                     // Backfill the freed slot from the queue so the window
                     // stays full without waiting for the next step call.
@@ -224,6 +263,9 @@ impl QueryPipeline {
         active.pending = Some(pending);
         active.demand = miss;
         active.spec = spec;
+        if self.trace.enabled() {
+            active.fetch_started_ns = now_ns();
+        }
         Ok(())
     }
 
@@ -252,6 +294,12 @@ impl QueryPipeline {
             };
             (step, spec)
         };
+        // The admission resume is level-0 compute (it precedes any fetch).
+        let admit_compute_ns = if self.trace.enabled() {
+            now_ns().saturating_sub(started_ns)
+        } else {
+            0
+        };
         match step {
             Step::Fetch(miss) => {
                 self.active.push_back(ActiveQuery {
@@ -261,6 +309,11 @@ impl QueryPipeline {
                     demand: Vec::new(),
                     spec: Vec::new(),
                     started_ns,
+                    fetch_started_ns: 0,
+                    trace: QueryTrace {
+                        compute_ns: admit_compute_ns,
+                        ..QueryTrace::default()
+                    },
                 });
                 let slot = self.active.len() - 1;
                 self.submit(source, slot, miss, spec)?;
@@ -270,6 +323,10 @@ impl QueryPipeline {
                 outcome,
                 started_ns,
                 completed_ns: now_ns(),
+                trace: self.trace.enabled().then(|| QueryTrace {
+                    compute_ns: admit_compute_ns,
+                    ..QueryTrace::default()
+                }),
             }),
         }
         Ok(true)
@@ -364,6 +421,7 @@ mod tests {
         while !pipeline.is_idle() {
             for c in pipeline.step(&mut source, &mut cache).unwrap() {
                 assert!(c.completed_ns >= c.started_ns);
+                assert!(c.trace.is_none(), "untraced pipeline produced a trace");
                 out.push((c.seq, c.outcome));
             }
             std::thread::yield_now();
@@ -456,6 +514,66 @@ mod tests {
                 assert_eq!(outcome.result, serial[i].result, "{policy} seq {seq}");
                 assert_eq!(outcome.stats, serial[i].stats, "{policy} seq {seq}");
             }
+        }
+    }
+
+    #[test]
+    fn traced_spans_fit_inside_the_wall_clock() {
+        // At TraceLevel::Spans every completion carries a QueryTrace whose
+        // fetch-wait + compute intervals are disjoint sub-spans of the
+        // query's execution, so their sum can never exceed the wall time —
+        // and the per-level pairs must account exactly for the totals
+        // beyond the admission compute.
+        let q = queries(48, 16);
+        let tier = loaded_tier(48, 3);
+        let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        let handles: Vec<_> = (0..tier.server_count())
+            .map(|_| {
+                StorageService::spawn(
+                    Arc::clone(&transport),
+                    Arc::clone(&tier),
+                    NetworkModel::local(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let addrs: Vec<String> = handles.iter().map(|h| h.addr().to_string()).collect();
+        let mut source =
+            MultiplexedStorageSource::new(Arc::clone(&transport), &addrs, tier.partitioner());
+        let mut cache: ProcessorCache = Box::new(LruCache::new(1 << 20));
+        let mut pipeline = QueryPipeline::new(3);
+        pipeline.set_trace(grouting_trace::TraceLevel::Spans);
+        for (seq, query) in q.iter().enumerate() {
+            pipeline.push(seq as u64, *query);
+        }
+        let mut done = 0usize;
+        let mut crossed_levels = false;
+        while !pipeline.is_idle() {
+            for c in pipeline.step(&mut source, &mut cache).unwrap() {
+                let trace = c.trace.expect("traced pipeline must produce spans");
+                let wall = c.completed_ns - c.started_ns;
+                assert!(
+                    trace.fetch_wait_ns + trace.compute_ns <= wall,
+                    "seq {}: fetch {} + compute {} > wall {wall}",
+                    c.seq,
+                    trace.fetch_wait_ns,
+                    trace.compute_ns
+                );
+                assert_eq!(trace.level_spans.len(), trace.levels as usize);
+                let span_fetch: u64 = trace.level_spans.iter().map(|&(f, _)| f).sum();
+                assert_eq!(span_fetch, trace.fetch_wait_ns);
+                let span_compute: u64 = trace.level_spans.iter().map(|&(_, c)| c).sum();
+                assert!(span_compute <= trace.compute_ns);
+                crossed_levels |= trace.levels > 0;
+                done += 1;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(done, q.len());
+        assert!(crossed_levels, "2-hop queries over the wire must fetch");
+        drop(source);
+        for h in handles {
+            h.shutdown();
         }
     }
 

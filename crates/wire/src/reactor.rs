@@ -34,7 +34,11 @@
 //! automatically, so backend choice never affects correctness.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use grouting_metrics::log_warn;
+use grouting_trace::TelemetryCounters;
 
 use crate::error::{WireError, WireResult};
 use crate::frame::Frame;
@@ -118,15 +122,15 @@ impl PollerKind {
                 "sweep" => Self::Sweep,
                 "epoll" if cfg!(target_os = "linux") => Self::Epoll,
                 "epoll" => {
-                    eprintln!(
-                        "warning: GROUTING_REACTOR=epoll is Linux-only; \
+                    log_warn!(
+                        "GROUTING_REACTOR=epoll is Linux-only; \
                          using the portable sweep backend"
                     );
                     Self::Sweep
                 }
                 _ => {
-                    eprintln!(
-                        "warning: invalid GROUTING_REACTOR value {raw:?} \
+                    log_warn!(
+                        "invalid GROUTING_REACTOR value {raw:?} \
                          (expected \"sweep\" or \"epoll\"); using default {default}"
                     );
                     default
@@ -144,7 +148,7 @@ impl PollerKind {
                 #[cfg(target_os = "linux")]
                 match EpollPoller::new() {
                     Ok(poller) => return Box::new(poller),
-                    Err(e) => eprintln!("warning: epoll unavailable ({e}); using sweep"),
+                    Err(e) => log_warn!("epoll unavailable ({e}); using sweep"),
                 }
                 Box::new(SweepPoller::new())
             }
@@ -343,6 +347,29 @@ struct ReactorConn {
     stream: Box<dyn FrameStream>,
     /// The stream's raw fd, as registered with the poller.
     fd: Option<i32>,
+    /// Pool counters (checkouts, reused) already folded into telemetry —
+    /// the pool exposes monotonic totals, so samples record deltas.
+    pool_seen: (u64, u64),
+}
+
+/// Folds a stream's buffer-pool counters into `telemetry` as deltas
+/// against `seen` (the totals already reported for this connection).
+/// A no-op when telemetry is off or the stream has no pool.
+pub(crate) fn sample_pool(
+    telemetry: &Option<Arc<TelemetryCounters>>,
+    stream: &dyn FrameStream,
+    seen: &mut (u64, u64),
+) {
+    let Some(t) = telemetry else { return };
+    let Some((checkouts, reused, free)) = stream.pool_stats() else {
+        return;
+    };
+    t.pool_sample(
+        checkouts.saturating_sub(seen.0),
+        reused.saturating_sub(seen.1),
+        free,
+    );
+    *seen = (checkouts, reused);
 }
 
 /// Most frames drained from one connection per sweep, so a flooding peer
@@ -370,21 +397,35 @@ enum Drain {
     Dead,
 }
 
-fn drain_conn(id: u64, conn: &mut ReactorConn, events: &mut Vec<ReactorEvent>) -> Drain {
-    for _ in 0..MAX_FRAMES_PER_CONN_PER_SWEEP {
-        match conn.stream.try_recv() {
-            Ok(Some(frame)) => events.push(ReactorEvent::Frame(id, frame)),
-            Ok(None) => return Drain::Done,
-            // Any failure — clean close, reset, or stream corruption —
-            // retires the connection; the consumer decides whether that
-            // peer's death is fatal.
-            Err(_) => {
-                events.push(ReactorEvent::Closed(id));
-                return Drain::Dead;
+fn drain_conn(
+    id: u64,
+    conn: &mut ReactorConn,
+    events: &mut Vec<ReactorEvent>,
+    telemetry: &Option<Arc<TelemetryCounters>>,
+) -> Drain {
+    let result = 'drain: {
+        for _ in 0..MAX_FRAMES_PER_CONN_PER_SWEEP {
+            match conn.stream.try_recv() {
+                Ok(Some(frame)) => {
+                    if let Some(t) = telemetry {
+                        t.frame_in(frame.encoded_len() as u64);
+                    }
+                    events.push(ReactorEvent::Frame(id, frame));
+                }
+                Ok(None) => break 'drain Drain::Done,
+                // Any failure — clean close, reset, or stream corruption —
+                // retires the connection; the consumer decides whether that
+                // peer's death is fatal.
+                Err(_) => {
+                    events.push(ReactorEvent::Closed(id));
+                    return Drain::Dead;
+                }
             }
         }
-    }
-    Drain::Capped
+        Drain::Capped
+    };
+    sample_pool(telemetry, conn.stream.as_ref(), &mut conn.pool_seen);
+    result
 }
 
 /// One node's connection multiplexer: a listener plus every accepted (or
@@ -417,6 +458,9 @@ pub struct Reactor {
     /// Scratch for ready tokens (reused across rounds).
     ready: Vec<u64>,
     next_id: u64,
+    /// Shared telemetry sink; `None` (tracing off) keeps the loop free of
+    /// clock reads and atomic bumps.
+    telemetry: Option<Arc<TelemetryCounters>>,
 }
 
 impl Reactor {
@@ -439,12 +483,19 @@ impl Reactor {
             dirty: BTreeSet::new(),
             ready: Vec::new(),
             next_id: 0,
+            telemetry: None,
         }
     }
 
     /// The backend this reactor polls with.
     pub fn poller_kind(&self) -> PollerKind {
         self.poller.kind()
+    }
+
+    /// Routes this reactor's frame, byte, busy/idle, and buffer-pool
+    /// telemetry into the shared counters.
+    pub fn set_telemetry(&mut self, telemetry: Arc<TelemetryCounters>) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The address peers dial to reach this reactor's listener (empty for
@@ -471,7 +522,15 @@ impl Reactor {
         // Bytes may already be buffered (frames that arrived before
         // registration): force one drain regardless of readiness.
         self.dirty.insert(id);
-        self.conns.insert(id, ReactorConn { sink, stream, fd });
+        self.conns.insert(
+            id,
+            ReactorConn {
+                sink,
+                stream,
+                fd,
+                pool_seen: (0, 0),
+            },
+        );
         id
     }
 
@@ -496,7 +555,12 @@ impl Reactor {
     /// and was deregistered); transport errors from the send itself.
     pub fn send(&mut self, id: u64, frame: &Frame) -> WireResult<()> {
         match self.conns.get_mut(&id) {
-            Some(conn) => conn.sink.send(frame),
+            Some(conn) => {
+                if let Some(t) = &self.telemetry {
+                    t.frame_out(frame.encoded_len() as u64);
+                }
+                conn.sink.send(frame)
+            }
             None => Err(WireError::Closed),
         }
     }
@@ -538,10 +602,11 @@ impl Reactor {
     /// Only listener failures are fatal; a failing *connection* becomes a
     /// [`ReactorEvent::Closed`] event instead.
     pub fn poll(&mut self, events: &mut Vec<ReactorEvent>) -> WireResult<()> {
+        let started = self.telemetry.is_some().then(Instant::now);
         self.accept_new(events)?;
         let mut dead: Vec<u64> = Vec::new();
         for (&id, conn) in self.conns.iter_mut() {
-            match drain_conn(id, conn, events) {
+            match drain_conn(id, conn, events, &self.telemetry) {
                 Drain::Done => {
                     self.dirty.remove(&id);
                 }
@@ -554,6 +619,7 @@ impl Reactor {
         for id in dead {
             self.retire(id);
         }
+        self.note_busy(started);
         Ok(())
     }
 
@@ -562,6 +628,7 @@ impl Reactor {
     /// the always-probed sets (untracked sources and dirty connections
     /// holding capped userspace frames).
     fn poll_ready(&mut self, events: &mut Vec<ReactorEvent>, ready: &[u64]) -> WireResult<()> {
+        let started = self.telemetry.is_some().then(Instant::now);
         if !self.listener_tracked || ready.contains(&LISTENER_TOKEN) {
             self.accept_new(events)?;
         }
@@ -576,7 +643,7 @@ impl Reactor {
             let Some(conn) = self.conns.get_mut(&id) else {
                 continue;
             };
-            match drain_conn(id, conn, events) {
+            match drain_conn(id, conn, events, &self.telemetry) {
                 Drain::Done => {
                     self.dirty.remove(&id);
                 }
@@ -586,7 +653,16 @@ impl Reactor {
                 Drain::Dead => self.retire(id),
             }
         }
+        self.note_busy(started);
         Ok(())
+    }
+
+    /// Folds the elapsed time since `started` into busy telemetry
+    /// (`started` is `None` exactly when telemetry is off).
+    fn note_busy(&self, started: Option<Instant>) {
+        if let (Some(t), Some(started)) = (&self.telemetry, started) {
+            t.add_busy_ns(started.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Polls until at least one event is available (or `stop` returns
@@ -622,7 +698,11 @@ impl Reactor {
         loop {
             let mut ready = std::mem::take(&mut self.ready);
             ready.clear();
+            let parked = self.telemetry.is_some().then(Instant::now);
             let must_sweep = self.poller.wait(&mut ready, timeout);
+            if let (Some(t), Some(parked)) = (&self.telemetry, parked) {
+                t.add_idle_ns(parked.elapsed().as_nanos() as u64);
+            }
             let round = if must_sweep {
                 self.poll(events)
             } else {
@@ -653,7 +733,11 @@ impl Reactor {
         }
         let mut ready = std::mem::take(&mut self.ready);
         ready.clear();
+        let parked = self.telemetry.is_some().then(Instant::now);
         let _ = self.poller.wait(&mut ready, timeout);
+        if let (Some(t), Some(parked)) = (&self.telemetry, parked) {
+            t.add_idle_ns(parked.elapsed().as_nanos() as u64);
+        }
         self.ready = ready;
     }
 

@@ -32,7 +32,7 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -44,10 +44,14 @@ use grouting_metrics::RunSnapshot;
 use grouting_partition::Partitioner;
 use grouting_query::{BatchSource, RecordSource};
 use grouting_storage::{NetworkModel, StorageTier};
+use grouting_trace::{
+    QuerySpan, QueryTrace, SpanRing, Stage, StageStats, TelemetryCounters, TraceLevel,
+    TraceSnapshot, DEFAULT_SPAN_RING,
+};
 
 use crate::error::{WireError, WireResult};
 use crate::flow::{BatchMux, FetchMode, MultiplexedStorageSource};
-use crate::frame::{Completion, Frame, Role};
+use crate::frame::{Completion, DispatchTrace, Frame, Role};
 use crate::overlap::QueryPipeline;
 use crate::reactor::{PollerKind, Reactor, ReactorEvent};
 use crate::transport::{ConnectionPool, Listener, Transport};
@@ -144,12 +148,32 @@ impl StorageService {
         net: NetworkModel,
         poller: PollerKind,
     ) -> WireResult<ServiceHandle> {
+        Self::spawn_full(transport, tier, net, poller, None)
+    }
+
+    /// Like [`StorageService::spawn_with_poller`], additionally wiring a
+    /// deployment-shared [`TelemetryCounters`] into the node's reactor so
+    /// its poll-loop and frame traffic show up in traced snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the transport cannot bind a listener.
+    pub fn spawn_full(
+        transport: Arc<dyn Transport>,
+        tier: Arc<StorageTier>,
+        net: NetworkModel,
+        poller: PollerKind,
+        telemetry: Option<Arc<TelemetryCounters>>,
+    ) -> WireResult<ServiceHandle> {
         let listener = transport.listen(&transport.any_addr())?;
         let addr = listener.addr();
         let stop = Arc::new(AtomicBool::new(false));
         let stop_loop = Arc::clone(&stop);
         let join = std::thread::spawn(move || {
             let mut reactor = Reactor::with_poller(listener, poller);
+            if let Some(t) = telemetry {
+                reactor.set_telemetry(t);
+            }
             let mut events: Vec<ReactorEvent> = Vec::new();
             // Responses whose emulated flight time has not elapsed yet.
             // Arrival order, but due times are NOT monotone (the delay
@@ -265,7 +289,7 @@ fn serve_storage_frame(
                 reactor.close(conn_id);
             }
         }
-        Frame::FetchBatchRequest { req_id, nodes } => {
+        Frame::FetchBatchRequest { req_id, nodes, .. } => {
             let payloads: Vec<Option<(u16, bytes::Bytes)>> = tier
                 .get_many(&nodes)
                 .into_iter()
@@ -383,6 +407,29 @@ fn spin_for_ns(ns: u64) {
 pub struct RemoteStorageSource {
     partitioner: Arc<dyn Partitioner>,
     pools: Vec<ConnectionPool>,
+    timer: Arc<FetchTimer>,
+}
+
+/// Shared fetch-wait accumulator for the scalar path: the blocking worker
+/// owns its boxed source, so the processor loop keeps this handle to read
+/// how much of each query's wall time went to storage round trips. Inert
+/// (one relaxed load per fetch) until a traced dispatch enables it.
+#[derive(Debug, Default)]
+pub struct FetchTimer {
+    enabled: AtomicBool,
+    waited_ns: AtomicU64,
+}
+
+impl FetchTimer {
+    /// Starts accumulating (idempotent).
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Total nanoseconds spent inside fetch round trips since enabled.
+    pub fn total_ns(&self) -> u64 {
+        self.waited_ns.load(Ordering::Relaxed)
+    }
 }
 
 impl RemoteStorageSource {
@@ -397,26 +444,46 @@ impl RemoteStorageSource {
             .iter()
             .map(|a| ConnectionPool::new(Arc::clone(&transport), a.clone(), 2))
             .collect();
-        Self { partitioner, pools }
+        Self {
+            partitioner,
+            pools,
+            timer: Arc::new(FetchTimer::default()),
+        }
     }
 
     /// Total reconnects across the per-server pools.
     pub fn reconnects(&self) -> u64 {
         self.pools.iter().map(ConnectionPool::reconnects).sum()
     }
+
+    /// The source's fetch-wait timer (see [`FetchTimer`]).
+    pub fn timer(&self) -> Arc<FetchTimer> {
+        Arc::clone(&self.timer)
+    }
 }
 
 impl RecordSource for RemoteStorageSource {
     fn fetch_raw(&mut self, node: NodeId) -> Option<(u16, Bytes)> {
         let home = self.partitioner.assign(node) % self.pools.len();
-        match self.pools[home].request(&Frame::FetchRequest { node }) {
+        let started = self
+            .timer
+            .enabled
+            .load(Ordering::Relaxed)
+            .then(Instant::now);
+        let payload = match self.pools[home].request(&Frame::FetchRequest { node }) {
             Ok(Frame::FetchResponse { node: got, payload }) => {
                 assert_eq!(got, node, "storage stream desynced");
                 payload
             }
             Ok(other) => panic!("storage sent {} to a fetch", other.kind()),
             Err(e) => panic!("storage fetch failed: {e}"),
+        };
+        if let Some(started) = started {
+            self.timer
+                .waited_ns
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
+        payload
     }
 }
 
@@ -482,6 +549,35 @@ impl ProcessorService {
         fetch: FetchMode,
         poller: PollerKind,
     ) -> std::thread::JoinHandle<WireResult<()>> {
+        Self::spawn_full(
+            transport,
+            id,
+            router_addr,
+            storage_addrs,
+            partitioner,
+            config,
+            fetch,
+            poller,
+            None,
+        )
+    }
+
+    /// Like [`ProcessorService::spawn_with_poller`], additionally wiring a
+    /// deployment-shared [`TelemetryCounters`] into the processor's batch
+    /// mux (batch depth, buffer-pool reuse). The scalar path has no mux
+    /// and ignores it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_full(
+        transport: Arc<dyn Transport>,
+        id: usize,
+        router_addr: String,
+        storage_addrs: Vec<String>,
+        partitioner: Arc<dyn Partitioner>,
+        config: EngineConfig,
+        fetch: FetchMode,
+        poller: PollerKind,
+        telemetry: Option<Arc<TelemetryCounters>>,
+    ) -> std::thread::JoinHandle<WireResult<()>> {
         std::thread::spawn(move || match fetch {
             FetchMode::Scalar => run_processor_scalar(
                 &transport,
@@ -499,6 +595,7 @@ impl ProcessorService {
                 partitioner,
                 &config,
                 poller,
+                telemetry,
             ),
         })
     }
@@ -514,11 +611,9 @@ fn run_processor_scalar(
     partitioner: Arc<dyn Partitioner>,
     config: &EngineConfig,
 ) -> WireResult<()> {
-    let source: Box<dyn BatchSource + Send> = Box::new(RemoteStorageSource::new(
-        Arc::clone(transport),
-        storage_addrs,
-        partitioner,
-    ));
+    let remote = RemoteStorageSource::new(Arc::clone(transport), storage_addrs, partitioner);
+    let timer = remote.timer();
+    let source: Box<dyn BatchSource + Send> = Box::new(remote);
     let mut worker = Worker::from_parts(id, source, config.build_cache());
     let mut router = transport.dial(router_addr)?;
     router.send(&Frame::Hello {
@@ -527,10 +622,28 @@ fn run_processor_scalar(
     })?;
     loop {
         match router.recv() {
-            Ok(Frame::Dispatch { seq, query }) => {
+            Ok(Frame::Dispatch { seq, query, trace }) => {
+                if trace.is_some() {
+                    timer.enable();
+                }
+                let fetch_before = timer.total_ns();
                 let started_ns = now_ns();
                 let (out, _miss_log) = worker.run(&query);
                 let completed_ns = now_ns();
+                // The scalar loop has no per-level staging, so the trace
+                // block splits the query's wall time into "inside a fetch
+                // round trip" vs "everything else" with zero levels.
+                let query_trace = trace.map(|_| {
+                    let fetch_wait_ns = timer.total_ns().saturating_sub(fetch_before);
+                    QueryTrace {
+                        fetch_wait_ns,
+                        compute_ns: completed_ns
+                            .saturating_sub(started_ns)
+                            .saturating_sub(fetch_wait_ns),
+                        levels: 0,
+                        level_spans: Vec::new(),
+                    }
+                });
                 router.send(&Frame::Completion(Completion {
                     seq,
                     processor: id as u32,
@@ -542,6 +655,7 @@ fn run_processor_scalar(
                     arrived_ns: 0,
                     started_ns,
                     completed_ns,
+                    trace: query_trace,
                 }))?;
             }
             Ok(Frame::Shutdown) | Err(WireError::Closed) => return Ok(()),
@@ -561,6 +675,7 @@ fn run_processor_scalar(
 /// drives the [`QueryPipeline`], acknowledging completions as they land —
 /// possibly out of dispatch order, which the router correlates by
 /// sequence number.
+#[allow(clippy::too_many_arguments)]
 fn run_processor_overlapped(
     transport: &Arc<dyn Transport>,
     id: usize,
@@ -569,6 +684,7 @@ fn run_processor_overlapped(
     partitioner: Arc<dyn Partitioner>,
     config: &EngineConfig,
     poller: PollerKind,
+    telemetry: Option<Arc<TelemetryCounters>>,
 ) -> WireResult<()> {
     let mut source = MultiplexedStorageSource::with_poller(
         Arc::clone(transport),
@@ -576,6 +692,9 @@ fn run_processor_overlapped(
         partitioner,
         poller,
     );
+    if let Some(t) = telemetry {
+        source.set_telemetry(t);
+    }
     let mut cache = config.build_cache();
     let mut pipeline = QueryPipeline::new(config.overlap.max(1)).with_prefetch(config.prefetch);
     let router = transport.dial(router_addr)?;
@@ -595,7 +714,10 @@ fn run_processor_overlapped(
         // happens as early as possible.
         loop {
             match stream.try_recv() {
-                Ok(Some(Frame::Dispatch { seq, query })) => {
+                Ok(Some(Frame::Dispatch { seq, query, trace })) => {
+                    if let Some(t) = trace {
+                        pipeline.set_trace(t.level);
+                    }
                     pipeline.push(seq, query);
                     progressed = true;
                 }
@@ -622,6 +744,7 @@ fn run_processor_overlapped(
                 arrived_ns: 0,
                 started_ns: done.started_ns,
                 completed_ns: done.completed_ns,
+                trace: done.trace,
             }))?;
             progressed = true;
         }
@@ -642,7 +765,7 @@ fn run_processor_overlapped(
 // ---------------------------------------------------------------------------
 
 /// Router-loop behaviour knobs beyond the engine configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RouterOptions {
     /// Emit a [`Frame::Metrics`] snapshot to the client every this many
     /// completions (`0` = only the final snapshot). Mid-run snapshots feed
@@ -650,6 +773,14 @@ pub struct RouterOptions {
     pub snapshot_every: u64,
     /// Readiness backend for the router's reactor.
     pub poller: PollerKind,
+    /// Trace level for the run. At [`TraceLevel::Off`] no frame carries a
+    /// trace block and every emitted byte is identical to an untraced
+    /// deployment; `stats` aggregates per-stage histograms; `spans`
+    /// additionally keeps a bounded ring of per-query spans.
+    pub trace: TraceLevel,
+    /// Deployment-shared reactor telemetry, folded into traced
+    /// snapshots (and wired into the router's own reactor).
+    pub telemetry: Option<Arc<TelemetryCounters>>,
 }
 
 impl Default for RouterOptions {
@@ -657,6 +788,8 @@ impl Default for RouterOptions {
         Self {
             snapshot_every: 0,
             poller: PollerKind::from_env(),
+            trace: TraceLevel::Off,
+            telemetry: None,
         }
     }
 }
@@ -711,6 +844,10 @@ pub fn run_router(
     // Router half only: the processors (and their caches) are remote.
     let mut engine = Engine::new_router_only(assets, config);
     let mut reactor = Reactor::with_poller(listener, opts.poller);
+    if let Some(t) = &opts.telemetry {
+        reactor.set_telemetry(Arc::clone(t));
+    }
+    let trace = opts.trace;
 
     // Router state: which connection is which peer.
     let mut processor_conn: Vec<Option<u64>> = vec![None; p];
@@ -733,6 +870,14 @@ pub fn run_router(
     let mut submitted = 0u64;
     let mut completed = 0u64;
     let mut submit_done = false;
+    // Trace state (inert at TraceLevel::Off): per-stage histograms, the
+    // recent-span ring, and per-seq stamps bridging submit → dispatch →
+    // completion. The stamp maps are bounded by the in-flight window,
+    // like `arrivals`.
+    let mut stages = StageStats::default();
+    let mut spans = SpanRing::new(if trace.spans() { DEFAULT_SPAN_RING } else { 0 });
+    let mut trace_submitted: HashMap<u64, u64> = HashMap::new();
+    let mut trace_dispatched: HashMap<u64, (u64, u64)> = HashMap::new();
 
     let result: WireResult<()> = (|| {
         let mut events: Vec<ReactorEvent> = Vec::new();
@@ -755,8 +900,19 @@ pub fn run_router(
                     let Some((seq, query)) = engine.next_for(proc_id) else {
                         break;
                     };
+                    let dispatch_trace = trace.enabled().then(|| DispatchTrace {
+                        level: trace,
+                        dispatched_ns: now_ns(),
+                    });
                     if reactor
-                        .send(conn_id, &Frame::Dispatch { seq, query })
+                        .send(
+                            conn_id,
+                            &Frame::Dispatch {
+                                seq,
+                                query,
+                                trace: dispatch_trace,
+                            },
+                        )
                         .is_err()
                     {
                         // The peer died between events; retire the
@@ -766,6 +922,15 @@ pub fn run_router(
                         outstanding[proc_id].push((seq, query));
                         deaths.push(conn_id);
                         break;
+                    }
+                    if let Some(t) = dispatch_trace {
+                        // Queue wait ends now; a resubmitted query (its
+                        // first dispatchee died) restarts at zero.
+                        let queue_ns = t.dispatched_ns.saturating_sub(
+                            trace_submitted.remove(&seq).unwrap_or(t.dispatched_ns),
+                        );
+                        stages.record(Stage::RouterQueue, queue_ns);
+                        trace_dispatched.insert(seq, (queue_ns, t.dispatched_ns));
                     }
                     in_flight[proc_id] += 1;
                     outstanding[proc_id].push((seq, query));
@@ -815,7 +980,17 @@ pub fn run_router(
                         Frame::Hello {
                             role: Role::Client, ..
                         } => client_conn = Some(conn_id),
-                        Frame::Submit { seq, query } => {
+                        Frame::Submit {
+                            seq,
+                            query,
+                            submitted_ns,
+                        } => {
+                            if trace.enabled() {
+                                // Queue wait starts at the client's own
+                                // stamp when it traced the submit, else at
+                                // router receipt.
+                                trace_submitted.insert(seq, submitted_ns.unwrap_or_else(now_ns));
+                            }
                             backlog.push_back((seq as usize, query));
                             submitted += 1;
                         }
@@ -827,6 +1002,45 @@ pub fn run_router(
                             // admission window instead of the whole
                             // workload.
                             completion.arrived_ns = arrivals.remove(&completion.seq).unwrap_or(0);
+                            if trace.enabled() {
+                                let received_ns = now_ns();
+                                if let Some((queue_ns, dispatched_ns)) =
+                                    trace_dispatched.remove(&completion.seq)
+                                {
+                                    let rtt_ns = received_ns.saturating_sub(dispatched_ns);
+                                    stages.record(Stage::DispatchRtt, rtt_ns);
+                                    if let Some(t) = &completion.trace {
+                                        stages.record(Stage::FetchWait, t.fetch_wait_ns);
+                                        stages.record(Stage::Compute, t.compute_ns);
+                                    }
+                                    if trace.spans() {
+                                        spans.push(QuerySpan {
+                                            seq: completion.seq,
+                                            processor: completion.processor,
+                                            levels: completion
+                                                .trace
+                                                .as_ref()
+                                                .map_or(0, |t| t.levels),
+                                            queue_ns,
+                                            rtt_ns,
+                                            fetch_wait_ns: completion
+                                                .trace
+                                                .as_ref()
+                                                .map_or(0, |t| t.fetch_wait_ns),
+                                            compute_ns: completion
+                                                .trace
+                                                .as_ref()
+                                                .map_or(0, |t| t.compute_ns),
+                                            // Router-side estimate: stamp →
+                                            // arrival here. The client
+                                            // measures the full completion
+                                            // stage for the histogram.
+                                            completion_ns: received_ns
+                                                .saturating_sub(completion.completed_ns),
+                                        });
+                                    }
+                                }
+                            }
                             engine.complete(
                                 QueryRecord {
                                     seq: completion.seq,
@@ -861,7 +1075,15 @@ pub fn run_router(
                                         &prefetch_live,
                                         &prefetch_retired,
                                     );
-                                    reactor.send(client, &Frame::Metrics(snap))?;
+                                    let snap_trace =
+                                        trace_snapshot(trace, &stages, &spans, &opts.telemetry);
+                                    reactor.send(
+                                        client,
+                                        &Frame::Metrics {
+                                            snapshot: snap,
+                                            trace: snap_trace,
+                                        },
+                                    )?;
                                 }
                             }
                         }
@@ -872,7 +1094,15 @@ pub fn run_router(
                             // handled by its own Closed event).
                             let snap =
                                 snapshot_with_prefetch(&engine, &prefetch_live, &prefetch_retired);
-                            let _ = reactor.send(conn_id, &Frame::Metrics(snap));
+                            let snap_trace =
+                                trace_snapshot(trace, &stages, &spans, &opts.telemetry);
+                            let _ = reactor.send(
+                                conn_id,
+                                &Frame::Metrics {
+                                    snapshot: snap,
+                                    trace: snap_trace,
+                                },
+                            );
                         }
                         Frame::Shutdown => {
                             // Any peer may abort the run (the harness uses
@@ -934,7 +1164,13 @@ pub fn run_router(
     // reactor closes the listener and every connection.
     let snapshot = snapshot_with_prefetch(&engine, &prefetch_live, &prefetch_retired);
     if let Some(client) = client_conn {
-        let _ = reactor.send(client, &Frame::Metrics(snapshot.clone()));
+        let _ = reactor.send(
+            client,
+            &Frame::Metrics {
+                snapshot: snapshot.clone(),
+                trace: trace_snapshot(trace, &stages, &spans, &opts.telemetry),
+            },
+        );
         let _ = reactor.send(client, &Frame::Shutdown);
     }
     for conn_id in processor_conn.into_iter().flatten() {
@@ -947,6 +1183,25 @@ pub fn run_router(
 /// The engine's current snapshot with the speculation counters filled in:
 /// the live per-processor cumulative tallies plus whatever dead processor
 /// incarnations banked before they went away.
+/// The trace layer's aggregate for a [`Frame::Metrics`]: `None` at
+/// [`TraceLevel::Off`] so the frame stays byte-identical to an untraced
+/// deployment.
+fn trace_snapshot(
+    level: TraceLevel,
+    stages: &StageStats,
+    spans: &SpanRing,
+    telemetry: &Option<Arc<TelemetryCounters>>,
+) -> Option<Box<TraceSnapshot>> {
+    level.enabled().then(|| {
+        Box::new(TraceSnapshot {
+            level,
+            stages: stages.clone(),
+            reactor: telemetry.as_ref().map(|t| t.snapshot()).unwrap_or_default(),
+            spans: spans.dump(),
+        })
+    })
+}
+
 fn snapshot_with_prefetch(
     engine: &Engine,
     live: &[grouting_query::PrefetchStats],

@@ -65,6 +65,13 @@ pub trait FrameStream: Send {
     fn raw_fd(&self) -> Option<i32> {
         None
     }
+
+    /// Buffer-pool counters as `(checkouts, reused, free_now)` when the
+    /// stream receives into a pool — monotonic totals a telemetry sampler
+    /// turns into deltas. Pool-less streams return `None`.
+    fn pool_stats(&self) -> Option<(u64, u64, u64)> {
+        None
+    }
 }
 
 /// A bidirectional framed connection between two peers.
@@ -592,6 +599,14 @@ impl FrameStream for TcpStreamHalf {
     fn raw_fd(&self) -> Option<i32> {
         use std::os::fd::AsRawFd;
         Some(self.stream.as_raw_fd())
+    }
+
+    fn pool_stats(&self) -> Option<(u64, u64, u64)> {
+        Some((
+            self.pool.checkouts(),
+            self.pool.reused(),
+            self.pool.available() as u64,
+        ))
     }
 }
 

@@ -15,11 +15,16 @@
 //! `GROUTING_PREFETCH=degree|hotspot` piggybacks speculative next-hop
 //! nodes onto the frontier batches (demand statistics stay identical; the
 //! speculative tally is reported from the final snapshot).
+//! `GROUTING_TRACE=stats|spans` turns on the query-tracing layer: the wire
+//! runs then print a per-stage latency breakdown (router queue, dispatch
+//! RTT, fetch wait, compute, completion) and the reactor's busy/idle and
+//! buffer-pool telemetry.
 //!
 //! ```bash
 //! cargo run --release --example cluster
 //! GROUTING_BATCH=0 cargo run --release --example cluster
 //! GROUTING_PREFETCH=hotspot cargo run --release --example cluster
+//! GROUTING_TRACE=stats cargo run --release --example cluster
 //! GROUTING_NO_SOCKETS=1 cargo run --release --example cluster
 //! ```
 
@@ -67,6 +72,7 @@ fn main() {
         ],
     );
     let mut prefetch_lines: Vec<String> = Vec::new();
+    let mut traces: Vec<(RoutingKind, grouting_core::trace::TraceSnapshot)> = Vec::new();
     for routing in [RoutingKind::Hash, RoutingKind::Embed] {
         let cluster = cluster.with_routing(routing);
         let wire = cluster
@@ -91,6 +97,9 @@ fn main() {
                 wire.prefetch_wasted_bytes,
             ));
         }
+        if let Some(trace) = wire.trace.clone() {
+            traces.push((routing, trace));
+        }
         for (deployment, report) in [(transport.to_string(), &wire), ("threads".into(), &live)] {
             table.row(vec![
                 routing.to_string().into(),
@@ -105,6 +114,32 @@ fn main() {
     table.print();
     for line in &prefetch_lines {
         println!("{line}");
+    }
+    for (routing, trace) in &traces {
+        println!("\nTrace ({routing} routing, level {}):", trace.level);
+        trace.stages.table().print();
+        let r = &trace.reactor;
+        println!(
+            "reactor: {:.1}% busy ({:.2} ms busy / {:.2} ms idle), \
+             {} frames in / {} out ({} B / {} B), \
+             batch depth peak {}, pool reuse {:.1}% (peak {} free buffers)",
+            r.busy_ratio() * 100.0,
+            r.busy_ns as f64 / 1e6,
+            r.idle_ns as f64 / 1e6,
+            r.frames_in,
+            r.frames_out,
+            r.bytes_in,
+            r.bytes_out,
+            r.batch_depth_peak,
+            r.pool_reuse_rate() * 100.0,
+            r.pool_peak_free,
+        );
+        if !trace.spans.is_empty() {
+            println!("captured {} query spans (spans level)", trace.spans.len());
+        }
+    }
+    if traces.is_empty() {
+        println!("\n(set GROUTING_TRACE=stats for per-stage latency and reactor telemetry)");
     }
     println!("\nBoth deployments answered every query identically.");
 }

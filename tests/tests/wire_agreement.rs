@@ -305,6 +305,93 @@ fn epoll_and_sweep_backends_agree_byte_for_byte() {
 }
 
 #[test]
+fn tracing_levels_pin_byte_identical_statistics() {
+    // The tracing layer is strictly observational: the same seeded
+    // workload run with `cfg.trace` at off, stats, and spans must produce
+    // identical answers, identical per-query routing assignments, and
+    // identical cache and prefetch statistics — tracing watches the run,
+    // it never steers it. The traced runs must also actually deliver a
+    // trace (non-empty per-stage histograms covering every query, reactor
+    // frame counts, and — at spans level — a non-empty span ring), while
+    // the untraced run carries none at all, keeping its frames
+    // byte-identical to the pre-tracing protocol.
+    use grouting_core::trace::{Stage, TraceLevel};
+    let (tier, queries) = seeded_setup();
+    let run_at = |level: TraceLevel| {
+        let cfg = LiveConfig {
+            trace: level,
+            prefetch: grouting_core::query::PrefetchConfig::with_policy(
+                grouting_core::query::PrefetchPolicy::Hotspot,
+            ),
+            // Small enough that the run actually speculates, so the
+            // prefetch-tally comparison pins something real.
+            cache_capacity: 64 << 10,
+            ..deterministic_config()
+        };
+        run_cluster(
+            Arc::clone(&tier),
+            None,
+            None,
+            &queries,
+            &cfg,
+            TransportKind::from_env(),
+            Preset::Local,
+            FetchMode::Batched,
+        )
+        .expect("traced wire cluster completes")
+    };
+    let off = run_at(TraceLevel::Off);
+    let stats = run_at(TraceLevel::Stats);
+    let spans = run_at(TraceLevel::Spans);
+
+    for (level, traced) in [("stats", &stats), ("spans", &spans)] {
+        assert_eq!(traced.results, off.results, "answers diverged at {level}");
+        assert_eq!(
+            assignments(traced, queries.len()),
+            assignments(&off, queries.len()),
+            "routing assignments diverged at {level}"
+        );
+        assert_eq!(
+            traced.cache_hits, off.cache_hits,
+            "hit counts diverged at {level}"
+        );
+        assert_eq!(traced.cache_misses, off.cache_misses);
+        assert_eq!(traced.stolen, off.stolen);
+        assert_eq!(
+            traced.prefetch_issued, off.prefetch_issued,
+            "speculation tallies diverged at {level}"
+        );
+        assert_eq!(traced.prefetch_hits, off.prefetch_hits);
+        assert_eq!(traced.prefetch_wasted_bytes, off.prefetch_wasted_bytes);
+    }
+    assert!(
+        off.prefetch_issued > 0,
+        "the run must actually speculate to pin anything"
+    );
+
+    assert!(off.trace.is_none(), "untraced run must carry no trace");
+    let st = stats.trace.as_ref().expect("stats run returns a trace");
+    assert_eq!(st.level, TraceLevel::Stats);
+    for stage in [Stage::RouterQueue, Stage::DispatchRtt, Stage::Completion] {
+        assert_eq!(
+            st.stages.stage(stage).count(),
+            queries.len() as u64,
+            "{stage} histogram must cover every query"
+        );
+    }
+    assert!(st.spans.is_empty(), "stats level records no spans");
+    assert!(
+        st.reactor.frames_in > 0,
+        "reactor telemetry must tally frames"
+    );
+    assert!(st.reactor.frames_out > 0);
+    let sp = spans.trace.as_ref().expect("spans run returns a trace");
+    assert_eq!(sp.level, TraceLevel::Spans);
+    assert!(!sp.spans.is_empty(), "spans level captures query spans");
+    assert!(!sp.stages.is_empty());
+}
+
+#[test]
 fn no_cache_scheme_has_zero_hits_over_the_wire() {
     let (tier, queries) = seeded_setup();
     let cfg = LiveConfig {

@@ -67,6 +67,13 @@ pub trait Buf {
         v
     }
 
+    /// Consumes a little-endian `u128`.
+    fn get_u128_le(&mut self) -> u128 {
+        let v = u128::from_le_bytes(self.chunk()[..16].try_into().unwrap());
+        self.advance(16);
+        v
+    }
+
     /// Consumes `dst.len()` bytes into `dst`.
     fn copy_to_slice(&mut self, dst: &mut [u8]) {
         dst.copy_from_slice(&self.chunk()[..dst.len()]);
@@ -96,6 +103,11 @@ pub trait BufMut {
 
     /// Appends a little-endian `u64`.
     fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u128`.
+    fn put_u128_le(&mut self, v: u128) {
         self.put_slice(&v.to_le_bytes());
     }
 }
@@ -287,6 +299,8 @@ pub struct BufferPool {
     max_buffers: usize,
     buffer_capacity: usize,
     reclaimed: u64,
+    checkouts: u64,
+    reused: u64,
 }
 
 impl BufferPool {
@@ -298,15 +312,21 @@ impl BufferPool {
             max_buffers,
             buffer_capacity,
             reclaimed: 0,
+            checkouts: 0,
+            reused: 0,
         }
     }
 
     /// An empty buffer, reusing a reclaimed allocation when available.
     pub fn checkout(&mut self) -> BytesMut {
-        let data = self
-            .free
-            .pop()
-            .unwrap_or_else(|| Vec::with_capacity(self.buffer_capacity));
+        self.checkouts += 1;
+        let data = match self.free.pop() {
+            Some(data) => {
+                self.reused += 1;
+                data
+            }
+            None => Vec::with_capacity(self.buffer_capacity),
+        };
         BytesMut { data }
     }
 
@@ -347,6 +367,16 @@ impl BufferPool {
     /// Total successful reclamations over the pool's lifetime.
     pub fn reclaimed(&self) -> u64 {
         self.reclaimed
+    }
+
+    /// Total buffers handed out over the pool's lifetime.
+    pub fn checkouts(&self) -> u64 {
+        self.checkouts
+    }
+
+    /// Checkouts served from the free list rather than a fresh allocation.
+    pub fn reused(&self) -> u64 {
+        self.reused
     }
 }
 
