@@ -209,6 +209,7 @@ fn wire_frames(c: &mut Criterion) {
             evictions: 2,
         },
         prefetch: grouting_core::query::PrefetchStats::default(),
+        failover: grouting_core::metrics::FailoverStats::default(),
         arrived_ns: 1,
         started_ns: 2,
         completed_ns: 3,
@@ -780,6 +781,85 @@ fn wire_prefetch(c: &mut Criterion) {
     }
 }
 
+fn wire_failover(c: &mut Criterion) {
+    if !criterion::group_enabled("wire_failover") {
+        return;
+    }
+    use grouting_core::query::BatchSource;
+    use grouting_core::storage::{NetworkModel, StorageTier};
+    use grouting_core::wire::{
+        InProcTransport, MultiplexedStorageSource, RetryPolicy, StorageService, TcpTransport,
+        Transport, TransportKind,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    // Recovery cost of replica-chain failover: a 64-miss frontier fetched
+    // through a mux whose primary endpoint is dead (its address refuses
+    // dials) while the replica serves the same tier. Every iteration
+    // starts from a cold mux, so the measured time is the failed primary
+    // probe + chain walk + one batched exchange — the price a processor
+    // pays the moment a storage node dies.
+    let graph = bench_graph();
+    let tier = Arc::new(StorageTier::new(Arc::new(HashPartitioner::new(1))));
+    tier.load_graph(&graph).unwrap();
+    let frontier: Vec<NodeId> = (0..64u32).map(NodeId::new).collect();
+    let retry = RetryPolicy::new(2, Duration::from_millis(1));
+
+    let transports: Vec<(&str, Arc<dyn Transport>)> =
+        if TransportKind::from_env() == TransportKind::InProc {
+            vec![("inproc", Arc::new(InProcTransport::new()))]
+        } else {
+            vec![
+                ("tcp_loopback", Arc::new(TcpTransport::new())),
+                ("inproc", Arc::new(InProcTransport::new())),
+            ]
+        };
+
+    let mut g = c.benchmark_group("wire_failover");
+    g.sample_size(20);
+    for (name, transport) in transports {
+        // A once-bound, now-dropped listener: its address refuses dials
+        // exactly like a killed storage node's.
+        let dead_addr = transport
+            .listen(&transport.any_addr())
+            .unwrap()
+            .addr()
+            .to_string();
+        let live = StorageService::spawn(
+            Arc::clone(&transport),
+            Arc::clone(&tier),
+            NetworkModel::local(),
+        )
+        .unwrap();
+        // Every node homed on server 0 (the dead address); the live
+        // replica at (0 + 1) serves the identical tier.
+        let addrs = vec![dead_addr, live.addr().to_string()];
+        let partitioner: Arc<dyn Partitioner> = Arc::new(HashPartitioner::new(1));
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    MultiplexedStorageSource::new(
+                        Arc::clone(&transport),
+                        &addrs,
+                        Arc::clone(&partitioner),
+                    )
+                    .with_replication(2)
+                    .with_retry(retry)
+                },
+                |mut source| {
+                    let got = source.fetch_batch(&frontier);
+                    assert_eq!(got.len(), frontier.len());
+                    got
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        live.shutdown();
+    }
+    g.finish();
+}
+
 fn trace_overhead(c: &mut Criterion) {
     if !criterion::group_enabled("trace_overhead") {
         return;
@@ -905,6 +985,7 @@ criterion_group!(
     reactor_idle_cpu_1k,
     wire_overlap_throughput,
     wire_prefetch,
+    wire_failover,
     trace_overhead
 );
 criterion_main!(benches);

@@ -460,6 +460,10 @@ impl Engine {
             prefetch_issued: 0,
             prefetch_hits: 0,
             prefetch_wasted_bytes: 0,
+            redials: 0,
+            replica_failovers: 0,
+            batches_resubmitted: 0,
+            windows_resubmitted: 0,
             per_processor: self.timeline.per_processor_counts(self.config.processors),
         }
     }

@@ -72,6 +72,10 @@ pub fn run_cluster(
         prefetch_issued: run.snapshot.prefetch_issued,
         prefetch_hits: run.snapshot.prefetch_hits,
         prefetch_wasted_bytes: run.snapshot.prefetch_wasted_bytes,
+        redials: run.snapshot.redials,
+        replica_failovers: run.snapshot.replica_failovers,
+        batches_resubmitted: run.snapshot.batches_resubmitted,
+        windows_resubmitted: run.snapshot.windows_resubmitted,
         trace: run.trace,
         timeline: run.timeline,
         wall_ns: run.wall_ns,

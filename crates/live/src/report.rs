@@ -23,6 +23,17 @@ pub struct LiveReport {
     pub prefetch_hits: u64,
     /// Speculatively fetched bytes dropped without ever being demanded.
     pub prefetch_wasted_bytes: u64,
+    /// Storage redial attempts across the processors' reconnect paths
+    /// (zeros for the in-process runtime, which has no wire to fail).
+    pub redials: u64,
+    /// Recoveries that landed on a non-primary storage replica.
+    pub replica_failovers: u64,
+    /// Outstanding fetch batches replayed on a fresh connection after an
+    /// endpoint death.
+    pub batches_resubmitted: u64,
+    /// Processor-death events whose outstanding dispatch window the
+    /// router resubmitted wholesale.
+    pub windows_resubmitted: u64,
     /// The trace layer's view of the run — per-stage latency histograms,
     /// reactor telemetry, and (at span level) recent query spans. `None`
     /// for the in-process runtime and for untraced wire runs.
@@ -75,6 +86,10 @@ mod tests {
             prefetch_issued: 0,
             prefetch_hits: 0,
             prefetch_wasted_bytes: 0,
+            redials: 0,
+            replica_failovers: 0,
+            batches_resubmitted: 0,
+            windows_resubmitted: 0,
             trace: None,
             wall_ns: 0,
         };
@@ -93,6 +108,10 @@ mod tests {
             prefetch_issued: 4,
             prefetch_hits: 3,
             prefetch_wasted_bytes: 0,
+            redials: 2,
+            replica_failovers: 1,
+            batches_resubmitted: 1,
+            windows_resubmitted: 0,
             trace: None,
             wall_ns: 1,
         };

@@ -237,6 +237,11 @@ pub fn run_live(
         prefetch_issued: prefetch_totals.issued,
         prefetch_hits: prefetch_totals.hits,
         prefetch_wasted_bytes: prefetch_totals.wasted_bytes,
+        // The in-process runtime has no wire to fail.
+        redials: 0,
+        replica_failovers: 0,
+        batches_resubmitted: 0,
+        windows_resubmitted: 0,
         trace: None,
         wall_ns: now_ns().saturating_sub(run_start),
     }

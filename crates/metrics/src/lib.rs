@@ -18,7 +18,7 @@ pub mod timeline;
 pub use counter::{CacheCounters, Counter};
 pub use histogram::Histogram;
 pub use report::{SeriesReport, TableReport};
-pub use snapshot::RunSnapshot;
+pub use snapshot::{FailoverStats, RunSnapshot};
 pub use throughput::ThroughputMeter;
 pub use timeline::Timeline;
 

@@ -4,10 +4,38 @@
 //! the only node that sees every completion, so the client learns the
 //! run's totals from a single snapshot frame the router emits at shutdown.
 //! The snapshot carries exactly the counters every runtime already
-//! accumulates — queries, hits, misses, evictions, steals, and the
-//! per-processor service counts — in a compact little-endian encoding.
+//! accumulates — queries, hits, misses, evictions, steals, failover
+//! recoveries, and the per-processor service counts — in a compact
+//! little-endian encoding.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Recovery work one fetch path performed: how often a storage connection
+/// was re-established, how often a fetch had to move to another replica in
+/// its chain, and how many in-flight batches were resubmitted after a
+/// connection died. Strictly bookkeeping — the demand counters in
+/// [`RunSnapshot`] are unchanged by any of these events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailoverStats {
+    /// Storage connections re-established (any redial that replaced a live
+    /// or dead connection, whether it landed on the primary or a replica).
+    pub redials: u64,
+    /// Redials that landed on a non-primary replica of the chain — the
+    /// primary endpoint was unreachable and the fetch moved down the chain.
+    pub replica_failovers: u64,
+    /// In-flight batch requests resubmitted on a fresh connection after
+    /// their original connection died mid-round-trip.
+    pub batches_resubmitted: u64,
+}
+
+impl FailoverStats {
+    /// Adds another tally into this one.
+    pub fn merge(&mut self, other: &FailoverStats) {
+        self.redials += other.redials;
+        self.replica_failovers += other.replica_failovers;
+        self.batches_resubmitted += other.batches_resubmitted;
+    }
+}
 
 /// Totals of one complete run, in a wire-encodable form.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -31,6 +59,15 @@ pub struct RunSnapshot {
     pub prefetch_hits: u64,
     /// Speculatively fetched bytes dropped without ever being demanded.
     pub prefetch_wasted_bytes: u64,
+    /// Storage connections re-established across all processors.
+    pub redials: u64,
+    /// Storage fetches that failed over to a non-primary replica endpoint.
+    pub replica_failovers: u64,
+    /// In-flight fetch batches resubmitted after a connection died.
+    pub batches_resubmitted: u64,
+    /// Outstanding dispatch windows the router resubmitted because their
+    /// processor died mid-run (one count per death with work in flight).
+    pub windows_resubmitted: u64,
     /// Queries served per processor (index = processor id).
     pub per_processor: Vec<u64>,
 }
@@ -68,6 +105,10 @@ impl RunSnapshot {
         self.prefetch_issued += other.prefetch_issued;
         self.prefetch_hits += other.prefetch_hits;
         self.prefetch_wasted_bytes += other.prefetch_wasted_bytes;
+        self.redials += other.redials;
+        self.replica_failovers += other.replica_failovers;
+        self.batches_resubmitted += other.batches_resubmitted;
+        self.windows_resubmitted += other.windows_resubmitted;
         if self.per_processor.len() < other.per_processor.len() {
             self.per_processor.resize(other.per_processor.len(), 0);
         }
@@ -78,7 +119,7 @@ impl RunSnapshot {
 
     /// Encoded size in bytes (matches `encode().len()` exactly).
     pub fn encoded_len(&self) -> usize {
-        8 * 8 + 4 + 8 * self.per_processor.len()
+        8 * 12 + 4 + 8 * self.per_processor.len()
     }
 
     /// Encodes to the little-endian wire layout.
@@ -92,6 +133,10 @@ impl RunSnapshot {
         buf.put_u64_le(self.prefetch_issued);
         buf.put_u64_le(self.prefetch_hits);
         buf.put_u64_le(self.prefetch_wasted_bytes);
+        buf.put_u64_le(self.redials);
+        buf.put_u64_le(self.replica_failovers);
+        buf.put_u64_le(self.batches_resubmitted);
+        buf.put_u64_le(self.windows_resubmitted);
         buf.put_u32_le(self.per_processor.len() as u32);
         for &c in &self.per_processor {
             buf.put_u64_le(c);
@@ -124,9 +169,9 @@ impl RunSnapshot {
     ///
     /// Returns a description of the malformation on truncated input.
     pub fn decode_prefix(data: &mut Bytes) -> Result<Self, String> {
-        if data.remaining() < 8 * 8 + 4 {
+        if data.remaining() < 8 * 12 + 4 {
             return Err(format!(
-                "snapshot header needs 68 bytes, have {}",
+                "snapshot header needs 100 bytes, have {}",
                 data.remaining()
             ));
         }
@@ -138,6 +183,10 @@ impl RunSnapshot {
         let prefetch_issued = data.get_u64_le();
         let prefetch_hits = data.get_u64_le();
         let prefetch_wasted_bytes = data.get_u64_le();
+        let redials = data.get_u64_le();
+        let replica_failovers = data.get_u64_le();
+        let batches_resubmitted = data.get_u64_le();
+        let windows_resubmitted = data.get_u64_le();
         let processors = data.get_u32_le() as usize;
         if data.remaining() < 8 * processors {
             return Err(format!(
@@ -156,6 +205,10 @@ impl RunSnapshot {
             prefetch_issued,
             prefetch_hits,
             prefetch_wasted_bytes,
+            redials,
+            replica_failovers,
+            batches_resubmitted,
+            windows_resubmitted,
             per_processor,
         })
     }
@@ -175,6 +228,10 @@ mod tests {
             prefetch_issued: 64,
             prefetch_hits: 48,
             prefetch_wasted_bytes: 4096,
+            redials: 3,
+            replica_failovers: 2,
+            batches_resubmitted: 5,
+            windows_resubmitted: 1,
             per_processor: vec![250, 251, 249, 250],
         }
     }
@@ -207,6 +264,10 @@ mod tests {
             prefetch_issued: 6,
             prefetch_hits: 2,
             prefetch_wasted_bytes: 100,
+            redials: 7,
+            replica_failovers: 1,
+            batches_resubmitted: 2,
+            windows_resubmitted: 3,
             per_processor: vec![1, 2, 3, 4, 5],
         };
         a.merge(&b);
@@ -215,8 +276,34 @@ mod tests {
         assert_eq!(a.prefetch_issued, 70);
         assert_eq!(a.prefetch_hits, 50);
         assert_eq!(a.prefetch_wasted_bytes, 4196);
+        assert_eq!(a.redials, 10);
+        assert_eq!(a.replica_failovers, 3);
+        assert_eq!(a.batches_resubmitted, 7);
+        assert_eq!(a.windows_resubmitted, 4);
         // Element-wise, grown to the longer list.
         assert_eq!(a.per_processor, vec![251, 253, 252, 254, 5]);
+    }
+
+    #[test]
+    fn failover_stats_merge_sums() {
+        let mut a = FailoverStats {
+            redials: 1,
+            replica_failovers: 2,
+            batches_resubmitted: 3,
+        };
+        a.merge(&FailoverStats {
+            redials: 10,
+            replica_failovers: 20,
+            batches_resubmitted: 30,
+        });
+        assert_eq!(
+            a,
+            FailoverStats {
+                redials: 11,
+                replica_failovers: 22,
+                batches_resubmitted: 33,
+            }
+        );
     }
 
     #[test]
@@ -244,6 +331,10 @@ mod tests {
             pf_issued in 0u64..1 << 40,
             pf_hits in 0u64..1 << 40,
             pf_wasted in 0u64..1 << 40,
+            redials in 0u64..1 << 30,
+            failovers in 0u64..1 << 30,
+            resubmitted in 0u64..1 << 30,
+            windows in 0u64..1 << 30,
             per in proptest::collection::vec(0u64..1 << 50, 0..12),
         ) {
             let s = RunSnapshot {
@@ -255,6 +346,10 @@ mod tests {
                 prefetch_issued: pf_issued,
                 prefetch_hits: pf_hits,
                 prefetch_wasted_bytes: pf_wasted,
+                redials,
+                replica_failovers: failovers,
+                batches_resubmitted: resubmitted,
+                windows_resubmitted: windows,
                 per_processor: per,
             };
             let bytes = s.encode();

@@ -21,13 +21,15 @@ use grouting_storage::{NetworkModel, Preset};
 use grouting_trace::{Stage, TelemetryCounters, TraceLevel, TraceSnapshot};
 
 use crate::error::{WireError, WireResult};
+use crate::fault::{FaultPlan, FaultyTransport};
 use crate::flow::FetchMode;
 use crate::frame::{Frame, Role};
 use crate::reactor::PollerKind;
 use crate::service::{
-    now_ns, run_router, ProcessorService, RouterOptions, ServiceHandle, StorageService,
+    now_ns, run_router, ProcessorOptions, ProcessorService, RouterOptions, ServiceHandle,
+    StorageService,
 };
-use crate::transport::{InProcTransport, TcpTransport, Transport};
+use crate::transport::{InProcTransport, RetryPolicy, TcpTransport, Transport};
 
 /// Which connection fabric a cluster deployment runs on.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -88,7 +90,7 @@ pub fn overlap_from_env(default: usize) -> usize {
 }
 
 /// Deployment shape of a wire cluster.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// The engine knobs (processors, routing, caches, window, …) — the
     /// same structure the in-proc runtimes consume, which is what makes
@@ -114,6 +116,15 @@ pub struct ClusterConfig {
     /// `GROUTING_TRACE=off|stats|spans`; default off, which keeps every
     /// frame byte-identical to an untraced deployment).
     pub trace: TraceLevel,
+    /// Redial backoff ladder for the processors' storage reconnect paths
+    /// (`None` = `GROUTING_RETRY` or the built-in default).
+    pub retry: Option<RetryPolicy>,
+    /// Scripted faults armed on the *processors'* transport (their dials
+    /// towards storage and the router). Empty by default; when empty at
+    /// launch, `GROUTING_FAULTS` is consulted instead. The router,
+    /// storage endpoints, and client always run unfaulted — the plan
+    /// injects failures into exactly the recovery paths under test.
+    pub faults: FaultPlan,
 }
 
 impl ClusterConfig {
@@ -128,7 +139,24 @@ impl ClusterConfig {
             snapshot_every: 0,
             reactor: PollerKind::from_env(),
             trace: TraceLevel::from_env(),
+            retry: None,
+            faults: FaultPlan::new(),
         }
+    }
+
+    /// Overrides the processors' storage redial backoff ladder.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Arms a scripted fault plan on the processors' transport (see
+    /// [`ClusterConfig::faults`]).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Overrides the end-to-end tracing level.
@@ -218,6 +246,31 @@ impl ClusterRun {
     }
 }
 
+/// Rejects configurations that would otherwise panic inside a service
+/// thread (where the failure surfaces as an opaque join error) with a
+/// [`WireError::Protocol`] naming the offending field up front.
+pub(crate) fn validate_config(assets: &EngineAssets, config: &ClusterConfig) -> WireResult<()> {
+    use grouting_route::RoutingKind;
+    let bad = |field: &str, why: &str| {
+        Err(WireError::Protocol(format!(
+            "invalid cluster config: {field} {why}"
+        )))
+    };
+    if config.engine.processors == 0 {
+        return bad("engine.processors", "must be at least 1");
+    }
+    if config.engine.routing == RoutingKind::Landmark && assets.landmarks.is_none() {
+        return bad(
+            "engine.routing",
+            "is landmark but assets.landmarks is missing",
+        );
+    }
+    if config.engine.routing == RoutingKind::Embed && assets.embedding.is_none() {
+        return bad("engine.routing", "is embed but assets.embedding is missing");
+    }
+    Ok(())
+}
+
 /// Launches router + `P` processors + `M` storage servers as transport
 /// peers, streams `queries` through the cluster, and tears everything
 /// down.
@@ -229,16 +282,15 @@ impl ClusterRun {
 /// # Errors
 ///
 /// Propagates transport failures, protocol violations, and router errors.
-///
-/// # Panics
-///
-/// Panics (like [`grouting_engine::Engine::new`]) when `config.engine`
-/// requests a smart scheme without its preprocessing asset.
+/// A config that would panic inside a service thread — a smart routing
+/// scheme without its preprocessing asset, or zero processors — is
+/// rejected up front with an error naming the field.
 pub fn launch_cluster(
     assets: &EngineAssets,
     queries: &[Query],
     config: &ClusterConfig,
 ) -> WireResult<ClusterRun> {
+    validate_config(assets, config)?;
     let transport = config.transport.build();
     let net = NetworkModel::from(config.net);
     let p = config.engine.processors;
@@ -286,20 +338,37 @@ pub fn launch_cluster(
         )
     });
 
-    // The processor fleet.
+    // The processor fleet. Scripted faults (programmatic plan, or
+    // `GROUTING_FAULTS` when none was set) arm only here: the processors'
+    // dials and sends misbehave; every other peer stays honest so the
+    // test exercises exactly the client-side recovery paths.
+    let fault_plan = if config.faults.is_empty() {
+        FaultPlan::from_env()
+    } else {
+        config.faults.clone()
+    };
+    let proc_transport = FaultyTransport::wrap(Arc::clone(&transport), fault_plan);
     let partitioner = assets.tier.partitioner();
     let processors: Vec<_> = (0..p)
         .map(|id| {
-            ProcessorService::spawn_full(
-                Arc::clone(&transport),
+            ProcessorService::spawn_opts(
+                Arc::clone(&proc_transport),
                 id,
                 router_addr.clone(),
                 storage_addrs.clone(),
                 Arc::clone(&partitioner),
                 config.engine,
                 config.fetch,
-                config.reactor,
-                telemetry.clone(),
+                ProcessorOptions {
+                    poller: config.reactor,
+                    telemetry: telemetry.clone(),
+                    // The tier IS the replica-chain layout: its factor
+                    // tells the wire path how far fetches may fail over.
+                    replication: assets.tier.replication(),
+                    retry: config.retry,
+                    stop: None,
+                    ready: None,
+                },
             )
         })
         .collect();

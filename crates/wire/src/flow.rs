@@ -28,6 +28,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use grouting_graph::NodeId;
+use grouting_metrics::FailoverStats;
 use grouting_partition::Partitioner;
 use grouting_query::{BatchSource, RecordSource};
 use grouting_trace::TelemetryCounters;
@@ -35,7 +36,7 @@ use grouting_trace::TelemetryCounters;
 use crate::error::{WireError, WireResult};
 use crate::frame::Frame;
 use crate::reactor::{sample_pool, Poller, PollerKind};
-use crate::transport::{FrameSink, FrameStream, Transport};
+use crate::transport::{Connection, FrameSink, FrameStream, RetryPolicy, Transport};
 
 /// Which processor↔storage fetch path a deployment runs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -116,6 +117,14 @@ pub struct BatchMux {
     conns: Vec<Option<MuxConn>>,
     next_req_id: u64,
     reconnects: u64,
+    /// Replica-chain length of the storage tier: node `home`'s payload is
+    /// also served by endpoints `(home + k) % servers` for
+    /// `k < replication`, so a recovery redial may land on any of them.
+    replication: usize,
+    /// Backoff schedule the recovery redial ladder paces itself by.
+    retry: RetryPolicy,
+    /// Recovery counters (dial attempts, chain failovers, resubmissions).
+    failover: FailoverStats,
     /// Readiness backend the collect loops park on when every pending
     /// stream has reported `WouldBlock`. Connection tokens are the server
     /// index; callers may register extra descriptors (a processor's router
@@ -155,6 +164,9 @@ impl BatchMux {
             conns: storage_addrs.iter().map(|_| None).collect(),
             next_req_id: 0,
             reconnects: 0,
+            replication: 1,
+            retry: RetryPolicy::from_env(),
+            failover: FailoverStats::default(),
             poller: kind.build(),
             poll_scratch: Vec::new(),
             outstanding: 0,
@@ -208,9 +220,82 @@ impl BatchMux {
         self.reconnects
     }
 
+    /// Declares the storage tier's replica-chain length: a home server's
+    /// payloads are also served by the next `replication - 1` endpoints
+    /// (mod server count), so a recovery redial that cannot reach the
+    /// primary fails over down the chain instead of giving up. `1` (the
+    /// default) means unreplicated.
+    #[must_use]
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.replication = replication.max(1);
+        self
+    }
+
+    /// Overrides the recovery backoff schedule (defaults to
+    /// `GROUTING_RETRY`, see [`RetryPolicy::from_env`]).
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Recovery counters so far: dial attempts made by recovery paths,
+    /// times a home's traffic failed over to a replica endpoint, and
+    /// batches resubmitted on fresh connections.
+    pub fn failover_stats(&self) -> FailoverStats {
+        self.failover
+    }
+
+    /// Dials *somewhere* that serves home `server`'s data: the replica
+    /// chain is walked primary-first on every backoff attempt, so a
+    /// restarted primary is recovered on the first failure event after its
+    /// re-join rather than being abandoned for good.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error once every chain endpoint has refused
+    /// through the whole ladder.
+    fn redial(&mut self, server: usize) -> WireResult<(usize, Connection)> {
+        let chain = self.replication.min(self.addrs.len()).max(1);
+        let mut last = None;
+        for attempt in 0..self.retry.attempts {
+            for k in 0..chain {
+                let target = (server + k) % self.addrs.len();
+                self.failover.redials += 1;
+                match self.transport.dial_once(&self.addrs[target]) {
+                    Ok(conn) => return Ok((target, conn)),
+                    Err(e) => last = Some(e),
+                }
+            }
+            if attempt + 1 < self.retry.attempts {
+                std::thread::sleep(self.retry.delay(attempt, server as u64));
+            }
+        }
+        Err(last.unwrap_or_else(|| WireError::Unroutable(self.addrs[server].clone())))
+    }
+
     fn conn(&mut self, server: usize) -> WireResult<&mut MuxConn> {
         if self.conns[server].is_none() {
-            let (sink, stream) = self.transport.dial(&self.addrs[server])?.split();
+            // First use. Without replicas: the patient dial (peers may
+            // still be starting). With a chain: one fast attempt at the
+            // primary, then the recovery ladder — its paced walk covers
+            // both a still-starting primary and a dead one that must fail
+            // over, without waiting out the transport's startup grace.
+            let fresh = if self.replication > 1 {
+                match self.transport.dial_once(&self.addrs[server]) {
+                    Ok(conn) => conn,
+                    Err(_) => {
+                        let (target, conn) = self.redial(server)?;
+                        if target != server {
+                            self.failover.replica_failovers += 1;
+                        }
+                        conn
+                    }
+                }
+            } else {
+                self.transport.dial(&self.addrs[server])?
+            };
+            let (sink, stream) = fresh.split();
             let fd = stream.raw_fd();
             self.poller.register(server as u64, fd);
             self.conns[server] = Some(MuxConn {
@@ -225,15 +310,16 @@ impl BatchMux {
         Ok(self.conns[server].as_mut().expect("just dialled"))
     }
 
-    /// Replaces a dead connection with a fresh dial and resubmits every
-    /// outstanding request on it, masking a storage restart exactly as the
-    /// scalar path's pooled reconnect does. Partially accumulated chunks
-    /// are discarded — the fresh connection re-answers each request in
-    /// full, so nothing is double-counted.
+    /// Replaces a dead connection with a fresh dial — down the replica
+    /// chain when the primary stays unreachable through the backoff ladder
+    /// — and resubmits every outstanding request on it, masking a storage
+    /// endpoint death exactly as the scalar path's pooled reconnect does.
+    /// Partially accumulated chunks are discarded — the fresh connection
+    /// re-answers each request in full, so nothing is double-counted.
     ///
     /// # Errors
     ///
-    /// Propagates dial/resubmission failures (the peer is really gone).
+    /// Propagates dial/resubmission failures (the whole chain is gone).
     fn reconnect(&mut self, server: usize) -> WireResult<()> {
         let (pending, old_fd) = self.conns[server]
             .take()
@@ -243,7 +329,11 @@ impl BatchMux {
         // BEFORE dialling so a kernel-recycled descriptor number cannot be
         // mistaken for the old registration.
         self.poller.deregister(server as u64, old_fd);
-        let (sink, stream) = self.transport.dial(&self.addrs[server])?.split();
+        let (target, fresh) = self.redial(server)?;
+        if target != server {
+            self.failover.replica_failovers += 1;
+        }
+        let (sink, stream) = fresh.split();
         let fd = stream.raw_fd();
         self.poller.register(server as u64, fd);
         let mut conn = MuxConn {
@@ -261,6 +351,7 @@ impl BatchMux {
                 nodes: nodes.clone(),
                 issued_ns: resubmit_ns,
             })?;
+            self.failover.batches_resubmitted += 1;
         }
         self.conns[server] = Some(conn);
         self.reconnects += 1;
@@ -519,6 +610,27 @@ impl MultiplexedStorageSource {
     /// into `telemetry` (see [`BatchMux::set_telemetry`]).
     pub fn set_telemetry(&mut self, telemetry: Arc<TelemetryCounters>) {
         self.mux.set_telemetry(telemetry);
+    }
+
+    /// Declares the tier's replica-chain length (see
+    /// [`BatchMux::with_replication`]).
+    #[must_use]
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.mux = self.mux.with_replication(replication);
+        self
+    }
+
+    /// Overrides the recovery backoff schedule (see
+    /// [`BatchMux::with_retry`]).
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.mux = self.mux.with_retry(retry);
+        self
+    }
+
+    /// Recovery counters so far (see [`BatchMux::failover_stats`]).
+    pub fn failover_stats(&self) -> FailoverStats {
+        self.mux.failover_stats()
     }
 
     fn home(&self, node: NodeId) -> usize {
@@ -1104,5 +1216,162 @@ mod tests {
         assert_eq!(FetchMode::default(), FetchMode::Batched);
         assert_eq!(FetchMode::Scalar.to_string(), "scalar");
         assert_eq!(FetchMode::Batched.to_string(), "batched");
+    }
+
+    /// A batch server that accepts ONE connection, unbinds its listener
+    /// immediately (so recovery redials to it fail fast once it dies),
+    /// answers `answer` requests, then dies holding the next one.
+    fn flaky_batch_server(
+        mut listener: Box<dyn Listener>,
+        answer: usize,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            let Ok(mut conn) = listener.accept() else {
+                return;
+            };
+            drop(listener);
+            for _ in 0..answer {
+                match conn.recv() {
+                    Ok(Frame::FetchBatchRequest { req_id, nodes, .. }) => {
+                        let payloads = nodes.iter().map(|w| payload(w.raw())).collect();
+                        conn.send(&Frame::FetchBatchResponse { req_id, payloads })
+                            .unwrap();
+                    }
+                    _ => return,
+                }
+            }
+            let _ = conn.recv();
+        })
+    }
+
+    #[test]
+    fn mux_fails_over_to_replica_then_recovers_primary() {
+        use crate::transport::RetryPolicy;
+        let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        let a = transport.listen(&transport.any_addr()).unwrap();
+        let addr_a = a.addr();
+        let b = transport.listen(&transport.any_addr()).unwrap();
+        let addr_b = b.addr();
+        // Both endpoints serve home 0's data (replica chain of length 2);
+        // each answers one request and dies holding the next.
+        let sa = flaky_batch_server(a, 1);
+        let sb = flaky_batch_server(b, 1);
+        let mut mux = BatchMux::new(Arc::clone(&transport), &[addr_a.clone(), addr_b])
+            .with_replication(2)
+            .with_retry(RetryPolicy::new(2, Duration::from_millis(1)));
+
+        // Exchange 1: served by the primary endpoint.
+        let req = mux.submit(0, &[n(1)]).unwrap();
+        assert_eq!(mux.collect(0, req).unwrap(), vec![payload(1)]);
+
+        // Exchange 2: the primary dies holding it; recovery walks the
+        // chain and the replica re-answers the resubmission.
+        let req = mux.submit(0, &[n(2)]).unwrap();
+        assert_eq!(mux.collect(0, req).unwrap(), vec![payload(2)]);
+        assert_eq!(mux.failover_stats().replica_failovers, 1);
+
+        // The primary re-joins at its old address; when the replica dies
+        // in turn, the chain walk (primary-first) recovers the primary.
+        let a2 = transport.listen(&addr_a).unwrap();
+        let sa2 = batch_server(a2, false);
+        let req = mux.submit(0, &[n(3)]).unwrap();
+        assert_eq!(mux.collect(0, req).unwrap(), vec![payload(3)]);
+
+        let stats = mux.failover_stats();
+        assert_eq!(
+            stats.replica_failovers, 1,
+            "the recovery after the replica's death lands back on the primary"
+        );
+        assert_eq!(stats.batches_resubmitted, 2);
+        assert_eq!(stats.redials, 3, "primary-fail, replica-ok, primary-ok");
+        assert_eq!(mux.reconnects(), 2);
+        drop(mux);
+        sa.join().unwrap();
+        sb.join().unwrap();
+        sa2.join().unwrap();
+    }
+
+    /// A batch server that survives any number of client connection
+    /// deaths: each torn or dropped connection just moves it back to
+    /// accept. Stopped by a [`Frame::Shutdown`].
+    fn resilient_batch_server(mut listener: Box<dyn Listener>) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || loop {
+            let Ok(mut conn) = listener.accept() else {
+                return;
+            };
+            loop {
+                match conn.recv() {
+                    Ok(Frame::FetchBatchRequest { req_id, nodes, .. }) => {
+                        let payloads = nodes.iter().map(|w| payload(w.raw())).collect();
+                        if conn
+                            .send(&Frame::FetchBatchResponse { req_id, payloads })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    Ok(Frame::Shutdown) => return,
+                    Ok(_) | Err(_) => break,
+                }
+            }
+        })
+    }
+
+    proptest::proptest! {
+        /// A connection killed mid-frame — the fault layer tears one
+        /// scripted request to `keep` bytes, anywhere in a pipelined
+        /// sequence — never corrupts the stream: the server never decodes
+        /// a torn frame as valid, the redialled connection resubmits
+        /// exactly the outstanding requests, reassembly discards stale
+        /// partial state, and every batch is answered in full exactly once
+        /// (double answers would trip the mux's size checks). Exercised
+        /// over both transports.
+        #[test]
+        fn prop_truncated_connection_never_corrupts_stream(
+            sizes in proptest::collection::vec(1usize..6, 1..5),
+            tear in 0u64..6,
+            keep in 1usize..40,
+        ) {
+            use crate::fault::{FaultKind, FaultPlan, FaultRule, FaultyTransport};
+            use crate::transport::RetryPolicy;
+            let transports: Vec<Arc<dyn Transport>> =
+                vec![Arc::new(InProcTransport::new()), Arc::new(TcpTransport::new())];
+            for transport in transports {
+                let listener = transport.listen(&transport.any_addr()).unwrap();
+                let addr = listener.addr();
+                let server = resilient_batch_server(listener);
+                let plan = FaultPlan::new().with(FaultRule::new(FaultKind::TruncateFrame {
+                    frame: tear,
+                    keep_bytes: keep,
+                }));
+                let faulty = FaultyTransport::wrap(Arc::clone(&transport), plan);
+                let mut mux = BatchMux::new(faulty, std::slice::from_ref(&addr))
+                    .with_retry(RetryPolicy::new(4, Duration::from_millis(1)));
+
+                // Pipeline every batch, then collect in submit order.
+                let mut wanted = Vec::new();
+                for (b, &size) in sizes.iter().enumerate() {
+                    let nodes: Vec<NodeId> =
+                        (0..size).map(|i| n((b * 100 + i) as u32)).collect();
+                    let req = mux.submit(0, &nodes).unwrap();
+                    wanted.push((0usize, req));
+                }
+                let got = mux.collect_many(&wanted).unwrap();
+                for (b, (&size, payloads)) in sizes.iter().zip(&got).enumerate() {
+                    let want: Vec<_> =
+                        (0..size).map(|i| payload((b * 100 + i) as u32)).collect();
+                    proptest::prop_assert_eq!(payloads, &want, "batch {}", b);
+                }
+                if tear < sizes.len() as u64 {
+                    proptest::prop_assert_eq!(mux.reconnects(), 1);
+                    proptest::prop_assert!(mux.failover_stats().batches_resubmitted >= 1);
+                }
+                drop(mux);
+                let mut stop = transport.dial(&addr).unwrap();
+                stop.send(&Frame::Shutdown).unwrap();
+                drop(stop);
+                server.join().unwrap();
+            }
+        }
     }
 }

@@ -39,7 +39,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use grouting_graph::{NodeId, NodeLabelId};
-use grouting_metrics::RunSnapshot;
+use grouting_metrics::{FailoverStats, RunSnapshot};
 use grouting_query::{AccessStats, PrefetchStats, Query, QueryResult};
 use grouting_trace::{QueryTrace, TraceLevel, TraceSnapshot};
 
@@ -108,6 +108,13 @@ pub struct Completion {
     /// keeps the latest value per processor and sums those for the run
     /// snapshot. Zeros whenever prefetching is off.
     pub prefetch: PrefetchStats,
+    /// The serving processor's *cumulative* storage-failover tally
+    /// (redials, replica failovers, resubmitted batches since it
+    /// started) — cumulative for the same reason as `prefetch`: recovery
+    /// crosses query boundaries, so the router keeps the latest value per
+    /// processor and sums those for the run snapshot. Zeros while the
+    /// storage tier stays healthy.
+    pub failover: FailoverStats,
     /// Router arrival timestamp (0 until the router stamps it).
     pub arrived_ns: u64,
     /// Execution start timestamp.
@@ -269,6 +276,9 @@ impl Frame {
                 buf.put_u64_le(c.prefetch.issued);
                 buf.put_u64_le(c.prefetch.hits);
                 buf.put_u64_le(c.prefetch.wasted_bytes);
+                buf.put_u64_le(c.failover.redials);
+                buf.put_u64_le(c.failover.replica_failovers);
+                buf.put_u64_le(c.failover.batches_resubmitted);
                 buf.put_u64_le(c.arrived_ns);
                 buf.put_u64_le(c.started_ns);
                 buf.put_u64_le(c.completed_ns);
@@ -357,7 +367,7 @@ impl Frame {
                 1 + 8
                     + 4
                     + result_encoded_len(&c.result)
-                    + 8 * 10
+                    + 8 * 13
                     + c.trace.as_ref().map_or(0, QueryTrace::encoded_len)
             }
             Frame::FetchRequest { .. } => 1 + 4,
@@ -519,7 +529,7 @@ impl Frame {
                 let seq = data.get_u64_le();
                 let processor = data.get_u32_le();
                 let result = get_result(&mut data)?;
-                need(&data, 10 * 8)?;
+                need(&data, 13 * 8)?;
                 let stats = AccessStats {
                     cache_hits: data.get_u64_le(),
                     cache_misses: data.get_u64_le(),
@@ -530,6 +540,11 @@ impl Frame {
                     issued: data.get_u64_le(),
                     hits: data.get_u64_le(),
                     wasted_bytes: data.get_u64_le(),
+                };
+                let failover = FailoverStats {
+                    redials: data.get_u64_le(),
+                    replica_failovers: data.get_u64_le(),
+                    batches_resubmitted: data.get_u64_le(),
                 };
                 let arrived_ns = data.get_u64_le();
                 let started_ns = data.get_u64_le();
@@ -545,6 +560,7 @@ impl Frame {
                     result,
                     stats,
                     prefetch,
+                    failover,
                     arrived_ns,
                     started_ns,
                     completed_ns,
@@ -878,6 +894,11 @@ mod tests {
                     hits: 9,
                     wasted_bytes: 256,
                 },
+                failover: FailoverStats {
+                    redials: 2,
+                    replica_failovers: 1,
+                    batches_resubmitted: 3,
+                },
                 arrived_ns: 10,
                 started_ns: 20,
                 completed_ns: 30,
@@ -925,6 +946,10 @@ mod tests {
                     prefetch_issued: 4,
                     prefetch_hits: 2,
                     prefetch_wasted_bytes: 64,
+                    redials: 2,
+                    replica_failovers: 1,
+                    batches_resubmitted: 3,
+                    windows_resubmitted: 1,
                     per_processor: vec![5, 5],
                 },
                 trace: None,
@@ -965,6 +990,11 @@ mod tests {
                 issued: 12,
                 hits: 9,
                 wasted_bytes: 256,
+            },
+            failover: FailoverStats {
+                redials: 1,
+                replica_failovers: 0,
+                batches_resubmitted: 1,
             },
             arrived_ns: 10,
             started_ns: 20,
@@ -1039,6 +1069,10 @@ mod tests {
                         prefetch_issued: 4,
                         prefetch_hits: 2,
                         prefetch_wasted_bytes: 64,
+                        redials: 0,
+                        replica_failovers: 0,
+                        batches_resubmitted: 0,
+                        windows_resubmitted: 0,
                         per_processor: vec![5, 5],
                     },
                     trace: Some(Box::new(trace_snapshot)),
@@ -1053,6 +1087,10 @@ mod tests {
                         prefetch_issued: 4,
                         prefetch_hits: 2,
                         prefetch_wasted_bytes: 64,
+                        redials: 0,
+                        replica_failovers: 0,
+                        batches_resubmitted: 0,
+                        windows_resubmitted: 0,
                         per_processor: vec![5, 5],
                     },
                     trace: None,
@@ -1409,6 +1447,11 @@ mod tests {
                     hits: hits / 4,
                     wasted_bytes: bytes_ / 2,
                 },
+                failover: FailoverStats {
+                    redials: misses / 5,
+                    replica_failovers: misses / 11,
+                    batches_resubmitted: misses / 13,
+                },
                 arrived_ns: ts,
                 started_ns: ts + 1,
                 completed_ns: ts + 2,
@@ -1452,6 +1495,10 @@ mod tests {
                     prefetch_issued: hits / 2,
                     prefetch_hits: hits / 3,
                     prefetch_wasted_bytes: queries / 2,
+                    redials: queries / 5,
+                    replica_failovers: queries / 7,
+                    batches_resubmitted: queries / 11,
+                    windows_resubmitted: queries / 13,
                     per_processor: per,
                 },
                 trace: stage_ns.map(|ns| {
@@ -1522,6 +1569,11 @@ mod tests {
                         hits: count / 5,
                         wasted_bytes: count / 2,
                     },
+                    failover: FailoverStats {
+                        redials: count / 6,
+                        replica_failovers: count / 7,
+                        batches_resubmitted: count / 8,
+                    },
                     arrived_ns: seq / 3,
                     started_ns: seq / 2,
                     completed_ns: seq,
@@ -1548,6 +1600,10 @@ mod tests {
                         prefetch_issued: count / 11,
                         prefetch_hits: count / 13,
                         prefetch_wasted_bytes: count / 2,
+                        redials: count / 17,
+                        replica_failovers: count / 19,
+                        batches_resubmitted: count / 23,
+                        windows_resubmitted: count / 29,
                         per_processor: vec![count; (id % 6) as usize],
                     },
                     trace: (seq % 2 == 0).then(|| {

@@ -41,8 +41,10 @@
 //! `tests/tests/wire_agreement.rs` (which also pins answers and
 //! assignments at overlap 4).
 
+pub mod chaos;
 pub mod cluster;
 pub mod error;
+pub mod fault;
 pub mod flow;
 pub mod frame;
 pub mod overlap;
@@ -52,19 +54,21 @@ pub mod service;
 pub(crate) mod sys;
 pub mod transport;
 
+pub use chaos::{launch_chaos_cluster, ChaosAction, ChaosScript, ChaosWave};
 pub use cluster::{launch_cluster, overlap_from_env, ClusterConfig, ClusterRun, TransportKind};
 pub use error::{WireError, WireResult};
+pub use fault::{FaultKind, FaultPlan, FaultRule, FaultyTransport};
 pub use flow::{BatchMux, FetchMode, MultiplexedStorageSource, PendingBatch};
 pub use frame::{Completion, Frame, Role};
 pub use overlap::{CompletedQuery, QueryPipeline};
 pub use reactor::{Backoff, Poller, PollerKind, Reactor, ReactorEvent, SweepPoller};
 pub use service::{
-    now_ns, run_router, ProcessorService, RemoteStorageSource, RouterOptions, ServiceHandle,
-    StorageService,
+    now_ns, run_router, FailoverCell, ProcessorOptions, ProcessorService, RemoteStorageSource,
+    RouterOptions, ServiceHandle, StorageService,
 };
 pub use transport::{
-    Connection, ConnectionPool, FrameSink, FrameStream, InProcTransport, Listener, TcpTransport,
-    Transport,
+    Connection, ConnectionPool, FrameSink, FrameStream, InProcTransport, Listener, RetryPolicy,
+    TcpTransport, Transport,
 };
 
 #[cfg(test)]
@@ -307,6 +311,7 @@ mod tests {
                         result: out.result,
                         stats: out.stats,
                         prefetch: grouting_query::PrefetchStats::default(),
+                        failover: grouting_metrics::FailoverStats::default(),
                         arrived_ns: 0,
                         started_ns: 1,
                         completed_ns: 2,
@@ -371,6 +376,12 @@ mod tests {
         // survivor.
         assert_eq!(snapshot.per_processor[0], 1);
         assert_eq!(snapshot.per_processor[1], q.len() as u64 - 1);
+        // The flaky processor died with a dispatch outstanding, so the
+        // router resubmitted exactly one window; no wire-level retries
+        // were involved (the storage endpoint never went away).
+        assert_eq!(snapshot.windows_resubmitted, 1);
+        assert_eq!(snapshot.redials, 0);
+        assert_eq!(snapshot.replica_failovers, 0);
         flaky.join().unwrap();
         let _ = healthy.join();
         storage.shutdown();
@@ -432,6 +443,7 @@ mod tests {
                     result: out.result,
                     stats: out.stats,
                     prefetch: grouting_query::PrefetchStats::default(),
+                    failover: grouting_metrics::FailoverStats::default(),
                     arrived_ns: 0,
                     started_ns: 1,
                     completed_ns: 2,

@@ -40,7 +40,7 @@ use bytes::Bytes;
 use grouting_engine::{Engine, EngineAssets, EngineConfig, Worker};
 use grouting_graph::NodeId;
 use grouting_metrics::timeline::QueryRecord;
-use grouting_metrics::RunSnapshot;
+use grouting_metrics::{FailoverStats, RunSnapshot};
 use grouting_partition::Partitioner;
 use grouting_query::{BatchSource, RecordSource};
 use grouting_storage::{NetworkModel, StorageTier};
@@ -54,7 +54,7 @@ use crate::flow::{BatchMux, FetchMode, MultiplexedStorageSource};
 use crate::frame::{Completion, DispatchTrace, Frame, Role};
 use crate::overlap::QueryPipeline;
 use crate::reactor::{PollerKind, Reactor, ReactorEvent};
-use crate::transport::{ConnectionPool, Listener, Transport};
+use crate::transport::{ConnectionPool, Listener, RetryPolicy, Transport};
 
 /// How long an idle service loop parks on its readiness backend before
 /// re-checking its stop flag (epoll wakes early on any traffic; the sweep
@@ -165,7 +165,28 @@ impl StorageService {
         poller: PollerKind,
         telemetry: Option<Arc<TelemetryCounters>>,
     ) -> WireResult<ServiceHandle> {
-        let listener = transport.listen(&transport.any_addr())?;
+        let addr = transport.any_addr();
+        Self::spawn_bound(transport, &addr, tier, net, poller, telemetry)
+    }
+
+    /// Like [`StorageService::spawn_full`], binding the listener at `addr`
+    /// instead of an ephemeral address — the restart half of a
+    /// kill/restart cycle, where peers must find the replacement at the
+    /// address they already know. (TCP listeners bind with `SO_REUSEADDR`,
+    /// so a restart does not wait out `TIME_WAIT`.)
+    ///
+    /// # Errors
+    ///
+    /// Fails when the transport cannot bind a listener at `addr`.
+    pub fn spawn_bound(
+        transport: Arc<dyn Transport>,
+        addr: &str,
+        tier: Arc<StorageTier>,
+        net: NetworkModel,
+        poller: PollerKind,
+        telemetry: Option<Arc<TelemetryCounters>>,
+    ) -> WireResult<ServiceHandle> {
+        let listener = transport.listen(addr)?;
         let addr = listener.addr();
         let stop = Arc::new(AtomicBool::new(false));
         let stop_loop = Arc::clone(&stop);
@@ -408,6 +429,42 @@ pub struct RemoteStorageSource {
     partitioner: Arc<dyn Partitioner>,
     pools: Vec<ConnectionPool>,
     timer: Arc<FetchTimer>,
+    /// Replica-chain length: endpoints `(home + k) % servers` for
+    /// `k < replication` can all serve a node homed on `home`.
+    replication: usize,
+    /// Backoff ladder pacing the replica-chain walk after the active
+    /// endpoint's own pool gives up.
+    retry: RetryPolicy,
+    /// Sticky chain offset per home server (`0` = primary). A chain walk
+    /// that finds the primary answering again resets it.
+    active: Vec<usize>,
+    failover: Arc<FailoverCell>,
+}
+
+/// Shared failover tally for the scalar path (the same role
+/// [`FetchTimer`] plays for fetch waits): the blocking worker owns its
+/// boxed source, so the processor loop keeps this handle to stamp
+/// cumulative recovery counters into every completion it sends.
+///
+/// `redials` counts chain-walk probe attempts, `replica_failovers`
+/// recoveries that landed on a non-primary endpoint, and `resubmitted`
+/// requests replayed on a different connection after a failure.
+#[derive(Debug, Default)]
+pub struct FailoverCell {
+    redials: AtomicU64,
+    replica_failovers: AtomicU64,
+    resubmitted: AtomicU64,
+}
+
+impl FailoverCell {
+    /// The counters as a [`FailoverStats`] value.
+    pub fn snapshot(&self) -> FailoverStats {
+        FailoverStats {
+            redials: self.redials.load(Ordering::Relaxed),
+            replica_failovers: self.replica_failovers.load(Ordering::Relaxed),
+            batches_resubmitted: self.resubmitted.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Shared fetch-wait accumulator for the scalar path: the blocking worker
@@ -440,15 +497,40 @@ impl RemoteStorageSource {
         storage_addrs: &[String],
         partitioner: Arc<dyn Partitioner>,
     ) -> Self {
-        let pools = storage_addrs
+        let pools: Vec<ConnectionPool> = storage_addrs
             .iter()
             .map(|a| ConnectionPool::new(Arc::clone(&transport), a.clone(), 2))
             .collect();
+        let active = vec![0; pools.len()];
         Self {
             partitioner,
             pools,
             timer: Arc::new(FetchTimer::default()),
+            replication: 1,
+            retry: RetryPolicy::from_env(),
+            active,
+            failover: Arc::new(FailoverCell::default()),
         }
+    }
+
+    /// Serve fetches from a replica chain of this length (`1` = primary
+    /// only; values are clamped to the server count at use). Mirrors
+    /// [`MultiplexedStorageSource::with_replication`] on the batched path.
+    #[must_use]
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.replication = replication.max(1);
+        self
+    }
+
+    /// Overrides the redial backoff ladder — both the chain walk's pacing
+    /// and every per-endpoint pool's.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        for pool in &mut self.pools {
+            pool.set_retry(retry);
+        }
+        self
     }
 
     /// Total reconnects across the per-server pools.
@@ -460,6 +542,56 @@ impl RemoteStorageSource {
     pub fn timer(&self) -> Arc<FetchTimer> {
         Arc::clone(&self.timer)
     }
+
+    /// The source's shared failover tally (see [`FailoverCell`]).
+    pub fn failover_cell(&self) -> Arc<FailoverCell> {
+        Arc::clone(&self.failover)
+    }
+
+    /// Cumulative failover counters so far.
+    pub fn failover_stats(&self) -> FailoverStats {
+        self.failover.snapshot()
+    }
+
+    /// One unary exchange against `home`'s replica chain: the sticky
+    /// active replica first (whose pool masks a plain restart with its
+    /// own redial ladder), then — on persistent failure — a paced walk
+    /// over the whole chain starting at the primary, so a restarted
+    /// primary is recovered at the next failure event. The same ladder
+    /// [`BatchMux`] runs on the batched path.
+    fn request_chain(&mut self, home: usize, frame: &Frame) -> WireResult<Frame> {
+        let servers = self.pools.len();
+        let chain = self.replication.min(servers).max(1);
+        let offset = self.active[home] % chain;
+        let first = self.pools[(home + offset) % servers].request(frame);
+        if first.is_ok() || chain == 1 {
+            return first;
+        }
+        let mut last = first;
+        for attempt in 0..self.retry.attempts {
+            for k in 0..chain {
+                let target = (home + k) % servers;
+                self.failover.redials.fetch_add(1, Ordering::Relaxed);
+                match self.pools[target].try_request(frame) {
+                    Ok(reply) => {
+                        self.active[home] = k;
+                        if k != 0 {
+                            self.failover
+                                .replica_failovers
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.failover.resubmitted.fetch_add(1, Ordering::Relaxed);
+                        return Ok(reply);
+                    }
+                    Err(e) => last = Err(e),
+                }
+            }
+            if attempt + 1 < self.retry.attempts {
+                std::thread::sleep(self.retry.delay(attempt, home as u64));
+            }
+        }
+        last
+    }
 }
 
 impl RecordSource for RemoteStorageSource {
@@ -470,13 +602,13 @@ impl RecordSource for RemoteStorageSource {
             .enabled
             .load(Ordering::Relaxed)
             .then(Instant::now);
-        let payload = match self.pools[home].request(&Frame::FetchRequest { node }) {
+        let payload = match self.request_chain(home, &Frame::FetchRequest { node }) {
             Ok(Frame::FetchResponse { node: got, payload }) => {
                 assert_eq!(got, node, "storage stream desynced");
                 payload
             }
             Ok(other) => panic!("storage sent {} to a fetch", other.kind()),
-            Err(e) => panic!("storage fetch failed: {e}"),
+            Err(e) => panic!("storage fetch failed on every replica: {e}"),
         };
         if let Some(started) = started {
             self.timer
@@ -491,6 +623,48 @@ impl RecordSource for RemoteStorageSource {
 /// blocking round trip per frontier node. [`MultiplexedStorageSource`] is
 /// the batched alternative.
 impl BatchSource for RemoteStorageSource {}
+
+/// Processor-side knobs beyond the engine configuration.
+pub struct ProcessorOptions {
+    /// Readiness backend for the batched path's storage mux (the scalar
+    /// path's blocking exchanges never poll).
+    pub poller: PollerKind,
+    /// Deployment-shared reactor telemetry (batched path only).
+    pub telemetry: Option<Arc<TelemetryCounters>>,
+    /// Replica-chain length for storage failover: a fetch its home
+    /// endpoint cannot serve fails over to `(home + k) % servers` for
+    /// `k < replication`. `1` = no replication — an endpoint death is
+    /// fatal once the redial ladder is exhausted.
+    pub replication: usize,
+    /// Redial backoff ladder towards storage (`None` = `GROUTING_RETRY`
+    /// or the built-in default).
+    pub retry: Option<RetryPolicy>,
+    /// External kill switch: when raised, the processor exits its loop as
+    /// if it had crashed — its connections drop and the router masks the
+    /// death. The scalar loop switches from blocking to polled receive to
+    /// honour it; `None` keeps the classic blocking loop.
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Re-join acknowledgement flag: when set, the processor sends a
+    /// [`Frame::MetricsRequest`] right after its hello and raises the flag
+    /// once the router's [`Frame::Metrics`] reply arrives. Frames on one
+    /// connection are handled in order, so a raised flag proves the router
+    /// has marked this processor up — chaos harnesses wait on it before
+    /// submitting work a restarted processor must be in rotation for.
+    pub ready: Option<Arc<AtomicBool>>,
+}
+
+impl Default for ProcessorOptions {
+    fn default() -> Self {
+        Self {
+            poller: PollerKind::from_env(),
+            telemetry: None,
+            replication: 1,
+            retry: None,
+            stop: None,
+            ready: None,
+        }
+    }
+}
 
 /// A query processor endpoint: executes dispatched queries against its
 /// cache, missing to remote storage.
@@ -578,6 +752,37 @@ impl ProcessorService {
         poller: PollerKind,
         telemetry: Option<Arc<TelemetryCounters>>,
     ) -> std::thread::JoinHandle<WireResult<()>> {
+        Self::spawn_opts(
+            transport,
+            id,
+            router_addr,
+            storage_addrs,
+            partitioner,
+            config,
+            fetch,
+            ProcessorOptions {
+                poller,
+                telemetry,
+                ..ProcessorOptions::default()
+            },
+        )
+    }
+
+    /// Like [`ProcessorService::spawn_full`], taking the full
+    /// [`ProcessorOptions`] set — readiness backend, telemetry,
+    /// replica-chain failover, retry policy, and an external kill switch
+    /// for chaos harnesses.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_opts(
+        transport: Arc<dyn Transport>,
+        id: usize,
+        router_addr: String,
+        storage_addrs: Vec<String>,
+        partitioner: Arc<dyn Partitioner>,
+        config: EngineConfig,
+        fetch: FetchMode,
+        opts: ProcessorOptions,
+    ) -> std::thread::JoinHandle<WireResult<()>> {
         std::thread::spawn(move || match fetch {
             FetchMode::Scalar => run_processor_scalar(
                 &transport,
@@ -586,6 +791,7 @@ impl ProcessorService {
                 &storage_addrs,
                 partitioner,
                 &config,
+                &opts,
             ),
             FetchMode::Batched => run_processor_overlapped(
                 &transport,
@@ -594,8 +800,7 @@ impl ProcessorService {
                 &storage_addrs,
                 partitioner,
                 &config,
-                poller,
-                telemetry,
+                opts,
             ),
         })
     }
@@ -610,19 +815,55 @@ fn run_processor_scalar(
     storage_addrs: &[String],
     partitioner: Arc<dyn Partitioner>,
     config: &EngineConfig,
+    opts: &ProcessorOptions,
 ) -> WireResult<()> {
-    let remote = RemoteStorageSource::new(Arc::clone(transport), storage_addrs, partitioner);
+    let mut remote = RemoteStorageSource::new(Arc::clone(transport), storage_addrs, partitioner)
+        .with_replication(opts.replication);
+    if let Some(retry) = opts.retry {
+        remote = remote.with_retry(retry);
+    }
     let timer = remote.timer();
+    let failover = remote.failover_cell();
     let source: Box<dyn BatchSource + Send> = Box::new(remote);
     let mut worker = Worker::from_parts(id, source, config.build_cache());
-    let mut router = transport.dial(router_addr)?;
-    router.send(&Frame::Hello {
+    let router = transport.dial(router_addr)?;
+    let (mut sink, mut stream) = router.split();
+    sink.send(&Frame::Hello {
         role: Role::Processor,
         id: id as u32,
     })?;
+    if opts.ready.is_some() {
+        sink.send(&Frame::MetricsRequest)?;
+    }
     loop {
-        match router.recv() {
-            Ok(Frame::Dispatch { seq, query, trace }) => {
+        if opts
+            .stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
+        {
+            return Ok(());
+        }
+        // With a kill switch armed the loop polls so the switch is seen
+        // between frames; without one it blocks exactly as before.
+        let frame = if opts.stop.is_some() {
+            match stream.try_recv() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    continue;
+                }
+                Err(WireError::Closed) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        } else {
+            match stream.recv() {
+                Ok(frame) => frame,
+                Err(WireError::Closed) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        };
+        match frame {
+            Frame::Dispatch { seq, query, trace } => {
                 if trace.is_some() {
                     timer.enable();
                 }
@@ -644,7 +885,7 @@ fn run_processor_scalar(
                         level_spans: Vec::new(),
                     }
                 });
-                router.send(&Frame::Completion(Completion {
+                sink.send(&Frame::Completion(Completion {
                     seq,
                     processor: id as u32,
                     result: out.result,
@@ -652,20 +893,25 @@ fn run_processor_scalar(
                     // The scalar path never speculates (piggybacking on
                     // per-node round trips would *add* RTTs).
                     prefetch: grouting_query::PrefetchStats::default(),
+                    failover: failover.snapshot(),
                     arrived_ns: 0,
                     started_ns,
                     completed_ns,
                     trace: query_trace,
                 }))?;
             }
-            Ok(Frame::Shutdown) | Err(WireError::Closed) => return Ok(()),
-            Ok(other) => {
+            Frame::Metrics { .. } if opts.ready.is_some() => {
+                if let Some(ready) = &opts.ready {
+                    ready.store(true, Ordering::SeqCst);
+                }
+            }
+            Frame::Shutdown => return Ok(()),
+            other => {
                 return Err(WireError::Protocol(format!(
                     "processor {id} got {}",
                     other.kind()
                 )))
             }
-            Err(e) => return Err(e),
         }
     }
 }
@@ -683,16 +929,19 @@ fn run_processor_overlapped(
     storage_addrs: &[String],
     partitioner: Arc<dyn Partitioner>,
     config: &EngineConfig,
-    poller: PollerKind,
-    telemetry: Option<Arc<TelemetryCounters>>,
+    opts: ProcessorOptions,
 ) -> WireResult<()> {
     let mut source = MultiplexedStorageSource::with_poller(
         Arc::clone(transport),
         storage_addrs,
         partitioner,
-        poller,
-    );
-    if let Some(t) = telemetry {
+        opts.poller,
+    )
+    .with_replication(opts.replication);
+    if let Some(retry) = opts.retry {
+        source = source.with_retry(retry);
+    }
+    if let Some(t) = opts.telemetry {
         source.set_telemetry(t);
     }
     let mut cache = config.build_cache();
@@ -707,7 +956,18 @@ fn run_processor_overlapped(
         role: Role::Processor,
         id: id as u32,
     })?;
+    let ready = opts.ready.clone();
+    if ready.is_some() {
+        sink.send(&Frame::MetricsRequest)?;
+    }
     loop {
+        if opts
+            .stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
+        {
+            return Ok(());
+        }
         let mut progressed = false;
         // Drain whatever the router has sent — every queued dispatch goes
         // into the pipeline before any compute runs, so fetch submission
@@ -722,6 +982,12 @@ fn run_processor_overlapped(
                     progressed = true;
                 }
                 Ok(Some(Frame::Shutdown)) | Err(WireError::Closed) => return Ok(()),
+                Ok(Some(Frame::Metrics { .. })) if ready.is_some() => {
+                    if let Some(r) = &ready {
+                        r.store(true, Ordering::SeqCst);
+                    }
+                    progressed = true;
+                }
                 Ok(Some(other)) => {
                     return Err(WireError::Protocol(format!(
                         "processor {id} got {}",
@@ -738,9 +1004,11 @@ fn run_processor_overlapped(
                 processor: id as u32,
                 result: done.outcome.result,
                 stats: done.outcome.stats,
-                // Cumulative per-processor speculation tally; the router
-                // keeps the latest per processor for the run snapshot.
+                // Cumulative per-processor speculation and recovery
+                // tallies; the router keeps the latest per processor for
+                // the run snapshot.
                 prefetch: pipeline.prefetch_stats(),
+                failover: source.failover_stats(),
                 arrived_ns: 0,
                 started_ns: done.started_ns,
                 completed_ns: done.completed_ns,
@@ -864,6 +1132,13 @@ pub fn run_router(
     let mut prefetch_live: Vec<grouting_query::PrefetchStats> =
         vec![grouting_query::PrefetchStats::default(); p];
     let mut prefetch_retired = grouting_query::PrefetchStats::default();
+    // Same live/retired split for the processors' storage-failover
+    // tallies (redials, replica failovers, resubmitted batches).
+    let mut failover_live: Vec<FailoverStats> = vec![FailoverStats::default(); p];
+    let mut failover_retired = FailoverStats::default();
+    // Router-local: processor-death events whose outstanding dispatch
+    // window was non-empty and got resubmitted wholesale.
+    let mut windows_resubmitted = 0u64;
     let mut client_conn: Option<u64> = None;
     let mut backlog: VecDeque<(usize, grouting_query::Query)> = VecDeque::new();
     let mut arrivals: HashMap<u64, u64> = HashMap::new();
@@ -1054,6 +1329,7 @@ pub fn run_router(
                             completed += 1;
                             if proc_id < p {
                                 prefetch_live[proc_id] = completion.prefetch;
+                                failover_live[proc_id] = completion.failover;
                                 in_flight[proc_id] = in_flight[proc_id].saturating_sub(1);
                                 // Out-of-order acknowledgement is legal
                                 // under overlap; correlate by seq.
@@ -1070,10 +1346,13 @@ pub fn run_router(
                                     && completed.is_multiple_of(opts.snapshot_every)
                                     && completed < submitted
                                 {
-                                    let snap = snapshot_with_prefetch(
+                                    let snap = snapshot_with_recovery(
                                         &engine,
                                         &prefetch_live,
                                         &prefetch_retired,
+                                        &failover_live,
+                                        &failover_retired,
+                                        windows_resubmitted,
                                     );
                                     let snap_trace =
                                         trace_snapshot(trace, &stages, &spans, &opts.telemetry);
@@ -1092,8 +1371,14 @@ pub fn run_router(
                             // answer with the totals accumulated so far (a
                             // requester that died in the meantime is
                             // handled by its own Closed event).
-                            let snap =
-                                snapshot_with_prefetch(&engine, &prefetch_live, &prefetch_retired);
+                            let snap = snapshot_with_recovery(
+                                &engine,
+                                &prefetch_live,
+                                &prefetch_retired,
+                                &failover_live,
+                                &failover_retired,
+                                windows_resubmitted,
+                            );
                             let snap_trace =
                                 trace_snapshot(trace, &stages, &spans, &opts.telemetry);
                             let _ = reactor.send(
@@ -1141,7 +1426,12 @@ pub fn run_router(
                             // bank what the dead incarnation speculated.
                             prefetch_retired.merge(&prefetch_live[proc_id]);
                             prefetch_live[proc_id] = grouting_query::PrefetchStats::default();
+                            failover_retired.merge(&failover_live[proc_id]);
+                            failover_live[proc_id] = FailoverStats::default();
                             engine.mark_down(proc_id);
+                            if !outstanding[proc_id].is_empty() {
+                                windows_resubmitted += 1;
+                            }
                             for (seq, query) in outstanding[proc_id].drain(..) {
                                 engine.resubmit(seq, query);
                             }
@@ -1162,7 +1452,14 @@ pub fn run_router(
 
     // Teardown: snapshot to the client, shutdown to everyone. Dropping the
     // reactor closes the listener and every connection.
-    let snapshot = snapshot_with_prefetch(&engine, &prefetch_live, &prefetch_retired);
+    let snapshot = snapshot_with_recovery(
+        &engine,
+        &prefetch_live,
+        &prefetch_retired,
+        &failover_live,
+        &failover_retired,
+        windows_resubmitted,
+    );
     if let Some(client) = client_conn {
         let _ = reactor.send(
             client,
@@ -1180,9 +1477,6 @@ pub fn run_router(
     result.map(|()| snapshot)
 }
 
-/// The engine's current snapshot with the speculation counters filled in:
-/// the live per-processor cumulative tallies plus whatever dead processor
-/// incarnations banked before they went away.
 /// The trace layer's aggregate for a [`Frame::Metrics`]: `None` at
 /// [`TraceLevel::Off`] so the frame stays byte-identical to an untraced
 /// deployment.
@@ -1202,19 +1496,34 @@ fn trace_snapshot(
     })
 }
 
-fn snapshot_with_prefetch(
+/// The engine's current snapshot with the speculation and recovery
+/// counters filled in: the live per-processor cumulative tallies plus
+/// whatever dead processor incarnations banked before they went away,
+/// and the router's own count of resubmitted dispatch windows.
+fn snapshot_with_recovery(
     engine: &Engine,
-    live: &[grouting_query::PrefetchStats],
-    retired: &grouting_query::PrefetchStats,
+    prefetch_live: &[grouting_query::PrefetchStats],
+    prefetch_retired: &grouting_query::PrefetchStats,
+    failover_live: &[FailoverStats],
+    failover_retired: &FailoverStats,
+    windows_resubmitted: u64,
 ) -> RunSnapshot {
-    let mut total = *retired;
-    for stats in live {
-        total.merge(stats);
+    let mut prefetch = *prefetch_retired;
+    for stats in prefetch_live {
+        prefetch.merge(stats);
+    }
+    let mut failover = *failover_retired;
+    for stats in failover_live {
+        failover.merge(stats);
     }
     let mut snapshot = engine.snapshot();
-    snapshot.prefetch_issued = total.issued;
-    snapshot.prefetch_hits = total.hits;
-    snapshot.prefetch_wasted_bytes = total.wasted_bytes;
+    snapshot.prefetch_issued = prefetch.issued;
+    snapshot.prefetch_hits = prefetch.hits;
+    snapshot.prefetch_wasted_bytes = prefetch.wasted_bytes;
+    snapshot.redials = failover.redials;
+    snapshot.replica_failovers = failover.replica_failovers;
+    snapshot.batches_resubmitted = failover.batches_resubmitted;
+    snapshot.windows_resubmitted = windows_resubmitted;
     snapshot
 }
 

@@ -44,12 +44,99 @@ struct PollFd {
     revents: i16,
 }
 
+const AF_INET: c_int = 2;
+const SOCK_STREAM: c_int = 1;
+const SOCK_CLOEXEC: c_int = 0o2000000;
+const SOL_SOCKET: c_int = 1;
+const SO_REUSEADDR: c_int = 2;
+
+/// `struct sockaddr_in` for the reusable-bind path (IPv4 only — the wire
+/// layer's concrete addresses are loopback).
+#[repr(C)]
+struct SockAddrIn {
+    sin_family: u16,
+    sin_port: u16,
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
 extern "C" {
     fn epoll_create1(flags: c_int) -> c_int;
     fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
     fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
     fn close(fd: c_int) -> c_int;
     fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_int,
+        optlen: u32,
+    ) -> c_int;
+    fn bind(fd: c_int, addr: *const SockAddrIn, addrlen: u32) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
+}
+
+/// Binds and listens on a concrete IPv4 address with `SO_REUSEADDR` set
+/// before the bind — `std::net` offers no hook for socket options, and
+/// without the flag a restarted service cannot reclaim its port while
+/// connections it accepted there sit in `TIME_WAIT`.
+///
+/// # Errors
+///
+/// The raw OS error from whichever syscall refuses.
+pub fn tcp_listen_reuseaddr(addr: &std::net::SocketAddrV4) -> io::Result<std::net::TcpListener> {
+    use std::os::fd::FromRawFd;
+    // SAFETY: plain syscall, no pointers.
+    let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // Own the fd immediately so every early return below closes it.
+    struct OwnedFd(c_int);
+    impl Drop for OwnedFd {
+        fn drop(&mut self) {
+            // SAFETY: an fd this struct owns exclusively.
+            let _ = unsafe { close(self.0) };
+        }
+    }
+    let owned = OwnedFd(fd);
+    let one: c_int = 1;
+    // SAFETY: `one` is a live c_int and its size is passed as optlen.
+    let rc = unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            &one,
+            std::mem::size_of::<c_int>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let sockaddr = SockAddrIn {
+        sin_family: AF_INET as u16,
+        sin_port: addr.port().to_be(),
+        sin_addr: u32::from_ne_bytes(addr.ip().octets()),
+        sin_zero: [0; 8],
+    };
+    // SAFETY: `sockaddr` is a valid sockaddr_in for the duration of the
+    // call and its exact size is passed.
+    let rc = unsafe { bind(fd, &sockaddr, std::mem::size_of::<SockAddrIn>() as u32) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: plain syscall on the bound fd.
+    let rc = unsafe { listen(fd, 128) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    std::mem::forget(owned);
+    // SAFETY: the fd is a freshly created, bound, listening socket whose
+    // ownership transfers to the TcpListener.
+    Ok(unsafe { std::net::TcpListener::from_raw_fd(fd) })
 }
 
 /// An owned epoll instance (closed on drop).
@@ -202,6 +289,32 @@ mod tests {
         ready.clear();
         assert_eq!(ep.wait(&mut ready, Duration::ZERO).unwrap(), 0);
         ep.del(server.as_raw_fd());
+    }
+
+    #[test]
+    fn reuseaddr_listener_rebinds_after_serving() {
+        // Find a free concrete port, then bind it with SO_REUSEADDR.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = match probe.local_addr().unwrap() {
+            std::net::SocketAddr::V4(v4) => v4,
+            other => panic!("unexpected addr family: {other}"),
+        };
+        drop(probe);
+        let listener = tcp_listen_reuseaddr(&addr).unwrap();
+        assert_eq!(listener.local_addr().unwrap().port(), addr.port());
+
+        // Serve one connection that the *server* closes first, leaving a
+        // TIME_WAIT entry on the port, then rebind immediately — the
+        // restart path a plain bind would refuse.
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_conn, _) = listener.accept().unwrap();
+        drop(server_conn);
+        drop(listener);
+        let mut buf = [0u8; 1];
+        let _ = (&client).read(&mut buf); // observe the close
+        let again = tcp_listen_reuseaddr(&addr).unwrap();
+        assert_eq!(again.local_addr().unwrap().port(), addr.port());
+        drop(client);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use std::time::Duration;
 
 use bytes::{Buf, BufferPool, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use grouting_metrics::log_warn;
 
 use crate::error::{WireError, WireResult};
 use crate::frame::{Frame, MAX_FRAME_BYTES};
@@ -40,6 +41,22 @@ use crate::frame::{Frame, MAX_FRAME_BYTES};
 pub trait FrameSink: Send {
     /// Writes one frame.
     fn send(&mut self, frame: &Frame) -> WireResult<()>;
+
+    /// Writes only the first `keep` bytes of the frame's encoding and
+    /// stops — the fault-injection layer's mid-frame truncation primitive.
+    /// The peer is left holding a partial frame: on TCP its stream stalls
+    /// until the connection closes, in-process the short payload decodes
+    /// as a codec error. Sinks that cannot express a partial write (the
+    /// default) send nothing at all, which a reader observes the same way
+    /// once the connection drops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures from the partial write.
+    fn send_truncated(&mut self, frame: &Frame, keep: usize) -> WireResult<()> {
+        let _ = (frame, keep);
+        Ok(())
+    }
 }
 
 /// The receiving half of a framed connection.
@@ -172,8 +189,138 @@ pub trait Transport: Send + Sync {
     /// any order.
     fn dial(&self, addr: &str) -> WireResult<Connection>;
 
+    /// Dials with a single attempt and no internal patience — the
+    /// primitive failover paths use so a dead endpoint fails in one round
+    /// trip and the caller's own backoff ladder (see [`RetryPolicy`])
+    /// paces the retries. Defaults to [`Transport::dial`] for transports
+    /// whose dial is already instantaneous.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Unroutable`] when nothing listens at `addr`.
+    fn dial_once(&self, addr: &str) -> WireResult<Connection> {
+        self.dial(addr)
+    }
+
     /// The wildcard address for [`Transport::listen`].
     fn any_addr(&self) -> String;
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+/// Longest single pause of the backoff ladder, whatever the base.
+const MAX_RETRY_DELAY: Duration = Duration::from_millis(500);
+
+/// Bounded exponential backoff with deterministic jitter, shared by every
+/// client-side redial path (the batch multiplexer and the scalar
+/// connection pools). `GROUTING_RETRY=attempts:base_ms` overrides the
+/// defaults; the jitter is a pure function of `(attempt, salt)` so a
+/// seeded run retries on an identical schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Dial attempts before giving up (≥ 1).
+    pub attempts: u32,
+    /// First pause; each later pause doubles, capped at 500 ms.
+    pub base: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // 25, 50, 100, 200, 400, 500, 500 ms of pauses (~1.7 s of
+        // patience): comparable to the dialler's historic startup grace
+        // but strictly bounded, so a truly dead endpoint fails over to a
+        // replica instead of hanging a fetch.
+        Self {
+            attempts: 8,
+            base: Duration::from_millis(25),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with explicit attempt count and base pause.
+    pub fn new(attempts: u32, base: Duration) -> Self {
+        Self {
+            attempts: attempts.max(1),
+            base,
+        }
+    }
+
+    /// Reads `GROUTING_RETRY=attempts:base_ms`. Invalid values warn via
+    /// `GROUTING_LOG`, naming the value, and fall back to the default.
+    pub fn from_env() -> Self {
+        match std::env::var("GROUTING_RETRY") {
+            Ok(raw) => match Self::parse(&raw) {
+                Some(policy) => policy,
+                None => {
+                    log_warn!(
+                        "invalid GROUTING_RETRY value {raw:?} (expected attempts:base_ms, \
+                         e.g. 4:10); using default"
+                    );
+                    Self::default()
+                }
+            },
+            Err(_) => Self::default(),
+        }
+    }
+
+    fn parse(raw: &str) -> Option<Self> {
+        let (attempts, base_ms) = raw.split_once(':')?;
+        let attempts: u32 = attempts.trim().parse().ok()?;
+        let base_ms: u64 = base_ms.trim().parse().ok()?;
+        if attempts == 0 {
+            return None;
+        }
+        Some(Self {
+            attempts,
+            base: Duration::from_millis(base_ms),
+        })
+    }
+
+    /// The pause after failed attempt number `attempt` (0-based):
+    /// `base · 2^attempt` capped at 500 ms, plus up to 25 % deterministic
+    /// jitter derived from `(attempt, salt)` — distinct salts (one per
+    /// endpoint) de-synchronise a thundering herd of redials without
+    /// sacrificing reproducibility.
+    pub fn delay(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(MAX_RETRY_DELAY);
+        // xorshift64* of the (attempt, salt) pair: deterministic jitter.
+        let mut x = salt
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(attempt) + 1);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let jitter_frac = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u32; // 0..=255
+        exp + exp.mul_f64(f64::from(jitter_frac) / 1024.0)
+    }
+
+    /// Dials `addr` through the ladder: single-attempt dials, sleeping
+    /// [`RetryPolicy::delay`] between failures.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error once the ladder is exhausted.
+    pub fn dial(&self, transport: &dyn Transport, addr: &str, salt: u64) -> WireResult<Connection> {
+        let mut last = None;
+        for attempt in 0..self.attempts {
+            match transport.dial_once(addr) {
+                Ok(conn) => return Ok(conn),
+                Err(e) => {
+                    last = Some(e);
+                    if attempt + 1 < self.attempts {
+                        std::thread::sleep(self.delay(attempt, salt));
+                    }
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| WireError::Unroutable(addr.to_string())))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -215,7 +362,7 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn listen(&self, addr: &str) -> WireResult<Box<dyn Listener>> {
-        let listener = TcpListener::bind(addr)?;
+        let listener = bind_reusable(addr)?;
         Ok(Box::new(TcpFrameListener {
             listener,
             nonblocking: false,
@@ -244,9 +391,38 @@ impl Transport for TcpTransport {
         })
     }
 
+    fn dial_once(&self, addr: &str) -> WireResult<Connection> {
+        match TcpStream::connect(addr) {
+            Ok(stream) => tcp_connection(stream),
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                Err(WireError::Unroutable(addr.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
     fn any_addr(&self) -> String {
         "127.0.0.1:0".to_string()
     }
+}
+
+/// Binds a listening socket with `SO_REUSEADDR` on Linux, so a restarted
+/// service can reclaim its concrete address even while connections it
+/// accepted there linger in `TIME_WAIT` — the chaos harness's
+/// kill-and-rebind path. Wildcard (`:0`) binds and other platforms go
+/// through the plain `std` bind.
+fn bind_reusable(addr: &str) -> std::io::Result<TcpListener> {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(parsed) = addr.parse::<std::net::SocketAddrV4>() {
+            if parsed.port() != 0 {
+                if let Ok(listener) = crate::sys::tcp_listen_reuseaddr(&parsed) {
+                    return Ok(listener);
+                }
+            }
+        }
+    }
+    TcpListener::bind(addr)
 }
 
 fn tcp_connection(stream: TcpStream) -> WireResult<Connection> {
@@ -339,6 +515,22 @@ impl FrameSink for TcpSink {
             parts.extend(chunks.iter().map(|c| &c[..]));
             write_vectored_all(&mut self.stream, &parts)?;
         }
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn send_truncated(&mut self, frame: &Frame, keep: usize) -> WireResult<()> {
+        // Flatten [len][payload…] and cut at `keep` raw bytes: the peer
+        // sees a frame header promising more bytes than ever arrive.
+        let chunks = frame.encode_chunks();
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        let mut flat = Vec::with_capacity(4 + total);
+        flat.extend_from_slice(&(total as u32).to_le_bytes());
+        for chunk in &chunks {
+            flat.extend_from_slice(chunk);
+        }
+        flat.truncate(keep.min(flat.len().saturating_sub(1)).max(1));
+        write_all_blocking(&mut self.stream, &flat)?;
         self.stream.flush()?;
         Ok(())
     }
@@ -724,6 +916,17 @@ impl FrameSink for ChanSink {
     fn send(&mut self, frame: &Frame) -> WireResult<()> {
         self.tx.send(frame.encode()).map_err(|_| WireError::Closed)
     }
+
+    fn send_truncated(&mut self, frame: &Frame, keep: usize) -> WireResult<()> {
+        // The channel fabric is message-based (no partial delivery), so a
+        // mid-frame cut arrives as a short encoding the peer's decoder
+        // rejects — the in-process spelling of a torn frame.
+        let encoded = frame.encode();
+        let cut = keep.min(encoded.len().saturating_sub(1)).max(1);
+        self.tx
+            .send(encoded.slice(0..cut))
+            .map_err(|_| WireError::Closed)
+    }
 }
 
 struct ChanStream {
@@ -761,19 +964,43 @@ pub struct ConnectionPool {
     addr: String,
     idle: Vec<Connection>,
     max_idle: usize,
+    retry: RetryPolicy,
+    /// De-synchronises the jitter of pools redialling the same endpoint.
+    salt: u64,
     reconnects: u64,
 }
 
 impl ConnectionPool {
     /// A pool towards `addr` keeping at most `max_idle` parked connections.
     pub fn new(transport: Arc<dyn Transport>, addr: impl Into<String>, max_idle: usize) -> Self {
+        let addr = addr.into();
+        let salt = addr.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        });
         Self {
             transport,
-            addr: addr.into(),
+            addr,
             idle: Vec::new(),
             max_idle: max_idle.max(1),
+            retry: RetryPolicy::from_env(),
+            salt,
             reconnects: 0,
         }
+    }
+
+    /// Overrides the redial backoff ladder (default: `GROUTING_RETRY` or
+    /// the built-in 8-attempt exponential).
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// In-place variant of [`ConnectionPool::with_retry`] for pools that
+    /// are already constructed (e.g. inside a source built over many
+    /// endpoints at once).
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
     /// The address this pool dials.
@@ -787,9 +1014,16 @@ impl ConnectionPool {
         self.reconnects
     }
 
+    /// Whether a request right now would reuse a parked connection.
+    pub fn has_idle(&self) -> bool {
+        !self.idle.is_empty()
+    }
+
     fn checkout(&mut self) -> WireResult<Connection> {
         match self.idle.pop() {
             Some(conn) => Ok(conn),
+            // First dial towards this endpoint: the transport's own
+            // patience covers services that are still starting up.
             None => self.transport.dial(&self.addr),
         }
     }
@@ -800,12 +1034,15 @@ impl ConnectionPool {
         }
     }
 
-    /// One unary exchange with reconnect-once semantics.
+    /// One unary exchange with redial-and-retry-once semantics: a failed
+    /// exchange drops the (presumed dead) connection, redials through the
+    /// bounded backoff ladder, and replays the request exactly once on the
+    /// fresh connection.
     ///
     /// # Errors
     ///
-    /// Returns the second failure when both the pooled connection and a
-    /// fresh dial fail.
+    /// Returns the final failure once the redial ladder is exhausted (the
+    /// caller's cue to fail over to another replica).
     pub fn request(&mut self, frame: &Frame) -> WireResult<Frame> {
         let had_idle = !self.idle.is_empty();
         let mut conn = self.checkout()?;
@@ -815,13 +1052,37 @@ impl ConnectionPool {
                 Ok(reply)
             }
             Err(_) if had_idle => {
-                // The parked connection went stale (peer restarted):
-                // drop it and retry exactly once on a fresh dial.
+                // The parked connection went stale (peer restarted): drop
+                // it and retry once on a connection from the backoff
+                // ladder.
                 drop(conn);
                 self.reconnects += 1;
-                let mut fresh = self.transport.dial(&self.addr)?;
+                let mut fresh = self.retry.dial(&*self.transport, &self.addr, self.salt)?;
                 let reply = fresh.request(frame)?;
                 self.checkin(fresh);
+                Ok(reply)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// One single-attempt exchange: reuses a parked connection if one
+    /// exists, otherwise dials exactly once ([`Transport::dial_once`]) —
+    /// no backoff ladder, no replay. A replica-chain walk probes each
+    /// endpoint with this so a dead one fails fast instead of being
+    /// waited out; the walk itself owns the pacing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the dial or exchange failure as-is.
+    pub fn try_request(&mut self, frame: &Frame) -> WireResult<Frame> {
+        let mut conn = match self.idle.pop() {
+            Some(conn) => conn,
+            None => self.transport.dial_once(&self.addr)?,
+        };
+        match conn.request(frame) {
+            Ok(reply) => {
+                self.checkin(conn);
                 Ok(reply)
             }
             Err(e) => Err(e),
@@ -1058,6 +1319,99 @@ mod tests {
             }
             drop(writer.join().unwrap());
         }
+    }
+
+    #[test]
+    fn retry_policy_parses_and_rejects() {
+        assert_eq!(
+            RetryPolicy::parse("4:10"),
+            Some(RetryPolicy::new(4, Duration::from_millis(10)))
+        );
+        assert_eq!(
+            RetryPolicy::parse(" 2 : 250 "),
+            Some(RetryPolicy::new(2, Duration::from_millis(250)))
+        );
+        for bad in ["", "4", "0:10", "four:ten", "4:", ":10", "4:10:2"] {
+            assert_eq!(RetryPolicy::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn retry_delay_is_deterministic_bounded_and_grows() {
+        let policy = RetryPolicy::new(8, Duration::from_millis(25));
+        for attempt in 0..8 {
+            for salt in [0u64, 7, 0xDEAD_BEEF] {
+                let d = policy.delay(attempt, salt);
+                assert_eq!(d, policy.delay(attempt, salt), "reproducible");
+                // Cap plus the 25 % jitter headroom.
+                assert!(d <= MAX_RETRY_DELAY + MAX_RETRY_DELAY / 4, "{d:?}");
+            }
+        }
+        // The exponential part grows until the cap.
+        assert!(policy.delay(3, 1) > policy.delay(0, 1));
+    }
+
+    #[test]
+    fn retry_dial_ladder_fails_fast_and_succeeds_on_live_listener() {
+        let transport = TcpTransport::new();
+        let policy = RetryPolicy::new(2, Duration::from_millis(1));
+        // Port 1 is never listening: two quick attempts, then the error.
+        let started = std::time::Instant::now();
+        assert!(policy.dial(&transport, "127.0.0.1:1", 9).is_err());
+        assert!(started.elapsed() < Duration::from_secs(1));
+        let listener = transport.listen(&transport.any_addr()).unwrap();
+        let addr = listener.addr();
+        let server = echo_server(listener, 1);
+        let mut conn = policy.dial(&transport, &addr, 9).unwrap();
+        assert_eq!(conn.request(&frame(3)).unwrap(), frame(3));
+        conn.send(&Frame::Shutdown).unwrap();
+        server.join().unwrap();
+    }
+
+    fn truncated_send_corrupts_not_completes(transport: Arc<dyn Transport>) {
+        let mut listener = transport.listen(&transport.any_addr()).unwrap();
+        let addr = listener.addr();
+        let conn = transport.dial(&addr).unwrap();
+        let mut server_side = listener.accept().unwrap();
+        let (mut sink, stream) = conn.split();
+        let full = frame(42).encode();
+        sink.send_truncated(&frame(42), full.len() / 2).unwrap();
+        drop(sink);
+        drop(stream);
+        // The peer never assembles a frame from the torn bytes: it sees
+        // the close (TCP) or a codec rejection (in-process), never a
+        // spurious complete frame.
+        match server_side.recv() {
+            Err(WireError::Closed) | Err(WireError::Codec(_)) => {}
+            other => panic!("torn frame surfaced as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_truncated_send_corrupts_not_completes() {
+        truncated_send_corrupts_not_completes(Arc::new(TcpTransport::new()));
+    }
+
+    #[test]
+    fn inproc_truncated_send_corrupts_not_completes() {
+        truncated_send_corrupts_not_completes(Arc::new(InProcTransport::new()));
+    }
+
+    #[test]
+    fn tcp_listener_rebinds_its_concrete_address() {
+        // The chaos harness's storage-restart path: a service that dies is
+        // respawned on the same concrete address it announced before.
+        let t = TcpTransport::new();
+        let listener = t.listen(&t.any_addr()).unwrap();
+        let addr = listener.addr();
+        let mut conn = t.dial(&addr).unwrap();
+        let mut listener = listener;
+        let server_side = listener.accept().unwrap();
+        drop(server_side); // server closes first → TIME_WAIT holds the port
+        let _ = conn.recv(); // observe the close
+        drop(listener);
+        let again = t.listen(&addr).unwrap();
+        assert_eq!(again.addr(), addr);
     }
 
     #[test]

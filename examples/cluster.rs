@@ -72,6 +72,7 @@ fn main() {
         ],
     );
     let mut prefetch_lines: Vec<String> = Vec::new();
+    let mut failover_lines: Vec<String> = Vec::new();
     let mut traces: Vec<(RoutingKind, grouting_core::trace::TraceSnapshot)> = Vec::new();
     for routing in [RoutingKind::Hash, RoutingKind::Embed] {
         let cluster = cluster.with_routing(routing);
@@ -97,6 +98,17 @@ fn main() {
                 wire.prefetch_wasted_bytes,
             ));
         }
+        // Recovery accounting from the final snapshot — all zeros in a
+        // healthy run; the chaos example (`cargo run --example chaos`)
+        // kills real nodes and shows these spent on recoveries instead.
+        failover_lines.push(format!(
+            "{routing}: {} redials, {} replica failovers, {} batches resubmitted, \
+             {} windows resubmitted",
+            wire.redials,
+            wire.replica_failovers,
+            wire.batches_resubmitted,
+            wire.windows_resubmitted,
+        ));
         if let Some(trace) = wire.trace.clone() {
             traces.push((routing, trace));
         }
@@ -114,6 +126,10 @@ fn main() {
     table.print();
     for line in &prefetch_lines {
         println!("{line}");
+    }
+    println!("\nFailover counters:");
+    for line in &failover_lines {
+        println!("  {line}");
     }
     for (routing, trace) in &traces {
         println!("\nTrace ({routing} routing, level {}):", trace.level);
