@@ -213,6 +213,12 @@ fn wire_frames(c: &mut Criterion) {
         arrived_ns: 1,
         started_ns: 2,
         completed_ns: 3,
+        heat: {
+            let mut h = grouting_core::metrics::HeatMap::new();
+            h.record_demand(1, 17);
+            h.record_speculative(2, 4);
+            h
+        },
         trace: None,
     });
     let fetch_response = Frame::FetchResponse {
@@ -970,6 +976,92 @@ fn trace_overhead(c: &mut Criterion) {
     );
 }
 
+fn obs_overhead(c: &mut Criterion) {
+    if !criterion::group_enabled("obs_overhead") {
+        return;
+    }
+    use grouting_core::engine::EngineAssets;
+    use grouting_core::live::LiveConfig;
+    use grouting_core::route::RoutingKind;
+    use grouting_core::storage::StorageTier;
+    use grouting_core::wire::{launch_cluster, ClusterConfig, FetchMode, ObsConfig, TransportKind};
+    use std::sync::Arc;
+
+    if TransportKind::from_env() == TransportKind::InProc {
+        // The scrape endpoint is a socket feature; without loopback the
+        // sampled run cannot bind one, so the comparison loses its
+        // subject — skip rather than publish misleading numbers.
+        return;
+    }
+
+    // The observability acceptance gate: the same wire cluster run with
+    // the sampler off vs sampling at the default cadence with live scrape
+    // endpoints bound on every node. "off" must be the untouched fast
+    // path (no registry, no clock reads beyond the router's own); "on"
+    // pays registry refills, flight-recorder diffs, `ObsPush` frames, and
+    // endpoint polling — the gate holds that bill to a few percent.
+    let graph = bench_graph();
+    let tier = Arc::new(StorageTier::new(Arc::new(HashPartitioner::new(3))));
+    tier.load_graph(&graph).unwrap();
+    let queries: Vec<Query> = (0..48u32)
+        .map(|i| Query::NeighborAggregation {
+            node: NodeId::new((i % 12) * 97 + 1),
+            hops: 2,
+            label: None,
+        })
+        .collect();
+    let cfg = LiveConfig {
+        processors: 4,
+        stealing: false,
+        cache_capacity: 8 << 20,
+        overlap: 2,
+        ..LiveConfig::paper_default(4, RoutingKind::Hash)
+    };
+    let run_with = |obs: &ObsConfig| {
+        let assets = EngineAssets::new(Arc::clone(&tier));
+        let config = ClusterConfig::new(cfg.engine_config(), TransportKind::Tcp)
+            .with_fetch(FetchMode::Batched)
+            .with_obs(obs.clone());
+        launch_cluster(&assets, &queries, &config).expect("cluster run completes")
+    };
+    let sampled = ObsConfig {
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        dump: false,
+        sample_every_ns: grouting_core::obs::DEFAULT_SAMPLE_EVERY_NS,
+    };
+
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(10);
+    for (name, obs) in [("off", ObsConfig::disabled()), ("sampled", sampled)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let run = run_with(&obs);
+                assert_eq!(run.results.len(), queries.len());
+                std::hint::black_box(run.wall_ns)
+            })
+        });
+    }
+    g.finish();
+
+    // Publish the heat totals of one sampled run next to the timings, so
+    // the artifact carries the workload-skew signal the heatmaps exist
+    // for alongside the overhead medians.
+    let run = run_with(&ObsConfig::disabled());
+    criterion::record_metric(
+        "obs_overhead/partition_demand_total",
+        run.snapshot.partition_heat.total_demand() as f64,
+    );
+    let hottest = run
+        .snapshot
+        .partition_heat
+        .cells()
+        .iter()
+        .map(|c| c.demand)
+        .max()
+        .unwrap_or(0);
+    criterion::record_metric("obs_overhead/partition_demand_peak", hottest as f64);
+}
+
 criterion_group!(
     benches,
     murmur,
@@ -986,6 +1078,7 @@ criterion_group!(
     wire_overlap_throughput,
     wire_prefetch,
     wire_failover,
-    trace_overhead
+    trace_overhead,
+    obs_overhead
 );
 criterion_main!(benches);

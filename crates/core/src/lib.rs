@@ -49,7 +49,8 @@
 //! | [`live`] | `grouting-live` | real multi-threaded cluster |
 //! | [`wire`] | `grouting-wire` | framed RPC: transports, services, socket cluster |
 //! | [`baseline`] | `grouting-baseline` | SEDGE/Giraph-style BSP, PowerGraph-style GAS |
-//! | [`metrics`] | `grouting-metrics` | histograms, timelines, reporters |
+//! | [`metrics`] | `grouting-metrics` | histograms, timelines, heatmaps, reporters |
+//! | [`obs`] | `grouting-obs` | metrics registry, scrape endpoint, flight recorder |
 
 pub use grouting_baseline as baseline;
 pub use grouting_cache as cache;
@@ -59,6 +60,7 @@ pub use grouting_gen as gen;
 pub use grouting_graph as graph;
 pub use grouting_live as live;
 pub use grouting_metrics as metrics;
+pub use grouting_obs as obs;
 pub use grouting_partition as partition;
 pub use grouting_query as query;
 pub use grouting_route as route;

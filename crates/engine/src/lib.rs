@@ -465,6 +465,11 @@ impl Engine {
             batches_resubmitted: 0,
             windows_resubmitted: 0,
             per_processor: self.timeline.per_processor_counts(self.config.processors),
+            // Heat lives with the processors too (miss logs / pipeline
+            // tallies); the owner folds it in alongside the prefetch
+            // counters above.
+            partition_heat: grouting_metrics::HeatMap::new(),
+            region_heat: grouting_metrics::HeatMap::new(),
         }
     }
 

@@ -76,6 +76,8 @@ pub fn run_cluster(
         replica_failovers: run.snapshot.replica_failovers,
         batches_resubmitted: run.snapshot.batches_resubmitted,
         windows_resubmitted: run.snapshot.windows_resubmitted,
+        partition_heat: run.snapshot.partition_heat,
+        region_heat: run.snapshot.region_heat,
         trace: run.trace,
         timeline: run.timeline,
         wall_ns: run.wall_ns,

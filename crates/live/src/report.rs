@@ -1,6 +1,6 @@
 //! Wall-clock measurements from a live run.
 
-use grouting_metrics::Timeline;
+use grouting_metrics::{HeatMap, Timeline};
 use grouting_query::QueryResult;
 
 /// Results and metrics of one live cluster run.
@@ -34,6 +34,13 @@ pub struct LiveReport {
     /// Processor-death events whose outstanding dispatch window the
     /// router resubmitted wholesale.
     pub windows_resubmitted: u64,
+    /// Workload heat per storage partition: demand misses vs speculative
+    /// fetches, one cell per storage server.
+    pub partition_heat: HeatMap,
+    /// Workload heat per landmark region (wire runs under a landmark-aware
+    /// deployment; empty for the in-process runtime, which attributes no
+    /// regions).
+    pub region_heat: HeatMap,
     /// The trace layer's view of the run — per-stage latency histograms,
     /// reactor telemetry, and (at span level) recent query spans. `None`
     /// for the in-process runtime and for untraced wire runs.
@@ -90,6 +97,8 @@ mod tests {
             replica_failovers: 0,
             batches_resubmitted: 0,
             windows_resubmitted: 0,
+            partition_heat: HeatMap::new(),
+            region_heat: HeatMap::new(),
             trace: None,
             wall_ns: 0,
         };
@@ -112,6 +121,8 @@ mod tests {
             replica_failovers: 1,
             batches_resubmitted: 1,
             windows_resubmitted: 0,
+            partition_heat: HeatMap::new(),
+            region_heat: HeatMap::new(),
             trace: None,
             wall_ns: 1,
         };

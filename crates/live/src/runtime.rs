@@ -140,12 +140,16 @@ pub fn run_live(
         job_txs.push(tx);
         let ack_tx = ack_tx.clone();
         handles.push(std::thread::spawn(move || {
+            let mut heat = grouting_metrics::HeatMap::new();
             while let Ok(job) = rx.recv() {
                 match job {
                     Job::Run(seq, query) => {
                         let started_ns = now_ns();
-                        let (out, _miss_log) = worker.run(&query);
+                        let (out, miss_log) = worker.run(&query);
                         let completed_ns = now_ns();
+                        for ev in miss_log {
+                            heat.record_demand(ev.server as usize, 1);
+                        }
                         let _ = ack_tx.send(Ack {
                             processor: worker.id(),
                             seq,
@@ -158,9 +162,9 @@ pub fn run_live(
                     Job::Stop => break,
                 }
             }
-            // The worker's cumulative speculation tally survives the
-            // thread: the runtime folds it into the report.
-            worker.prefetch_stats()
+            // The worker's cumulative speculation tally and demand heat
+            // survive the thread: the runtime folds them into the report.
+            (worker.prefetch_stats(), heat)
         }));
     }
     drop(ack_tx);
@@ -220,8 +224,11 @@ pub fn run_live(
         let _ = tx.send(Job::Stop);
     }
     let mut prefetch_totals = grouting_query::PrefetchStats::default();
+    let mut partition_heat = grouting_metrics::HeatMap::new();
     for h in handles {
-        prefetch_totals.merge(&h.join().expect("worker thread exits cleanly"));
+        let (prefetch, heat) = h.join().expect("worker thread exits cleanly");
+        prefetch_totals.merge(&prefetch);
+        partition_heat.merge(&heat);
     }
 
     let run = engine.finish();
@@ -242,6 +249,10 @@ pub fn run_live(
         replica_failovers: 0,
         batches_resubmitted: 0,
         windows_resubmitted: 0,
+        partition_heat,
+        // Region attribution is a router-side concern (the wire router
+        // charges each dispatch to its nearest landmark region).
+        region_heat: grouting_metrics::HeatMap::new(),
         trace: None,
         wall_ns: now_ns().saturating_sub(run_start),
     }

@@ -8,6 +8,7 @@
 //! figures report.
 
 pub mod counter;
+pub mod heat;
 pub mod histogram;
 pub mod logger;
 pub mod report;
@@ -16,7 +17,9 @@ pub mod throughput;
 pub mod timeline;
 
 pub use counter::{CacheCounters, Counter};
+pub use heat::{DecayingHeat, HeatCell, HeatMap};
 pub use histogram::Histogram;
+pub use logger::set_node_role;
 pub use report::{SeriesReport, TableReport};
 pub use snapshot::{FailoverStats, RunSnapshot};
 pub use throughput::ThroughputMeter;

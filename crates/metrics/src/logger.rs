@@ -14,9 +14,12 @@
 //! grouting_metrics::log_debug!("telemetry: {} frames", 7);
 //! ```
 
+use std::cell::RefCell;
 use std::fmt;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Log severity, ordered from most to least severe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -105,14 +108,38 @@ pub fn set_level(level: Level) {
     THRESHOLD.store(level as u8, Ordering::Relaxed);
 }
 
-/// Writes one record to stderr. Prefer the `log_*` macros, which check
-/// [`enabled`] before formatting.
+thread_local! {
+    /// The node identity of the current thread ("router", "proc-2",
+    /// "storage-0") — every service tier runs as its own thread, so a
+    /// thread-local is exactly one node's identity.
+    static NODE_ROLE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Tags every record this thread emits with a node identity, so chaos
+/// runs with interleaved multi-node stderr stay attributable. Service
+/// threads call this once at startup; pass e.g. `"proc-3"`.
+pub fn set_node_role(role: impl Into<String>) {
+    NODE_ROLE.with(|r| *r.borrow_mut() = Some(role.into()));
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Writes one record to stderr, prefixed with seconds since the process's
+/// first log record and this thread's node role (when set). Prefer the
+/// `log_*` macros, which check [`enabled`] before formatting.
 pub fn emit(level: Level, args: fmt::Arguments<'_>) {
+    let t = epoch().elapsed().as_secs_f64();
     // One locked write per record so concurrent services don't interleave
     // mid-line.
     let stderr = std::io::stderr();
     let mut out = stderr.lock();
-    let _ = writeln!(out, "[grouting {level}] {args}");
+    let _ = NODE_ROLE.with(|r| match r.borrow().as_deref() {
+        Some(role) => writeln!(out, "[grouting {t:9.3}s {role} {level}] {args}"),
+        None => writeln!(out, "[grouting {t:9.3}s {level}] {args}"),
+    });
 }
 
 /// Logs at error level.
@@ -196,5 +223,20 @@ mod tests {
         log_warn!("warn path {}", 2);
         log_info!("info path (suppressed) {}", 3);
         log_debug!("debug path (suppressed) {}", 4);
+    }
+
+    #[test]
+    fn node_role_is_per_thread() {
+        set_node_role("router");
+        NODE_ROLE.with(|r| assert_eq!(r.borrow().as_deref(), Some("router")));
+        std::thread::spawn(|| {
+            // A fresh thread has no role until it declares one.
+            NODE_ROLE.with(|r| assert!(r.borrow().is_none()));
+            set_node_role("proc-1");
+            NODE_ROLE.with(|r| assert_eq!(r.borrow().as_deref(), Some("proc-1")));
+        })
+        .join()
+        .unwrap();
+        NODE_ROLE.with(|r| assert_eq!(r.borrow().as_deref(), Some("router")));
     }
 }

@@ -10,6 +10,8 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::heat::HeatMap;
+
 /// Recovery work one fetch path performed: how often a storage connection
 /// was re-established, how often a fetch had to move to another replica in
 /// its chain, and how many in-flight batches were resubmitted after a
@@ -70,6 +72,13 @@ pub struct RunSnapshot {
     pub windows_resubmitted: u64,
     /// Queries served per processor (index = processor id).
     pub per_processor: Vec<u64>,
+    /// Demand vs speculative adjacency fetches per storage partition
+    /// (slot = storage server id) — the workload heatmap a re-placement
+    /// policy reads.
+    pub partition_heat: HeatMap,
+    /// Demand (dispatches) vs speculative fetches per landmark region
+    /// (slot = landmark index); empty when no landmark asset is deployed.
+    pub region_heat: HeatMap,
 }
 
 impl RunSnapshot {
@@ -115,11 +124,17 @@ impl RunSnapshot {
         for (mine, theirs) in self.per_processor.iter_mut().zip(&other.per_processor) {
             *mine += theirs;
         }
+        self.partition_heat.merge(&other.partition_heat);
+        self.region_heat.merge(&other.region_heat);
     }
 
     /// Encoded size in bytes (matches `encode().len()` exactly).
     pub fn encoded_len(&self) -> usize {
-        8 * 12 + 4 + 8 * self.per_processor.len()
+        8 * 12
+            + 4
+            + 8 * self.per_processor.len()
+            + self.partition_heat.encoded_len()
+            + self.region_heat.encoded_len()
     }
 
     /// Encodes to the little-endian wire layout.
@@ -141,6 +156,8 @@ impl RunSnapshot {
         for &c in &self.per_processor {
             buf.put_u64_le(c);
         }
+        self.partition_heat.encode_into(&mut buf);
+        self.region_heat.encode_into(&mut buf);
         buf.freeze()
     }
 
@@ -196,6 +213,8 @@ impl RunSnapshot {
             ));
         }
         let per_processor = (0..processors).map(|_| data.get_u64_le()).collect();
+        let partition_heat = HeatMap::decode_prefix(data)?;
+        let region_heat = HeatMap::decode_prefix(data)?;
         Ok(Self {
             queries,
             cache_hits,
@@ -210,6 +229,8 @@ impl RunSnapshot {
             batches_resubmitted,
             windows_resubmitted,
             per_processor,
+            partition_heat,
+            region_heat,
         })
     }
 }
@@ -219,6 +240,12 @@ mod tests {
     use super::*;
 
     fn sample() -> RunSnapshot {
+        let mut partition_heat = HeatMap::new();
+        partition_heat.record_demand(0, 120);
+        partition_heat.record_demand(1, 80);
+        partition_heat.record_speculative(1, 30);
+        let mut region_heat = HeatMap::new();
+        region_heat.record_demand(2, 40);
         RunSnapshot {
             queries: 1000,
             cache_hits: 800,
@@ -233,6 +260,8 @@ mod tests {
             batches_resubmitted: 5,
             windows_resubmitted: 1,
             per_processor: vec![250, 251, 249, 250],
+            partition_heat,
+            region_heat,
         }
     }
 
@@ -269,6 +298,13 @@ mod tests {
             batches_resubmitted: 2,
             windows_resubmitted: 3,
             per_processor: vec![1, 2, 3, 4, 5],
+            partition_heat: {
+                let mut h = HeatMap::new();
+                h.record_demand(1, 20);
+                h.record_speculative(2, 6);
+                h
+            },
+            region_heat: HeatMap::new(),
         };
         a.merge(&b);
         assert_eq!(a.queries, 1010);
@@ -282,6 +318,10 @@ mod tests {
         assert_eq!(a.windows_resubmitted, 4);
         // Element-wise, grown to the longer list.
         assert_eq!(a.per_processor, vec![251, 253, 252, 254, 5]);
+        // Heat maps merge element-wise too, growing to the longer map.
+        assert_eq!(a.partition_heat.cell(1).demand, 100);
+        assert_eq!(a.partition_heat.cell(2).speculative, 6);
+        assert_eq!(a.region_heat.cell(2).demand, 40);
     }
 
     #[test]
@@ -336,7 +376,19 @@ mod tests {
             resubmitted in 0u64..1 << 30,
             windows in 0u64..1 << 30,
             per in proptest::collection::vec(0u64..1 << 50, 0..12),
+            part_heat in proptest::collection::vec((0u64..1 << 50, 0u64..1 << 50), 0..8),
+            reg_heat in proptest::collection::vec((0u64..1 << 50, 0u64..1 << 50), 0..8),
         ) {
+            let mut partition_heat = HeatMap::new();
+            for (slot, (d, sp)) in part_heat.iter().enumerate() {
+                partition_heat.record_demand(slot, *d);
+                partition_heat.record_speculative(slot, *sp);
+            }
+            let mut region_heat = HeatMap::new();
+            for (slot, (d, sp)) in reg_heat.iter().enumerate() {
+                region_heat.record_demand(slot, *d);
+                region_heat.record_speculative(slot, *sp);
+            }
             let s = RunSnapshot {
                 queries,
                 cache_hits: hits,
@@ -351,6 +403,8 @@ mod tests {
                 batches_resubmitted: resubmitted,
                 windows_resubmitted: windows,
                 per_processor: per,
+                partition_heat,
+                region_heat,
             };
             let bytes = s.encode();
             proptest::prop_assert_eq!(bytes.len(), s.encoded_len());

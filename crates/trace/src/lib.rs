@@ -37,7 +37,7 @@ pub mod stage;
 pub mod telemetry;
 
 pub use snapshot::TraceSnapshot;
-pub use span::{QuerySpan, QueryTrace, SpanRing, DEFAULT_SPAN_RING};
+pub use span::{span_ring_from_env, QuerySpan, QueryTrace, SpanRing, DEFAULT_SPAN_RING};
 pub use stage::{Stage, StageStats, STAGE_COUNT};
 pub use telemetry::{ReactorStats, TelemetryCounters};
 
@@ -57,8 +57,9 @@ pub enum TraceLevel {
 }
 
 impl TraceLevel {
-    /// Reads `GROUTING_TRACE` (`off`, `stats`, `spans`; default `off`).
-    /// Unknown values warn through the logger and fall back to `off`.
+    /// Reads `GROUTING_TRACE` (`off`, `stats`, `spans`, `spans:N`;
+    /// default `off`). Unknown values warn through the logger and fall
+    /// back to `off`.
     pub fn from_env() -> Self {
         match std::env::var("GROUTING_TRACE") {
             Ok(v) => match Self::parse(&v) {
@@ -74,13 +75,18 @@ impl TraceLevel {
         }
     }
 
-    /// Parses a `GROUTING_TRACE` spelling; `None` when unknown.
+    /// Parses a `GROUTING_TRACE` spelling; `None` when unknown. The
+    /// `spans:N` form also sets the router's span-ring capacity (see
+    /// [`span_ring_from_env`]).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "off" | "0" | "" => Some(TraceLevel::Off),
             "stats" | "1" => Some(TraceLevel::Stats),
             "spans" | "2" => Some(TraceLevel::Spans),
-            _ => None,
+            _ => match s.strip_prefix("spans:") {
+                Some(n) if n.parse::<usize>().is_ok() => Some(TraceLevel::Spans),
+                _ => None,
+            },
         }
     }
 
@@ -144,6 +150,10 @@ mod tests {
         assert_eq!(TraceLevel::parse("spans"), Some(TraceLevel::Spans));
         assert_eq!(TraceLevel::parse("1"), Some(TraceLevel::Stats));
         assert_eq!(TraceLevel::parse("verbose"), None);
+        assert_eq!(TraceLevel::parse("spans:64"), Some(TraceLevel::Spans));
+        assert_eq!(TraceLevel::parse("spans:0"), Some(TraceLevel::Spans));
+        assert_eq!(TraceLevel::parse("spans:"), None);
+        assert_eq!(TraceLevel::parse("spans:lots"), None);
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub struct TraceSnapshot {
     /// The most recent query spans (bounded by the router's ring;
     /// empty below [`TraceLevel::Spans`]).
     pub spans: Vec<QuerySpan>,
+    /// Spans evicted from the ring past its capacity — non-zero means
+    /// `spans` is a suffix of the run, not the whole story (grow the
+    /// ring with `GROUTING_TRACE=spans:N`).
+    pub spans_dropped: u64,
 }
 
 impl TraceSnapshot {
@@ -43,6 +47,7 @@ impl TraceSnapshot {
         self.stages.merge(&other.stages);
         self.reactor.merge(&other.reactor);
         self.spans.extend_from_slice(&other.spans);
+        self.spans_dropped += other.spans_dropped;
     }
 
     /// Encoded size in bytes.
@@ -51,6 +56,7 @@ impl TraceSnapshot {
             + ReactorStats::ENCODED_LEN
             + 4
             + self.spans.len() * QuerySpan::ENCODED_LEN
+            + 8
     }
 
     /// Appends the little-endian wire layout.
@@ -62,6 +68,7 @@ impl TraceSnapshot {
         for span in &self.spans {
             span.encode_into(buf);
         }
+        buf.put_u64_le(self.spans_dropped);
     }
 
     /// Encodes to a standalone buffer.
@@ -98,11 +105,16 @@ impl TraceSnapshot {
         let spans = (0..n)
             .map(|_| QuerySpan::decode_prefix(data))
             .collect::<Result<Vec<_>, _>>()?;
+        if data.remaining() < 8 {
+            return Err("trace snapshot dropped-span count truncated".to_string());
+        }
+        let spans_dropped = data.get_u64_le();
         Ok(Self {
             level,
             stages,
             reactor,
             spans,
+            spans_dropped,
         })
     }
 
@@ -148,6 +160,7 @@ mod tests {
             compute_ns: 20_000,
             completion_ns: 2_000,
         });
+        s.spans_dropped = 9;
         s
     }
 
@@ -191,10 +204,12 @@ mod tests {
         let mut b = TraceSnapshot::new(TraceLevel::Stats);
         b.stages.record(Stage::Compute, 40_000);
         b.reactor.frames_in = 3;
+        b.spans_dropped = 2;
         a.merge(&b);
         assert_eq!(a.level, TraceLevel::Spans, "more verbose level wins");
         assert_eq!(a.stages.stage(Stage::Compute).count(), 2);
         assert_eq!(a.reactor.frames_in, 15);
         assert_eq!(a.spans.len(), 1);
+        assert_eq!(a.spans_dropped, 11);
     }
 }

@@ -7,6 +7,18 @@ use std::collections::VecDeque;
 /// Default capacity of the router's in-memory span ring.
 pub const DEFAULT_SPAN_RING: usize = 256;
 
+/// The span-ring capacity `GROUTING_TRACE` requests: `spans:N` gives
+/// `N`, every other spelling (including plain `spans`) the default.
+pub fn span_ring_from_env() -> usize {
+    match std::env::var("GROUTING_TRACE") {
+        Ok(v) => v
+            .strip_prefix("spans:")
+            .and_then(|n| n.parse().ok())
+            .unwrap_or(DEFAULT_SPAN_RING),
+        Err(_) => DEFAULT_SPAN_RING,
+    }
+}
+
 /// The processor-measured portion of a query's span, carried back to the
 /// router as the optional trace block on a `Completion` frame.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -147,6 +159,7 @@ impl QuerySpan {
 pub struct SpanRing {
     cap: usize,
     spans: VecDeque<QuerySpan>,
+    dropped: u64,
 }
 
 impl SpanRing {
@@ -155,18 +168,27 @@ impl SpanRing {
         Self {
             cap,
             spans: VecDeque::with_capacity(cap.min(DEFAULT_SPAN_RING)),
+            dropped: 0,
         }
     }
 
-    /// Appends a span, evicting the oldest past capacity.
+    /// Appends a span, evicting the oldest past capacity. Evictions
+    /// count as dropped spans; a zero-capacity ring is disabled, not
+    /// overflowing, and counts nothing.
     pub fn push(&mut self, span: QuerySpan) {
         if self.cap == 0 {
             return;
         }
         if self.spans.len() == self.cap {
             self.spans.pop_front();
+            self.dropped += 1;
         }
         self.spans.push_back(span);
+    }
+
+    /// Spans evicted past capacity since the ring was created.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Spans currently retained, oldest first.
@@ -258,9 +280,11 @@ mod tests {
         let seqs: Vec<u64> = ring.iter().map(|s| s.seq).collect();
         assert_eq!(seqs, vec![7, 8, 9]);
         assert_eq!(ring.dump().len(), 3);
+        assert_eq!(ring.dropped(), 7, "10 pushed, 3 retained");
 
         let mut empty = SpanRing::new(0);
         empty.push(QuerySpan::default());
         assert!(empty.is_empty());
+        assert_eq!(empty.dropped(), 0, "disabled ring, not overflow");
     }
 }

@@ -188,6 +188,7 @@ pub fn launch_chaos_cluster(
         poller: config.reactor,
         trace: config.trace,
         telemetry: None,
+        obs: config.obs.clone(),
     };
     let router = std::thread::spawn(move || {
         run_router(
@@ -224,6 +225,7 @@ pub fn launch_chaos_cluster(
                 retry: config.retry,
                 stop: Some(Arc::clone(&stop)),
                 ready,
+                obs: config.obs.clone(),
             },
         );
         ProcSlot { stop, join }

@@ -16,6 +16,7 @@ use grouting_engine::{EngineAssets, EngineConfig};
 use grouting_metrics::log_warn;
 use grouting_metrics::timeline::QueryRecord;
 use grouting_metrics::{RunSnapshot, Timeline};
+use grouting_obs::ObsConfig;
 use grouting_query::{Query, QueryResult};
 use grouting_storage::{NetworkModel, Preset};
 use grouting_trace::{Stage, TelemetryCounters, TraceLevel, TraceSnapshot};
@@ -27,7 +28,7 @@ use crate::frame::{Frame, Role};
 use crate::reactor::PollerKind;
 use crate::service::{
     now_ns, run_router, ProcessorOptions, ProcessorService, RouterOptions, ServiceHandle,
-    StorageService,
+    StorageOptions, StorageService,
 };
 use crate::transport::{InProcTransport, RetryPolicy, TcpTransport, Transport};
 
@@ -125,6 +126,12 @@ pub struct ClusterConfig {
     /// storage endpoints, and client always run unfaulted — the plan
     /// injects failures into exactly the recovery paths under test.
     pub faults: FaultPlan,
+    /// Observability deployment: sampler cadence, the router's scrape
+    /// bind address, and the flight-recorder dump flag
+    /// ([`ObsConfig::from_env`] honours `GROUTING_METRICS_ADDR` and
+    /// `GROUTING_OBS_DUMP`; off when neither is set, which keeps every
+    /// frame byte-identical to an unobserved deployment).
+    pub obs: ObsConfig,
 }
 
 impl ClusterConfig {
@@ -141,7 +148,17 @@ impl ClusterConfig {
             trace: TraceLevel::from_env(),
             retry: None,
             faults: FaultPlan::new(),
+            obs: ObsConfig::from_env(),
         }
+    }
+
+    /// Overrides the observability deployment (scrape endpoint, sampling
+    /// cadence, flight-recorder dump) — tests pass an explicit config
+    /// instead of mutating the process environment.
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Overrides the processors' storage redial backoff ladder.
@@ -302,15 +319,28 @@ pub fn launch_cluster(
         .enabled()
         .then(|| Arc::new(TelemetryCounters::new()));
 
+    // The router listener binds before anything else spawns: its address
+    // doubles as the cluster's observability sink, so storage endpoints
+    // need it at spawn time to push sampled registries there.
+    let router_listener = transport.listen(&transport.any_addr())?;
+    let router_addr = router_listener.addr();
+
     // Storage endpoints, one per tier server.
+    let obs_push_addr = config.obs.enabled().then(|| router_addr.clone());
     let mut storage_handles: Vec<ServiceHandle> = Vec::new();
-    for _ in 0..assets.tier.server_count() {
-        storage_handles.push(StorageService::spawn_full(
+    for id in 0..assets.tier.server_count() {
+        storage_handles.push(StorageService::spawn_opts(
             Arc::clone(&transport),
+            &transport.any_addr(),
             Arc::clone(&assets.tier),
-            net,
-            config.reactor,
-            telemetry.clone(),
+            StorageOptions {
+                net,
+                poller: config.reactor,
+                telemetry: telemetry.clone(),
+                obs: config.obs.clone(),
+                push_addr: obs_push_addr.clone(),
+                id: id as u16,
+            },
         )?);
     }
     let storage_addrs: Vec<String> = storage_handles
@@ -319,8 +349,6 @@ pub fn launch_cluster(
         .collect();
 
     // The router node.
-    let router_listener = transport.listen(&transport.any_addr())?;
-    let router_addr = router_listener.addr();
     let router_assets = assets.clone();
     let router_config = config.engine;
     let router_opts = RouterOptions {
@@ -328,6 +356,7 @@ pub fn launch_cluster(
         poller: config.reactor,
         trace: config.trace,
         telemetry: telemetry.clone(),
+        obs: config.obs.clone(),
     };
     let router = std::thread::spawn(move || {
         run_router(
@@ -368,6 +397,7 @@ pub fn launch_cluster(
                     retry: config.retry,
                     stop: None,
                     ready: None,
+                    obs: config.obs.clone(),
                 },
             )
         })

@@ -22,6 +22,8 @@
 //!   cache-miss path to a storage server (the value is the *encoded*
 //!   adjacency record, so byte accounting matches the in-proc engine);
 //! * [`Frame::MetricsRequest`]/[`Frame::Metrics`] — run-total snapshots;
+//! * [`Frame::ObsPush`] — a node's sampled metrics registry, forwarded
+//!   to the router so one scrape of the router reads the whole cluster;
 //! * [`Frame::Shutdown`] — orderly teardown.
 //!
 //! # Optional trace blocks
@@ -39,7 +41,8 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use grouting_graph::{NodeId, NodeLabelId};
-use grouting_metrics::{FailoverStats, RunSnapshot};
+use grouting_metrics::{FailoverStats, HeatMap, RunSnapshot};
+use grouting_obs::RegistrySnapshot;
 use grouting_query::{AccessStats, PrefetchStats, Query, QueryResult};
 use grouting_trace::{QueryTrace, TraceLevel, TraceSnapshot};
 
@@ -61,6 +64,7 @@ const TAG_METRICS: u8 = 9;
 const TAG_SHUTDOWN: u8 = 10;
 const TAG_FETCH_BATCH_REQUEST: u8 = 11;
 const TAG_FETCH_BATCH_RESPONSE: u8 = 12;
+const TAG_OBS_PUSH: u8 = 13;
 
 /// Who a connection speaks for, announced in [`Frame::Hello`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +125,13 @@ pub struct Completion {
     pub started_ns: u64,
     /// Execution completion timestamp.
     pub completed_ns: u64,
+    /// The serving processor's *cumulative* per-partition workload heat
+    /// (demand and speculative fetches per partition slot since it
+    /// started) — cumulative for the same reason as `prefetch`, and
+    /// counted unconditionally so the frame bytes are identical with
+    /// observability sampling on or off. Empty until the processor's
+    /// first fetch.
+    pub heat: HeatMap,
     /// The processor-measured span block (fetch wait vs compute, per
     /// level at `spans`). `None` when tracing is off, keeping the frame
     /// byte-identical to an untraced run.
@@ -195,6 +206,13 @@ pub enum Frame {
         /// where the node is not stored.
         payloads: Vec<Option<(u16, Bytes)>>,
     },
+    /// Processor/storage → router: one node's sampled metrics registry,
+    /// absorbed into the router's cluster-wide scrape view. Only emitted
+    /// while observability sampling is on.
+    ObsPush {
+        /// The node's registry at its latest sampling tick.
+        snapshot: RegistrySnapshot,
+    },
     /// Client → router: ask for the current run snapshot.
     MetricsRequest,
     /// Router → client: run totals, plus the trace layer's aggregate when
@@ -224,6 +242,7 @@ impl Frame {
             Frame::FetchResponse { .. } => "fetch-response",
             Frame::FetchBatchRequest { .. } => "fetch-batch-request",
             Frame::FetchBatchResponse { .. } => "fetch-batch-response",
+            Frame::ObsPush { .. } => "obs-push",
             Frame::MetricsRequest => "metrics-request",
             Frame::Metrics { .. } => "metrics",
             Frame::Shutdown => "shutdown",
@@ -282,6 +301,7 @@ impl Frame {
                 buf.put_u64_le(c.arrived_ns);
                 buf.put_u64_le(c.started_ns);
                 buf.put_u64_le(c.completed_ns);
+                c.heat.encode_into(&mut buf);
                 if let Some(t) = &c.trace {
                     t.encode_into(&mut buf);
                 }
@@ -334,6 +354,10 @@ impl Frame {
                     }
                 }
             }
+            Frame::ObsPush { snapshot } => {
+                buf.put_u8(TAG_OBS_PUSH);
+                snapshot.encode_into(&mut buf);
+            }
             Frame::MetricsRequest => buf.put_u8(TAG_METRICS_REQUEST),
             Frame::Metrics { snapshot, trace } => {
                 buf.put_u8(TAG_METRICS);
@@ -368,6 +392,7 @@ impl Frame {
                     + 4
                     + result_encoded_len(&c.result)
                     + 8 * 13
+                    + c.heat.encoded_len()
                     + c.trace.as_ref().map_or(0, QueryTrace::encoded_len)
             }
             Frame::FetchRequest { .. } => 1 + 4,
@@ -392,6 +417,7 @@ impl Frame {
                         })
                         .sum::<usize>()
             }
+            Frame::ObsPush { snapshot } => 1 + snapshot.encoded_len(),
             Frame::MetricsRequest => 1,
             Frame::Metrics { snapshot, trace } => {
                 1 + snapshot.encoded_len() + trace.as_ref().map_or(0, |t| t.encoded_len())
@@ -549,6 +575,7 @@ impl Frame {
                 let arrived_ns = data.get_u64_le();
                 let started_ns = data.get_u64_le();
                 let completed_ns = data.get_u64_le();
+                let heat = HeatMap::decode_prefix(&mut data).map_err(WireError::Codec)?;
                 let trace = if data.has_remaining() {
                     Some(QueryTrace::decode_prefix(&mut data).map_err(WireError::Codec)?)
                 } else {
@@ -564,6 +591,7 @@ impl Frame {
                     arrived_ns,
                     started_ns,
                     completed_ns,
+                    heat,
                     trace,
                 })
             }
@@ -633,6 +661,9 @@ impl Frame {
                 }
                 Frame::FetchBatchResponse { req_id, payloads }
             }
+            TAG_OBS_PUSH => Frame::ObsPush {
+                snapshot: RegistrySnapshot::decode_prefix(&mut data).map_err(WireError::Codec)?,
+            },
             TAG_METRICS_REQUEST => Frame::MetricsRequest,
             TAG_METRICS => {
                 let snapshot = RunSnapshot::decode_prefix(&mut data).map_err(WireError::Codec)?;
@@ -846,6 +877,23 @@ mod tests {
         NodeId::new(i)
     }
 
+    fn heat(cells: &[(u64, u64)]) -> HeatMap {
+        let mut h = HeatMap::new();
+        for (slot, (d, s)) in cells.iter().enumerate() {
+            h.record_demand(slot, *d);
+            h.record_speculative(slot, *s);
+        }
+        h
+    }
+
+    fn obs_snapshot() -> RegistrySnapshot {
+        let mut reg = grouting_obs::Registry::new(grouting_obs::NodeRole::Storage, 2);
+        reg.begin(77_000);
+        reg.counter("grouting_cache_hits_total", 41);
+        reg.gauge_with("grouting_queue_depth", &[("lane", "demand")], 3.5);
+        reg.snapshot()
+    }
+
     fn sample_frames() -> Vec<Frame> {
         vec![
             Frame::Hello {
@@ -902,8 +950,12 @@ mod tests {
                 arrived_ns: 10,
                 started_ns: 20,
                 completed_ns: 30,
+                heat: heat(&[(3, 1), (0, 2)]),
                 trace: None,
             }),
+            Frame::ObsPush {
+                snapshot: obs_snapshot(),
+            },
             Frame::FetchRequest { node: n(123) },
             Frame::FetchResponse {
                 node: n(123),
@@ -951,6 +1003,8 @@ mod tests {
                     batches_resubmitted: 3,
                     windows_resubmitted: 1,
                     per_processor: vec![5, 5],
+                    partition_heat: heat(&[(3, 1), (0, 2)]),
+                    region_heat: heat(&[(7, 0)]),
                 },
                 trace: None,
             },
@@ -999,6 +1053,7 @@ mod tests {
             arrived_ns: 10,
             started_ns: 20,
             completed_ns: 30,
+            heat: heat(&[(5, 2)]),
             trace: None,
         };
         let query = Query::NeighborAggregation {
@@ -1074,6 +1129,8 @@ mod tests {
                         batches_resubmitted: 0,
                         windows_resubmitted: 0,
                         per_processor: vec![5, 5],
+                        partition_heat: heat(&[(9, 4), (2, 0), (0, 1)]),
+                        region_heat: heat(&[(5, 5)]),
                     },
                     trace: Some(Box::new(trace_snapshot)),
                 },
@@ -1092,6 +1149,8 @@ mod tests {
                         batches_resubmitted: 0,
                         windows_resubmitted: 0,
                         per_processor: vec![5, 5],
+                        partition_heat: heat(&[(9, 4), (2, 0), (0, 1)]),
+                        region_heat: heat(&[(5, 5)]),
                     },
                     trace: None,
                 },
@@ -1420,6 +1479,7 @@ mod tests {
             misses in 0u64..1 << 40,
             bytes_ in 0u64..1 << 40,
             ts in 0u64..1 << 50,
+            heat_cells in proptest::collection::vec((0u64..1 << 40, 0u64..1 << 40), 0..5),
             trace in proptest::option::of((
                 0u64..1 << 40,
                 0u64..1 << 40,
@@ -1455,6 +1515,7 @@ mod tests {
                 arrived_ns: ts,
                 started_ns: ts + 1,
                 completed_ns: ts + 2,
+                heat: heat(&heat_cells),
                 trace: trace.map(|(fetch_wait_ns, compute_ns, levels, level_spans)| QueryTrace {
                     fetch_wait_ns,
                     compute_ns,
@@ -1500,6 +1561,8 @@ mod tests {
                     batches_resubmitted: queries / 11,
                     windows_resubmitted: queries / 13,
                     per_processor: per,
+                    partition_heat: heat(&[(queries % 97, hits % 89), (hits % 83, 0)]),
+                    region_heat: heat(&[(queries % 13, queries % 7)]),
                 },
                 trace: stage_ns.map(|ns| {
                     let mut t = TraceSnapshot::new(grouting_trace::TraceLevel::Stats);
@@ -1523,7 +1586,7 @@ mod tests {
         /// field values where the type has any.
         #[test]
         fn prop_any_frame_round_trips(
-            kind in 0u8..12,
+            kind in 0u8..13,
             seq in 0u64..u64::MAX,
             id in 0u32..1024,
             node in 0u32..1_000_000,
@@ -1577,6 +1640,7 @@ mod tests {
                     arrived_ns: seq / 3,
                     started_ns: seq / 2,
                     completed_ns: seq,
+                    heat: heat(&[(count / 3, count / 5); 2][..(id % 3) as usize]),
                     trace: (seq % 2 == 0).then(|| QueryTrace {
                         fetch_wait_ns: seq / 5,
                         compute_ns: seq / 7,
@@ -1605,6 +1669,8 @@ mod tests {
                         batches_resubmitted: count / 23,
                         windows_resubmitted: count / 29,
                         per_processor: vec![count; (id % 6) as usize],
+                        partition_heat: heat(&[(count % 101, count % 51), (count % 11, 0)]),
+                        region_heat: heat(&[(count % 5, count % 3)]),
                     },
                     trace: (seq % 2 == 0).then(|| {
                         let mut t = TraceSnapshot::new(grouting_trace::TraceLevel::Stats);
@@ -1625,6 +1691,27 @@ mod tests {
                         })
                         .collect(),
                 },
+                11 => {
+                    let role = match id % 3 {
+                        0 => grouting_obs::NodeRole::Router,
+                        1 => grouting_obs::NodeRole::Processor,
+                        _ => grouting_obs::NodeRole::Storage,
+                    };
+                    let mut reg = grouting_obs::Registry::new(role, (id % 512) as u16);
+                    reg.begin(seq);
+                    for i in 0..id % 5 {
+                        let slot = i.to_string();
+                        reg.counter_with(
+                            "grouting_partition_demand_total",
+                            &[("partition", &slot)],
+                            count.wrapping_add(u64::from(i)),
+                        );
+                    }
+                    reg.gauge("grouting_queue_depth", count as f64 / 7.0);
+                    Frame::ObsPush {
+                        snapshot: reg.snapshot(),
+                    }
+                }
                 _ => Frame::Shutdown,
             };
             proptest::prop_assert_eq!(Frame::decode(frame.encode()).unwrap(), frame);

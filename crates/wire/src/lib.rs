@@ -60,11 +60,12 @@ pub use error::{WireError, WireResult};
 pub use fault::{FaultKind, FaultPlan, FaultRule, FaultyTransport};
 pub use flow::{BatchMux, FetchMode, MultiplexedStorageSource, PendingBatch};
 pub use frame::{Completion, Frame, Role};
+pub use grouting_obs::{NodeObs, NodeRole, ObsConfig, Registry, RegistrySnapshot};
 pub use overlap::{CompletedQuery, QueryPipeline};
 pub use reactor::{Backoff, Poller, PollerKind, Reactor, ReactorEvent, SweepPoller};
 pub use service::{
     now_ns, run_router, FailoverCell, ProcessorOptions, ProcessorService, RemoteStorageSource,
-    RouterOptions, ServiceHandle, StorageService,
+    RouterOptions, ServiceHandle, StorageOptions, StorageService,
 };
 pub use transport::{
     Connection, ConnectionPool, FrameSink, FrameStream, InProcTransport, Listener, RetryPolicy,
@@ -315,6 +316,7 @@ mod tests {
                         arrived_ns: 0,
                         started_ns: 1,
                         completed_ns: 2,
+                        heat: grouting_metrics::HeatMap::default(),
                         trace: None,
                     }))
                     .unwrap();
@@ -447,6 +449,7 @@ mod tests {
                     arrived_ns: 0,
                     started_ns: 1,
                     completed_ns: 2,
+                    heat: grouting_metrics::HeatMap::default(),
                     trace: None,
                 }))
                 .unwrap();

@@ -26,6 +26,7 @@
 use std::collections::VecDeque;
 
 use grouting_graph::NodeId;
+use grouting_metrics::HeatMap;
 use grouting_query::{
     CacheBackedStore, ExecOutcome, PrefetchConfig, PrefetchState, PrefetchStats, ProcessorCache,
     Query, StagedQuery, Step,
@@ -88,6 +89,11 @@ pub struct QueryPipeline {
     active: VecDeque<ActiveQuery>,
     prefetch: PrefetchState,
     trace: TraceLevel,
+    /// Cumulative per-storage-server workload heat: demand counts fold in
+    /// as queries complete (from their miss logs), speculative counts as
+    /// prefetched payloads arrive. Deterministic integer tallies, counted
+    /// unconditionally — observability sampling never changes them.
+    heat: HeatMap,
 }
 
 impl QueryPipeline {
@@ -100,6 +106,7 @@ impl QueryPipeline {
             active: VecDeque::new(),
             prefetch: PrefetchState::new(PrefetchConfig::OFF),
             trace: TraceLevel::Off,
+            heat: HeatMap::new(),
         }
     }
 
@@ -122,6 +129,12 @@ impl QueryPipeline {
     /// The cumulative speculative tally (zeros while prefetching is off).
     pub fn prefetch_stats(&self) -> PrefetchStats {
         self.prefetch.stats()
+    }
+
+    /// The cumulative per-storage-server heat (demand misses of completed
+    /// queries plus speculative payloads staged so far).
+    pub fn heat(&self) -> &HeatMap {
+        &self.heat
     }
 
     /// Accepts a dispatched query (admitted into execution by the next
@@ -193,6 +206,9 @@ impl QueryPipeline {
             let demand_nodes = std::mem::take(&mut active.demand);
             let spec_payloads = payloads.split_off(demand_nodes.len());
             let spec_nodes = std::mem::take(&mut active.spec);
+            for (server, _) in spec_payloads.iter().flatten() {
+                self.heat.record_speculative(*server as usize, 1);
+            }
             self.prefetch.demand_arrived(&demand_nodes);
             let resume_started_ns = if self.trace.enabled() { now_ns() } else { 0 };
             let (step, spec) = {
@@ -223,7 +239,10 @@ impl QueryPipeline {
                     slot += 1;
                 }
                 Step::Done(outcome) => {
-                    let finished = self.active.remove(slot).expect("slot in bounds");
+                    let mut finished = self.active.remove(slot).expect("slot in bounds");
+                    for ev in finished.staged.take_miss_log() {
+                        self.heat.record_demand(ev.server as usize, 1);
+                    }
                     completed.push(CompletedQuery {
                         seq: finished.seq,
                         outcome,
@@ -318,16 +337,21 @@ impl QueryPipeline {
                 let slot = self.active.len() - 1;
                 self.submit(source, slot, miss, spec)?;
             }
-            Step::Done(outcome) => completed.push(CompletedQuery {
-                seq,
-                outcome,
-                started_ns,
-                completed_ns: now_ns(),
-                trace: self.trace.enabled().then(|| QueryTrace {
-                    compute_ns: admit_compute_ns,
-                    ..QueryTrace::default()
-                }),
-            }),
+            Step::Done(outcome) => {
+                for ev in staged.take_miss_log() {
+                    self.heat.record_demand(ev.server as usize, 1);
+                }
+                completed.push(CompletedQuery {
+                    seq,
+                    outcome,
+                    started_ns,
+                    completed_ns: now_ns(),
+                    trace: self.trace.enabled().then(|| QueryTrace {
+                        compute_ns: admit_compute_ns,
+                        ..QueryTrace::default()
+                    }),
+                });
+            }
         }
         Ok(true)
     }
@@ -390,13 +414,13 @@ mod tests {
     }
 
     /// Like [`run_pipeline`], with a prefetch configuration and a custom
-    /// cache; also returns the pipeline's speculative tally.
+    /// cache; also returns the pipeline's speculative tally and heat map.
     fn run_pipeline_with(
         overlap: usize,
         queries: &[Query],
         prefetch: PrefetchConfig,
         make_cache: impl Fn() -> ProcessorCache,
-    ) -> (Vec<(u64, ExecOutcome)>, PrefetchStats) {
+    ) -> (Vec<(u64, ExecOutcome)>, PrefetchStats, HeatMap) {
         let tier = loaded_tier(48, 3);
         let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
         let handles: Vec<_> = (0..tier.server_count())
@@ -427,11 +451,12 @@ mod tests {
             std::thread::yield_now();
         }
         let stats = pipeline.prefetch_stats();
+        let heat = pipeline.heat().clone();
         drop(source);
         for h in handles {
             h.shutdown();
         }
-        (out, stats)
+        (out, stats, heat)
     }
 
     /// The serial reference: the same queries through an engine worker
@@ -505,9 +530,10 @@ mod tests {
         let q = queries(48, 24);
         let serial = run_serial(&q);
         for policy in [PrefetchPolicy::Degree, PrefetchPolicy::Hotspot] {
-            let (piped, _) = run_pipeline_with(1, &q, PrefetchConfig::with_policy(policy), || {
-                Box::new(LruCache::new(1 << 20))
-            });
+            let (piped, _, _) =
+                run_pipeline_with(1, &q, PrefetchConfig::with_policy(policy), || {
+                    Box::new(LruCache::new(1 << 20))
+                });
             assert_eq!(piped.len(), q.len());
             for (i, (seq, outcome)) in piped.iter().enumerate() {
                 assert_eq!(*seq as usize, i, "{policy}: overlap 1 is in order");
@@ -591,7 +617,7 @@ mod tests {
             })
             .collect();
         let serial = run_serial_with(&q, Box::new(grouting_cache::NullCache::new()));
-        let (piped, stats) = run_pipeline_with(
+        let (piped, stats, heat) = run_pipeline_with(
             1,
             &q,
             PrefetchConfig::with_policy(PrefetchPolicy::Hotspot),
@@ -603,5 +629,27 @@ mod tests {
         }
         assert!(stats.issued > 0, "speculation must fire");
         assert!(stats.hits > 0, "repeat frontiers must be served from stage");
+        // Heat mirrors the accounting exactly: one demand count per miss
+        // event, one speculative count per staged payload.
+        let serial_misses: u64 = serial.iter().map(|o| o.stats.cache_misses).sum();
+        assert_eq!(heat.total_demand(), serial_misses);
+        assert!(
+            heat.total_speculative() > 0,
+            "staged payloads must register"
+        );
+        assert!(heat.total_speculative() <= stats.issued);
+    }
+
+    #[test]
+    fn pipeline_heat_tracks_demand_misses_per_server() {
+        let q = queries(48, 24);
+        let serial = run_serial(&q);
+        let (_, _, heat) = run_pipeline_with(2, &q, PrefetchConfig::OFF, || {
+            Box::new(LruCache::new(1 << 20))
+        });
+        let serial_misses: u64 = serial.iter().map(|o| o.stats.cache_misses).sum();
+        assert_eq!(heat.total_demand(), serial_misses);
+        assert_eq!(heat.total_speculative(), 0, "no speculation configured");
+        assert!(heat.len() <= 3, "only three storage servers exist");
     }
 }

@@ -330,6 +330,11 @@ impl Poller for EpollPoller {
 }
 
 /// Something a [`Reactor::poll`] sweep observed.
+// The `Frame` variant dwarfs the others, but boxing it would put a heap
+// allocation on every inbound frame — the data plane's hot path. Events
+// live in one short reused Vec, so the per-event size is not a cost that
+// compounds.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum ReactorEvent {
     /// A new inbound connection was accepted (or an outbound one

@@ -37,16 +37,18 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
+use grouting_embed::landmarks::Landmarks;
 use grouting_engine::{Engine, EngineAssets, EngineConfig, Worker};
 use grouting_graph::NodeId;
 use grouting_metrics::timeline::QueryRecord;
-use grouting_metrics::{FailoverStats, RunSnapshot};
+use grouting_metrics::{set_node_role, DecayingHeat, FailoverStats, HeatMap, RunSnapshot};
+use grouting_obs::{NodeObs, NodeRole, ObsConfig};
 use grouting_partition::Partitioner;
 use grouting_query::{BatchSource, RecordSource};
 use grouting_storage::{NetworkModel, StorageTier};
 use grouting_trace::{
-    QuerySpan, QueryTrace, SpanRing, Stage, StageStats, TelemetryCounters, TraceLevel,
-    TraceSnapshot, DEFAULT_SPAN_RING,
+    span_ring_from_env, QuerySpan, QueryTrace, SpanRing, Stage, StageStats, TelemetryCounters,
+    TraceLevel, TraceSnapshot,
 };
 
 use crate::error::{WireError, WireResult};
@@ -106,6 +108,39 @@ impl Drop for ServiceHandle {
 // ---------------------------------------------------------------------------
 // Storage
 // ---------------------------------------------------------------------------
+
+/// Storage-side knobs beyond the tier handle.
+pub struct StorageOptions {
+    /// Emulated per-fetch wire delay ([`NetworkModel::local`] charges
+    /// nothing).
+    pub net: NetworkModel,
+    /// Readiness backend for the node's reactor.
+    pub poller: PollerKind,
+    /// Deployment-shared reactor telemetry.
+    pub telemetry: Option<Arc<TelemetryCounters>>,
+    /// Observability: sampler cadence, scrape endpoint, flight-recorder
+    /// dump flag.
+    pub obs: ObsConfig,
+    /// Router address to push sampled registries to (observability only).
+    /// The connection is dialled lazily on the first push and never says
+    /// hello — the router absorbs `ObsPush` frames from any peer.
+    pub push_addr: Option<String>,
+    /// This storage server's id (observability labels and log prefixes).
+    pub id: u16,
+}
+
+impl Default for StorageOptions {
+    fn default() -> Self {
+        Self {
+            net: NetworkModel::local(),
+            poller: PollerKind::from_env(),
+            telemetry: None,
+            obs: ObsConfig::disabled(),
+            push_addr: None,
+            id: 0,
+        }
+    }
+}
 
 /// A storage server endpoint serving adjacency fetches over the wire.
 pub struct StorageService;
@@ -186,15 +221,56 @@ impl StorageService {
         poller: PollerKind,
         telemetry: Option<Arc<TelemetryCounters>>,
     ) -> WireResult<ServiceHandle> {
+        Self::spawn_opts(
+            transport,
+            addr,
+            tier,
+            StorageOptions {
+                net,
+                poller,
+                telemetry,
+                ..StorageOptions::default()
+            },
+        )
+    }
+
+    /// Like [`StorageService::spawn_bound`], taking the full
+    /// [`StorageOptions`] set — including the observability bundle and the
+    /// router address sampled registries are pushed to.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the transport cannot bind a listener at `addr`.
+    pub fn spawn_opts(
+        transport: Arc<dyn Transport>,
+        addr: &str,
+        tier: Arc<StorageTier>,
+        opts: StorageOptions,
+    ) -> WireResult<ServiceHandle> {
         let listener = transport.listen(addr)?;
         let addr = listener.addr();
         let stop = Arc::new(AtomicBool::new(false));
         let stop_loop = Arc::clone(&stop);
+        let StorageOptions {
+            net,
+            poller,
+            telemetry,
+            obs: obs_cfg,
+            push_addr,
+            id,
+        } = opts;
         let join = std::thread::spawn(move || {
+            set_node_role(format!("storage-{id}"));
             let mut reactor = Reactor::with_poller(listener, poller);
-            if let Some(t) = telemetry {
-                reactor.set_telemetry(t);
+            if let Some(t) = &telemetry {
+                reactor.set_telemetry(Arc::clone(t));
             }
+            let mut obs = NodeObs::new(NodeRole::Storage, id, &obs_cfg);
+            // Served-request tallies (cheap enough to count always; only
+            // read while observability is on).
+            let (mut fetches, mut batches, mut records) = (0u64, 0u64, 0u64);
+            // The lazily dialled anonymous connection `ObsPush` frames ride.
+            let mut push_conn = None;
             let mut events: Vec<ReactorEvent> = Vec::new();
             // Responses whose emulated flight time has not elapsed yet.
             // Arrival order, but due times are NOT monotone (the delay
@@ -206,15 +282,26 @@ impl StorageService {
             let mut in_flight: VecDeque<DelayedResponse> = VecDeque::new();
             loop {
                 if stop_loop.load(Ordering::SeqCst) {
-                    return;
+                    break;
                 }
                 events.clear();
                 if reactor.poll(&mut events).is_err() {
-                    return;
+                    break;
                 }
                 let mut progressed = false;
                 for event in events.drain(..) {
                     if let ReactorEvent::Frame(conn_id, frame) = event {
+                        match &frame {
+                            Frame::FetchRequest { .. } => {
+                                fetches += 1;
+                                records += 1;
+                            }
+                            Frame::FetchBatchRequest { nodes, .. } => {
+                                batches += 1;
+                                records += nodes.len() as u64;
+                            }
+                            _ => {}
+                        }
                         serve_storage_frame(
                             &mut reactor,
                             conn_id,
@@ -241,6 +328,32 @@ impl StorageService {
                     }
                     false
                 });
+                if let Some(o) = obs.as_mut() {
+                    let delayed = in_flight.len();
+                    let now = now_ns();
+                    o.maybe_sample(now, |r| {
+                        r.counter("grouting_storage_fetches_total", fetches);
+                        r.counter("grouting_storage_batches_total", batches);
+                        r.counter("grouting_storage_records_total", records);
+                        r.gauge("grouting_storage_delayed_responses", delayed as f64);
+                        if let Some(t) = &telemetry {
+                            r.absorb_reactor(&t.snapshot());
+                        }
+                    });
+                    if let Some(snap) = o.take_push() {
+                        if push_conn.is_none() {
+                            push_conn = push_addr.as_deref().and_then(|a| transport.dial(a).ok());
+                        }
+                        if let Some(conn) = push_conn.as_mut() {
+                            if conn.send(&Frame::ObsPush { snapshot: snap }).is_err() {
+                                // The router is gone (run over, or mid
+                                // fault); retry the dial on the next push.
+                                push_conn = None;
+                            }
+                        }
+                    }
+                    o.poll_scrape(now);
+                }
                 if progressed {
                     reactor.note_progress();
                 } else if in_flight.is_empty() {
@@ -254,6 +367,9 @@ impl StorageService {
                     // core an overlapping processor is computing on.
                     std::thread::yield_now();
                 }
+            }
+            if let Some(o) = obs.as_ref() {
+                o.teardown();
             }
         });
         Ok(ServiceHandle {
@@ -651,6 +767,10 @@ pub struct ProcessorOptions {
     /// has marked this processor up — chaos harnesses wait on it before
     /// submitting work a restarted processor must be in rotation for.
     pub ready: Option<Arc<AtomicBool>>,
+    /// Observability: sampler cadence, scrape endpoint, flight-recorder
+    /// dump flag. Sampled registries are pushed to the router as
+    /// [`Frame::ObsPush`] on the existing router connection.
+    pub obs: ObsConfig,
 }
 
 impl Default for ProcessorOptions {
@@ -662,6 +782,7 @@ impl Default for ProcessorOptions {
             retry: None,
             stop: None,
             ready: None,
+            obs: ObsConfig::disabled(),
         }
     }
 }
@@ -817,6 +938,7 @@ fn run_processor_scalar(
     config: &EngineConfig,
     opts: &ProcessorOptions,
 ) -> WireResult<()> {
+    set_node_role(format!("proc-{id}"));
     let mut remote = RemoteStorageSource::new(Arc::clone(transport), storage_addrs, partitioner)
         .with_replication(opts.replication);
     if let Some(retry) = opts.retry {
@@ -835,13 +957,20 @@ fn run_processor_scalar(
     if opts.ready.is_some() {
         sink.send(&Frame::MetricsRequest)?;
     }
-    loop {
+    let mut obs = NodeObs::new(NodeRole::Processor, id as u16, &opts.obs);
+    // Cumulative per-processor tallies: the per-partition heat rides every
+    // completion (counted unconditionally, so frames are byte-identical
+    // with sampling on or off); the cache totals feed the sampler only.
+    let mut heat = HeatMap::new();
+    let mut cum = grouting_query::AccessStats::default();
+    let mut queries_done = 0u64;
+    let outcome: WireResult<()> = loop {
         if opts
             .stop
             .as_ref()
             .is_some_and(|s| s.load(Ordering::Relaxed))
         {
-            return Ok(());
+            break Ok(());
         }
         // With a kill switch armed the loop polls so the switch is seen
         // between frames; without one it blocks exactly as before.
@@ -852,14 +981,14 @@ fn run_processor_scalar(
                     std::thread::sleep(std::time::Duration::from_micros(200));
                     continue;
                 }
-                Err(WireError::Closed) => return Ok(()),
-                Err(e) => return Err(e),
+                Err(WireError::Closed) => break Ok(()),
+                Err(e) => break Err(e),
             }
         } else {
             match stream.recv() {
                 Ok(frame) => frame,
-                Err(WireError::Closed) => return Ok(()),
-                Err(e) => return Err(e),
+                Err(WireError::Closed) => break Ok(()),
+                Err(e) => break Err(e),
             }
         };
         match frame {
@@ -869,8 +998,15 @@ fn run_processor_scalar(
                 }
                 let fetch_before = timer.total_ns();
                 let started_ns = now_ns();
-                let (out, _miss_log) = worker.run(&query);
+                let (out, miss_log) = worker.run(&query);
                 let completed_ns = now_ns();
+                for ev in &miss_log {
+                    heat.record_demand(ev.server as usize, 1);
+                }
+                cum.cache_hits += out.stats.cache_hits;
+                cum.cache_misses += out.stats.cache_misses;
+                cum.evictions += out.stats.evictions;
+                queries_done += 1;
                 // The scalar loop has no per-level staging, so the trace
                 // block splits the query's wall time into "inside a fetch
                 // round trip" vs "everything else" with zero levels.
@@ -885,7 +1021,7 @@ fn run_processor_scalar(
                         level_spans: Vec::new(),
                     }
                 });
-                sink.send(&Frame::Completion(Completion {
+                if let Err(e) = sink.send(&Frame::Completion(Completion {
                     seq,
                     processor: id as u32,
                     result: out.result,
@@ -897,23 +1033,45 @@ fn run_processor_scalar(
                     arrived_ns: 0,
                     started_ns,
                     completed_ns,
+                    heat: heat.clone(),
                     trace: query_trace,
-                }))?;
+                })) {
+                    break Err(e);
+                }
             }
             Frame::Metrics { .. } if opts.ready.is_some() => {
                 if let Some(ready) = &opts.ready {
                     ready.store(true, Ordering::SeqCst);
                 }
             }
-            Frame::Shutdown => return Ok(()),
+            Frame::Shutdown => break Ok(()),
             other => {
-                return Err(WireError::Protocol(format!(
+                break Err(WireError::Protocol(format!(
                     "processor {id} got {}",
                     other.kind()
                 )))
             }
         }
+        if let Some(o) = obs.as_mut() {
+            let now = now_ns();
+            o.maybe_sample(now, |r| {
+                r.counter("grouting_queries_total", queries_done);
+                r.absorb_cache(cum.cache_hits, cum.cache_misses, cum.evictions);
+                r.absorb_failover(&failover.snapshot());
+                r.absorb_heat("partition", &heat);
+            });
+            if let Some(snap) = o.take_push() {
+                if let Err(e) = sink.send(&Frame::ObsPush { snapshot: snap }) {
+                    break Err(e);
+                }
+            }
+            o.poll_scrape(now);
+        }
+    };
+    if let Some(o) = obs.as_ref() {
+        o.teardown();
     }
+    outcome
 }
 
 /// The overlapped processor: polls the router connection for dispatches
@@ -931,6 +1089,7 @@ fn run_processor_overlapped(
     config: &EngineConfig,
     opts: ProcessorOptions,
 ) -> WireResult<()> {
+    set_node_role(format!("proc-{id}"));
     let mut source = MultiplexedStorageSource::with_poller(
         Arc::clone(transport),
         storage_addrs,
@@ -941,6 +1100,7 @@ fn run_processor_overlapped(
     if let Some(retry) = opts.retry {
         source = source.with_retry(retry);
     }
+    let telemetry = opts.telemetry.clone();
     if let Some(t) = opts.telemetry {
         source.set_telemetry(t);
     }
@@ -960,13 +1120,16 @@ fn run_processor_overlapped(
     if ready.is_some() {
         sink.send(&Frame::MetricsRequest)?;
     }
-    loop {
+    let mut obs = NodeObs::new(NodeRole::Processor, id as u16, &opts.obs);
+    let mut cum = grouting_query::AccessStats::default();
+    let mut queries_done = 0u64;
+    let outcome: WireResult<()> = 'run: loop {
         if opts
             .stop
             .as_ref()
             .is_some_and(|s| s.load(Ordering::Relaxed))
         {
-            return Ok(());
+            break Ok(());
         }
         let mut progressed = false;
         // Drain whatever the router has sent — every queued dispatch goes
@@ -981,7 +1144,7 @@ fn run_processor_overlapped(
                     pipeline.push(seq, query);
                     progressed = true;
                 }
-                Ok(Some(Frame::Shutdown)) | Err(WireError::Closed) => return Ok(()),
+                Ok(Some(Frame::Shutdown)) | Err(WireError::Closed) => break 'run Ok(()),
                 Ok(Some(Frame::Metrics { .. })) if ready.is_some() => {
                     if let Some(r) = &ready {
                         r.store(true, Ordering::SeqCst);
@@ -989,17 +1152,25 @@ fn run_processor_overlapped(
                     progressed = true;
                 }
                 Ok(Some(other)) => {
-                    return Err(WireError::Protocol(format!(
+                    break 'run Err(WireError::Protocol(format!(
                         "processor {id} got {}",
                         other.kind()
                     )))
                 }
                 Ok(None) => break,
-                Err(e) => return Err(e),
+                Err(e) => break 'run Err(e),
             }
         }
-        for done in pipeline.step(&mut source, &mut cache)? {
-            sink.send(&Frame::Completion(Completion {
+        let finished = match pipeline.step(&mut source, &mut cache) {
+            Ok(finished) => finished,
+            Err(e) => break Err(e),
+        };
+        for done in finished {
+            cum.cache_hits += done.outcome.stats.cache_hits;
+            cum.cache_misses += done.outcome.stats.cache_misses;
+            cum.evictions += done.outcome.stats.evictions;
+            queries_done += 1;
+            if let Err(e) = sink.send(&Frame::Completion(Completion {
                 seq: done.seq,
                 processor: id as u32,
                 result: done.outcome.result,
@@ -1012,9 +1183,33 @@ fn run_processor_overlapped(
                 arrived_ns: 0,
                 started_ns: done.started_ns,
                 completed_ns: done.completed_ns,
+                heat: pipeline.heat().clone(),
                 trace: done.trace,
-            }))?;
+            })) {
+                break 'run Err(e);
+            }
             progressed = true;
+        }
+        if let Some(o) = obs.as_mut() {
+            let now = now_ns();
+            o.maybe_sample(now, |r| {
+                r.counter("grouting_queries_total", queries_done);
+                r.gauge("grouting_pipeline_in_flight", pipeline.in_flight() as f64);
+                r.absorb_cache(cum.cache_hits, cum.cache_misses, cum.evictions);
+                let pf = pipeline.prefetch_stats();
+                r.absorb_prefetch(pf.issued, pf.hits, pf.wasted_bytes);
+                r.absorb_failover(&source.failover_stats());
+                r.absorb_heat("partition", pipeline.heat());
+                if let Some(t) = &telemetry {
+                    r.absorb_reactor(&t.snapshot());
+                }
+            });
+            if let Some(snap) = o.take_push() {
+                if let Err(e) = sink.send(&Frame::ObsPush { snapshot: snap }) {
+                    break Err(e);
+                }
+            }
+            o.poll_scrape(now);
         }
         if progressed {
             source.note_progress();
@@ -1025,7 +1220,11 @@ fn run_processor_overlapped(
             // until one of those sockets has traffic is safe.
             source.idle_wait(SERVICE_IDLE_WAIT);
         }
+    };
+    if let Some(o) = obs.as_ref() {
+        o.teardown();
     }
+    outcome
 }
 
 // ---------------------------------------------------------------------------
@@ -1049,6 +1248,10 @@ pub struct RouterOptions {
     /// Deployment-shared reactor telemetry, folded into traced
     /// snapshots (and wired into the router's own reactor).
     pub telemetry: Option<Arc<TelemetryCounters>>,
+    /// Observability: sampler cadence, the cluster-wide scrape endpoint
+    /// (the router binds `GROUTING_METRICS_ADDR` itself and renders every
+    /// pushed registry alongside its own), flight-recorder dump flag.
+    pub obs: ObsConfig,
 }
 
 impl Default for RouterOptions {
@@ -1058,6 +1261,7 @@ impl Default for RouterOptions {
             poller: PollerKind::from_env(),
             trace: TraceLevel::Off,
             telemetry: None,
+            obs: ObsConfig::disabled(),
         }
     }
 }
@@ -1107,6 +1311,7 @@ pub fn run_router(
     config: &EngineConfig,
     opts: &RouterOptions,
 ) -> WireResult<RunSnapshot> {
+    set_node_role("router");
     let p = config.processors;
     let overlap = config.overlap.max(1);
     // Router half only: the processors (and their caches) are remote.
@@ -1116,6 +1321,13 @@ pub fn run_router(
         reactor.set_telemetry(Arc::clone(t));
     }
     let trace = opts.trace;
+    let mut obs = NodeObs::new(NodeRole::Router, 0, &opts.obs);
+    // Exponentially decayed heat views (the "recent demand" the scrape
+    // exposes next to the cumulative counters).
+    let mut decayed_partition = DecayingHeat::new(HEAT_DECAY_TAU_NS);
+    let mut decayed_region = DecayingHeat::new(HEAT_DECAY_TAU_NS);
+    // Landmark set for region attribution (None without the asset).
+    let landmarks = assets.landmarks.clone();
 
     // Router state: which connection is which peer.
     let mut processor_conn: Vec<Option<u64>> = vec![None; p];
@@ -1136,6 +1348,14 @@ pub fn run_router(
     // tallies (redials, replica failovers, resubmitted batches).
     let mut failover_live: Vec<FailoverStats> = vec![FailoverStats::default(); p];
     let mut failover_retired = FailoverStats::default();
+    // Same live/retired split for the cumulative per-partition heat every
+    // completion carries.
+    let mut heat_live: Vec<HeatMap> = vec![HeatMap::new(); p];
+    let mut heat_retired = HeatMap::new();
+    // Router-local per-landmark-region heat: demand counted at dispatch
+    // (anchor's nearest landmark), speculation via the per-completion
+    // prefetch delta. Stays empty without a landmark asset.
+    let mut region_heat = HeatMap::new();
     // Router-local: processor-death events whose outstanding dispatch
     // window was non-empty and got resubmitted wholesale.
     let mut windows_resubmitted = 0u64;
@@ -1150,7 +1370,11 @@ pub fn run_router(
     // completion. The stamp maps are bounded by the in-flight window,
     // like `arrivals`.
     let mut stages = StageStats::default();
-    let mut spans = SpanRing::new(if trace.spans() { DEFAULT_SPAN_RING } else { 0 });
+    let mut spans = SpanRing::new(if trace.spans() {
+        span_ring_from_env()
+    } else {
+        0
+    });
     let mut trace_submitted: HashMap<u64, u64> = HashMap::new();
     let mut trace_dispatched: HashMap<u64, (u64, u64)> = HashMap::new();
 
@@ -1207,6 +1431,14 @@ pub fn run_router(
                         stages.record(Stage::RouterQueue, queue_ns);
                         trace_dispatched.insert(seq, (queue_ns, t.dispatched_ns));
                     }
+                    // Region demand: one count per dispatch, against the
+                    // anchor's nearest landmark (deterministic integer
+                    // tally — sampling on or off never changes it).
+                    if let Some(lm) = &landmarks {
+                        if let Some(region) = nearest_region(lm, query.anchor()) {
+                            region_heat.record_demand(region, 1);
+                        }
+                    }
                     in_flight[proc_id] += 1;
                     outstanding[proc_id].push((seq, query));
                 }
@@ -1218,9 +1450,43 @@ pub fn run_router(
                 break;
             }
 
+            if let Some(o) = obs.as_mut() {
+                let now = now_ns();
+                o.maybe_sample(now, |r| {
+                    let snap = snapshot_with_recovery(
+                        &engine,
+                        &prefetch_live,
+                        &prefetch_retired,
+                        &failover_live,
+                        &failover_retired,
+                        &heat_live,
+                        &heat_retired,
+                        &region_heat,
+                        windows_resubmitted,
+                    );
+                    fill_router_registry(r, &snap, completed, submitted);
+                    if trace.enabled() {
+                        r.absorb_stages(&stages);
+                    }
+                    if let Some(t) = &opts.telemetry {
+                        r.absorb_reactor(&t.snapshot());
+                    }
+                    decayed_partition.observe(now, &snap.partition_heat);
+                    decayed_region.observe(now, &snap.region_heat);
+                    r.absorb_decayed_heat("partition", &decayed_partition);
+                    r.absorb_decayed_heat("region", &decayed_region);
+                });
+                o.poll_scrape(now);
+            }
             events.clear();
             if deaths.is_empty() {
-                reactor.wait(&mut events, &|| false)?;
+                if obs.is_some() {
+                    // Bounded park so the sampler and the scrape endpoint
+                    // keep running while the cluster idles between frames.
+                    reactor.wait_timeout(&mut events, &|| true, SERVICE_IDLE_WAIT)?;
+                } else {
+                    reactor.wait(&mut events, &|| false)?;
+                }
             }
             for conn_id in deaths {
                 events.push(ReactorEvent::Closed(conn_id));
@@ -1328,6 +1594,30 @@ pub fn run_router(
                             );
                             completed += 1;
                             if proc_id < p {
+                                // Region speculation: the prefetch tally is
+                                // cumulative, so this completion's newly
+                                // issued speculative fetches are the delta
+                                // against the processor's previous report,
+                                // attributed to the completing query's
+                                // anchor region.
+                                if let Some(lm) = &landmarks {
+                                    let delta = completion
+                                        .prefetch
+                                        .issued
+                                        .saturating_sub(prefetch_live[proc_id].issued);
+                                    if delta > 0 {
+                                        if let Some(&(_, query)) = outstanding[proc_id]
+                                            .iter()
+                                            .find(|&&(s, _)| s == completion.seq)
+                                        {
+                                            if let Some(region) = nearest_region(lm, query.anchor())
+                                            {
+                                                region_heat.record_speculative(region, delta);
+                                            }
+                                        }
+                                    }
+                                }
+                                heat_live[proc_id] = completion.heat.clone();
                                 prefetch_live[proc_id] = completion.prefetch;
                                 failover_live[proc_id] = completion.failover;
                                 in_flight[proc_id] = in_flight[proc_id].saturating_sub(1);
@@ -1352,6 +1642,9 @@ pub fn run_router(
                                         &prefetch_retired,
                                         &failover_live,
                                         &failover_retired,
+                                        &heat_live,
+                                        &heat_retired,
+                                        &region_heat,
                                         windows_resubmitted,
                                     );
                                     let snap_trace =
@@ -1377,6 +1670,9 @@ pub fn run_router(
                                 &prefetch_retired,
                                 &failover_live,
                                 &failover_retired,
+                                &heat_live,
+                                &heat_retired,
+                                &region_heat,
                                 windows_resubmitted,
                             );
                             let snap_trace =
@@ -1388,6 +1684,15 @@ pub fn run_router(
                                     trace: snap_trace,
                                 },
                             );
+                        }
+                        Frame::ObsPush { snapshot } => {
+                            // A processor or storage node pushed its sampled
+                            // registry; fold it into the cluster-wide scrape.
+                            // Tolerated (and dropped) with observability off,
+                            // so mismatched configurations degrade softly.
+                            if let Some(o) = obs.as_mut() {
+                                o.absorb_push(snapshot);
+                            }
                         }
                         Frame::Shutdown => {
                             // Any peer may abort the run (the harness uses
@@ -1428,7 +1733,14 @@ pub fn run_router(
                             prefetch_live[proc_id] = grouting_query::PrefetchStats::default();
                             failover_retired.merge(&failover_live[proc_id]);
                             failover_live[proc_id] = FailoverStats::default();
+                            heat_retired.merge(&heat_live[proc_id]);
+                            heat_live[proc_id] = HeatMap::new();
                             engine.mark_down(proc_id);
+                            // A fault event dumps the flight recorder
+                            // regardless of the teardown dump flag.
+                            if let Some(o) = obs.as_ref() {
+                                o.dump(&format!("processor {proc_id} died"));
+                            }
                             if !outstanding[proc_id].is_empty() {
                                 windows_resubmitted += 1;
                             }
@@ -1458,8 +1770,14 @@ pub fn run_router(
         &prefetch_retired,
         &failover_live,
         &failover_retired,
+        &heat_live,
+        &heat_retired,
+        &region_heat,
         windows_resubmitted,
     );
+    if let Some(o) = obs.as_ref() {
+        o.teardown();
+    }
     if let Some(client) = client_conn {
         let _ = reactor.send(
             client,
@@ -1492,20 +1810,88 @@ fn trace_snapshot(
             stages: stages.clone(),
             reactor: telemetry.as_ref().map(|t| t.snapshot()).unwrap_or_default(),
             spans: spans.dump(),
+            spans_dropped: spans.dropped(),
         })
     })
+}
+
+/// Exponential-decay time constant for the scrape's "recent heat" gauges
+/// (~2 s half-life of relevance; cumulative counters sit next to them).
+const HEAT_DECAY_TAU_NS: u64 = 2_000_000_000;
+
+/// The landmark region a query anchored at `node` belongs to: the index
+/// of the nearest landmark by hop distance, `None` when the node is
+/// unreachable from every landmark (or out of range).
+fn nearest_region(landmarks: &Landmarks, node: NodeId) -> Option<usize> {
+    let idx = node.index();
+    let mut best: Option<(u16, usize)> = None;
+    for (region, dist) in landmarks.dist.iter().enumerate() {
+        let d = *dist.get(idx)?;
+        if d == grouting_embed::UNREACHED_U16 {
+            continue;
+        }
+        if best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, region));
+        }
+    }
+    best.map(|(_, region)| region)
+}
+
+/// Populates the router's registry from a run snapshot — the single point
+/// where engine accounting maps onto exposition series names.
+fn fill_router_registry(
+    r: &mut grouting_obs::Registry,
+    snap: &RunSnapshot,
+    completed: u64,
+    submitted: u64,
+) {
+    r.counter("grouting_queries_total", snap.queries);
+    r.gauge(
+        "grouting_queries_in_flight",
+        submitted.saturating_sub(completed) as f64,
+    );
+    r.counter("grouting_queries_stolen_total", snap.stolen);
+    r.counter(
+        "grouting_windows_resubmitted_total",
+        snap.windows_resubmitted,
+    );
+    r.absorb_cache(snap.cache_hits, snap.cache_misses, snap.evictions);
+    r.absorb_prefetch(
+        snap.prefetch_issued,
+        snap.prefetch_hits,
+        snap.prefetch_wasted_bytes,
+    );
+    r.absorb_failover(&FailoverStats {
+        redials: snap.redials,
+        replica_failovers: snap.replica_failovers,
+        batches_resubmitted: snap.batches_resubmitted,
+    });
+    for (id, served) in snap.per_processor.iter().enumerate() {
+        let label = id.to_string();
+        r.counter_with(
+            "grouting_processor_served_total",
+            &[("processor", &label)],
+            *served,
+        );
+    }
+    r.absorb_heat("partition", &snap.partition_heat);
+    r.absorb_heat("region", &snap.region_heat);
 }
 
 /// The engine's current snapshot with the speculation and recovery
 /// counters filled in: the live per-processor cumulative tallies plus
 /// whatever dead processor incarnations banked before they went away,
 /// and the router's own count of resubmitted dispatch windows.
+#[allow(clippy::too_many_arguments)]
 fn snapshot_with_recovery(
     engine: &Engine,
     prefetch_live: &[grouting_query::PrefetchStats],
     prefetch_retired: &grouting_query::PrefetchStats,
     failover_live: &[FailoverStats],
     failover_retired: &FailoverStats,
+    heat_live: &[HeatMap],
+    heat_retired: &HeatMap,
+    region_heat: &HeatMap,
     windows_resubmitted: u64,
 ) -> RunSnapshot {
     let mut prefetch = *prefetch_retired;
@@ -1516,6 +1902,10 @@ fn snapshot_with_recovery(
     for stats in failover_live {
         failover.merge(stats);
     }
+    let mut heat = heat_retired.clone();
+    for h in heat_live {
+        heat.merge(h);
+    }
     let mut snapshot = engine.snapshot();
     snapshot.prefetch_issued = prefetch.issued;
     snapshot.prefetch_hits = prefetch.hits;
@@ -1524,6 +1914,8 @@ fn snapshot_with_recovery(
     snapshot.replica_failovers = failover.replica_failovers;
     snapshot.batches_resubmitted = failover.batches_resubmitted;
     snapshot.windows_resubmitted = windows_resubmitted;
+    snapshot.partition_heat = heat;
+    snapshot.region_heat = region_heat.clone();
     snapshot
 }
 

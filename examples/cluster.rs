@@ -19,12 +19,19 @@
 //! runs then print a per-stage latency breakdown (router queue, dispatch
 //! RTT, fetch wait, compute, completion) and the reactor's busy/idle and
 //! buffer-pool telemetry.
+//! `GROUTING_METRICS_ADDR=host:port` additionally serves a live
+//! Prometheus-style scrape endpoint on the router covering the whole
+//! cluster, and `GROUTING_OBS_DUMP=1` replays each node's sampled counter
+//! history at teardown; neither changes a single statistic (pinned by
+//! wire_agreement). The per-partition workload heat is printed from the
+//! final snapshot either way.
 //!
 //! ```bash
 //! cargo run --release --example cluster
 //! GROUTING_BATCH=0 cargo run --release --example cluster
 //! GROUTING_PREFETCH=hotspot cargo run --release --example cluster
 //! GROUTING_TRACE=stats cargo run --release --example cluster
+//! GROUTING_METRICS_ADDR=127.0.0.1:9464 cargo run --release --example cluster
 //! GROUTING_NO_SOCKETS=1 cargo run --release --example cluster
 //! ```
 
@@ -73,6 +80,7 @@ fn main() {
     );
     let mut prefetch_lines: Vec<String> = Vec::new();
     let mut failover_lines: Vec<String> = Vec::new();
+    let mut heat_lines: Vec<String> = Vec::new();
     let mut traces: Vec<(RoutingKind, grouting_core::trace::TraceSnapshot)> = Vec::new();
     for routing in [RoutingKind::Hash, RoutingKind::Embed] {
         let cluster = cluster.with_routing(routing);
@@ -109,6 +117,26 @@ fn main() {
             wire.batches_resubmitted,
             wire.windows_resubmitted,
         ));
+        // The workload heatmap from the final snapshot: cumulative
+        // demand (cache-miss fetches) and speculative (prefetched)
+        // accesses per storage partition, plus the per-landmark-region
+        // dispatch tallies when the routing scheme placed landmarks.
+        let cells = wire.partition_heat.cells();
+        let hottest = cells
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| c.total())
+            .map_or_else(|| "-".to_string(), |(p, _)| format!("p{p}"));
+        heat_lines.push(format!(
+            "{routing}: [{}] (hottest {hottest}); {} regions touched",
+            cells
+                .iter()
+                .enumerate()
+                .map(|(p, c)| format!("p{p} {}+{}", c.demand, c.speculative))
+                .collect::<Vec<_>>()
+                .join(", "),
+            wire.region_heat.len(),
+        ));
         if let Some(trace) = wire.trace.clone() {
             traces.push((routing, trace));
         }
@@ -129,6 +157,10 @@ fn main() {
     }
     println!("\nFailover counters:");
     for line in &failover_lines {
+        println!("  {line}");
+    }
+    println!("\nWorkload heat per partition (demand+speculative accesses):");
+    for line in &heat_lines {
         println!("  {line}");
     }
     for (routing, trace) in &traces {

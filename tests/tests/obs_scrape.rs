@@ -1,0 +1,160 @@
+//! Live scrape smoke test: one HTTP request to the router's metrics
+//! endpoint mid-run must return series from all three tiers.
+//!
+//! The observability layer's deployment contract: the router binds
+//! `GROUTING_METRICS_ADDR`, processors and storage servers push their
+//! sampled registries to it (`ObsPush` frames), and a single scrape of
+//! the router therefore reads the whole cluster — router dispatch
+//! counters, per-processor cache and heat series, and per-storage served
+//! tallies — while queries are still in flight. The smoke test runs the
+//! same check under both readiness backends, since scrape polling rides
+//! the service poll loops.
+
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use grouting_core::engine::EngineAssets;
+use grouting_core::gen::{DatasetProfile, ProfileName};
+use grouting_core::partition::HashPartitioner;
+use grouting_core::query::Query;
+use grouting_core::storage::{Preset, StorageTier};
+use grouting_core::wire::{launch_cluster, ClusterConfig, ObsConfig, PollerKind, TransportKind};
+use grouting_core::workload::{hotspot_workload, QueryMix, WorkloadConfig};
+
+/// Binds an ephemeral loopback port and releases it, so the router can
+/// re-bind the same address — the test needs to know the scrape address
+/// before the cluster (which binds it internally) exists.
+fn reserve_addr() -> Option<String> {
+    let listener = TcpListener::bind("127.0.0.1:0").ok()?;
+    let addr = listener.local_addr().ok()?;
+    Some(addr.to_string())
+}
+
+/// One plain HTTP scrape; `None` until the endpoint accepts and serves.
+fn scrape(addr: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok()?;
+    stream.write_all(b"GET /metrics HTTP/1.1\r\n\r\n").ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let (header, body) = response.split_once("\r\n\r\n")?;
+    header
+        .starts_with("HTTP/1.1 200 OK")
+        .then(|| body.to_string())
+}
+
+fn setup() -> (Arc<StorageTier>, Vec<Query>) {
+    let graph = DatasetProfile::tiny(ProfileName::WebGraph).generate();
+    let tier = Arc::new(StorageTier::new(Arc::new(HashPartitioner::new(3))));
+    tier.load_graph(&graph).unwrap();
+    let queries = hotspot_workload(
+        &graph,
+        &WorkloadConfig {
+            hotspots: 8,
+            per_hotspot: 60,
+            radius: 2,
+            hops: 2,
+            mix: QueryMix::uniform(),
+            restart_prob: 0.15,
+            seed: 23,
+        },
+    )
+    .queries;
+    (tier, queries)
+}
+
+fn assert_scrape_covers_cluster(reactor: PollerKind) {
+    let Some(metrics_addr) = reserve_addr() else {
+        // No loopback in this sandbox — the scrape endpoint is a socket
+        // feature; the byte-identity agreement test still covers sampling.
+        return;
+    };
+    let (tier, queries) = setup();
+    let assets = EngineAssets::new(Arc::clone(&tier));
+    let mut config = ClusterConfig::new(
+        grouting_core::live::LiveConfig {
+            processors: 4,
+            stealing: false,
+            cache_capacity: 256 << 10,
+            overlap: 2,
+            ..grouting_core::live::LiveConfig::paper_default(
+                4,
+                grouting_core::route::RoutingKind::Hash,
+            )
+        }
+        .engine_config(),
+        TransportKind::Tcp,
+    )
+    .with_reactor(reactor)
+    .with_obs(ObsConfig {
+        metrics_addr: Some(metrics_addr.clone()),
+        dump: false,
+        // Sample fast so pushed registries reach the router well inside
+        // the run, whatever the host's scheduling jitter.
+        sample_every_ns: 1_000_000,
+    });
+    // The emulated cross-rack network stretches the run to a comfortably
+    // scrapeable length without inflating the workload.
+    config.net = Preset::Ethernet10G;
+
+    let cluster = std::thread::spawn(move || launch_cluster(&assets, &queries, &config));
+
+    // Poll the endpoint until ONE body carries all three tiers, including
+    // the per-partition heat counters — the cluster-wide-scrape contract.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut last = String::new();
+    let complete = loop {
+        if let Some(body) = scrape(&metrics_addr) {
+            last = body;
+            if last.contains("node=\"router\"")
+                && last.contains("node=\"proc-")
+                && last.contains("node=\"storage-")
+                && last.contains("grouting_partition_demand_total")
+                && last.contains("grouting_storage_fetches_total")
+            {
+                break true;
+            }
+        }
+        if cluster.is_finished() || Instant::now() > deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+
+    let run = cluster
+        .join()
+        .expect("cluster thread joins")
+        .expect("observed cluster run completes");
+    assert!(
+        complete,
+        "no single scrape covered all three tiers under {reactor:?}; last body:\n{last}"
+    );
+    // The same heat that was scrapeable mid-run lands in the final
+    // snapshot, still in demand units (one count per fetched record).
+    assert!(run.snapshot.partition_heat.total_demand() > 0);
+    assert_eq!(
+        run.snapshot.partition_heat.total_demand(),
+        run.snapshot.cache_misses,
+        "partition heat counts exactly the demand misses"
+    );
+}
+
+#[test]
+fn router_scrape_reads_whole_cluster_mid_run_sweep() {
+    if TransportKind::from_env() == TransportKind::InProc {
+        return; // GROUTING_NO_SOCKETS sandbox: no loopback to scrape over.
+    }
+    assert_scrape_covers_cluster(PollerKind::Sweep);
+}
+
+#[test]
+fn router_scrape_reads_whole_cluster_mid_run_epoll() {
+    if TransportKind::from_env() == TransportKind::InProc {
+        return; // GROUTING_NO_SOCKETS sandbox: no loopback to scrape over.
+    }
+    assert_scrape_covers_cluster(PollerKind::Epoll);
+}

@@ -392,6 +392,77 @@ fn tracing_levels_pin_byte_identical_statistics() {
 }
 
 #[test]
+fn observability_pins_byte_identical_statistics() {
+    // The observability layer is strictly observational: the same seeded
+    // workload with the sampler hammering every poll round (plus a live
+    // scrape endpoint where the sandbox has sockets) must produce a
+    // byte-identical run — same answers, same routing assignments, same
+    // full `RunSnapshot` including the workload heatmaps — as a run with
+    // observability off. Heat counters are deterministic demand
+    // accounting, NOT sampling artifacts, so they too must match exactly.
+    use grouting_core::engine::EngineAssets;
+    use grouting_core::wire::{launch_cluster, ClusterConfig, ClusterRun, ObsConfig};
+    let (tier, queries) = seeded_setup();
+    let cfg = deterministic_config();
+    let run_with = |transport: TransportKind, obs: ObsConfig| -> ClusterRun {
+        let assets = EngineAssets::new(Arc::clone(&tier));
+        let cluster_cfg = ClusterConfig::new(cfg.engine_config(), transport)
+            .with_fetch(FetchMode::Batched)
+            .with_obs(obs);
+        launch_cluster(&assets, &queries, &cluster_cfg).expect("observed cluster completes")
+    };
+    // `sample_every_ns: 1` makes every service poll round a sampling
+    // tick — the most intrusive cadence possible. The dump flag enables
+    // the sampler even where no socket endpoint can bind; on a
+    // socket-capable host the router additionally serves a live scrape
+    // endpoint on an ephemeral port while the run executes.
+    let sampled = ObsConfig {
+        metrics_addr: (TransportKind::from_env() == TransportKind::Tcp)
+            .then(|| "127.0.0.1:0".to_string()),
+        dump: true,
+        sample_every_ns: 1,
+    };
+
+    for transport in [TransportKind::from_env(), TransportKind::InProc] {
+        let off = run_with(transport, ObsConfig::disabled());
+        let on = run_with(transport, sampled.clone());
+        assert_eq!(
+            on.results, off.results,
+            "answers diverged under observability over {transport}"
+        );
+        assert_eq!(
+            on.snapshot, off.snapshot,
+            "run snapshot diverged under observability over {transport}"
+        );
+        // Completion order is wall-clock timing; the per-seq assignment is
+        // the deterministic contract.
+        let by_seq = |run: &ClusterRun| {
+            let mut assigned = vec![usize::MAX; queries.len()];
+            for r in run.timeline.records() {
+                assigned[r.seq as usize] = r.processor;
+            }
+            assigned
+        };
+        assert_eq!(
+            by_seq(&on),
+            by_seq(&off),
+            "routing assignments diverged under observability over {transport}"
+        );
+        // The pinned snapshot must carry real heat, or the heat half of
+        // the equality proves nothing.
+        assert!(
+            off.snapshot.partition_heat.total_demand() > 0,
+            "workload must produce demand heat"
+        );
+        assert_eq!(
+            off.snapshot.partition_heat.total_demand(),
+            off.snapshot.cache_misses,
+            "partition heat counts exactly the demand misses"
+        );
+    }
+}
+
+#[test]
 fn no_cache_scheme_has_zero_hits_over_the_wire() {
     let (tier, queries) = seeded_setup();
     let cfg = LiveConfig {
